@@ -1,0 +1,96 @@
+"""Ablation: warm-started EM as an extra candidate -- why it is off.
+
+Algorithm 1 re-clusters a failing chunk with EM.  A tempting refinement
+is to *warm start* from the failing current model in addition to the
+cold k-means++ restart and keep the better fit -- intuitively valuable
+under gradual drift, where the old model is almost right.
+
+Measured on a drifting workload, the intuition does not survive: the
+cold k-means++ start matches or beats the warm refinement on every
+re-clustering (the chosen models are bit-identical), so the warm
+candidate adds a full extra EM run per re-clustering for nothing.
+That result is why ``RemoteSiteConfig.warm_start`` defaults to off.
+
+Shape targets: identical final model and identical EM-run counts across
+the variants; the warm variant measurably slower; the drift workload
+genuinely forced many re-clusterings (so the comparison had teeth).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from benchmarks.conftest import make_site_config, print_header, run_once
+from repro.core.remote import RemoteSite
+from repro.evaluation.metrics import matched_mean_error
+from repro.streams.base import take
+from repro.streams.drift import DriftConfig, DriftingGaussianStream
+
+TOTAL = 10_000
+CHUNK = 500
+DIM = 4
+K = 5
+
+
+def run_variant(warm_start: bool, data, truth_stream) -> dict:
+    config = dataclasses.replace(
+        make_site_config(dim=DIM, k=K, chunk=CHUNK), warm_start=warm_start
+    )
+    site = RemoteSite(0, config, rng=np.random.default_rng(11))
+    start = time.perf_counter()
+    site.process_stream(data)
+    elapsed = time.perf_counter() - start
+    current_truth = truth_stream.mixture_at(TOTAL)
+    holdout, _ = current_truth.sample(2000, np.random.default_rng(12))
+    fitted = site.current_model.mixture
+    return {
+        "seconds": elapsed,
+        "quality": fitted.average_log_likelihood(holdout),
+        "mean_error": matched_mean_error(fitted, current_truth),
+        "em_runs": site.stats.n_clusterings,
+        "model": fitted,
+    }
+
+
+def ablation() -> dict:
+    stream = DriftingGaussianStream(
+        DriftConfig(
+            dim=DIM,
+            n_components=K,
+            drift_per_record=0.003,
+            separation=5.0,
+        ),
+        rng=np.random.default_rng(10),
+    )
+    data = take(stream, TOTAL)
+    return {
+        "warm": run_variant(True, data, stream),
+        "cold": run_variant(False, data, stream),
+    }
+
+
+def bench_ablation_warm_start(benchmark):
+    results = run_once(benchmark, ablation)
+    print_header("Ablation: warm-start EM candidate under gradual drift")
+    print(
+        f"{'variant':>8}  {'time (s)':>9}  {'quality':>9}  "
+        f"{'mean err':>9}  {'EM runs':>8}"
+    )
+    for name, row in results.items():
+        print(
+            f"{name:>8}  {row['seconds']:>9.3f}  {row['quality']:>9.3f}  "
+            f"{row['mean_error']:>9.3f}  {row['em_runs']:>8}"
+        )
+
+    warm, cold = results["warm"], results["cold"]
+    # The drift forced real work...
+    assert cold["em_runs"] >= 3
+    # ...on which the warm candidate never won: identical outcomes.
+    assert warm["model"] == cold["model"]
+    assert warm["em_runs"] == cold["em_runs"]
+    assert warm["quality"] == cold["quality"]
+    # The extra candidate costs real time (the reason for the default).
+    assert warm["seconds"] > cold["seconds"]

@@ -1,0 +1,85 @@
+"""CluDistream: distributed data stream clustering with a fast EM-based
+approach.
+
+A faithful, production-quality reproduction of *"Distributed Data Stream
+Clustering: A Fast EM-based Approach"* (Zhou, Cao, Yan, Sha, He --
+ICDE 2007).  The library implements the paper's test-and-cluster remote
+sites, merge/split coordinator, the SEM and sampling baselines it
+compares against, the discrete-event simulation its experiments run on,
+and the synthetic workloads (including an NFD-like net-flow generator)
+behind every figure of the evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CluDistream, CluDistreamConfig
+    from repro.streams import EvolvingGaussianStream
+
+    system = CluDistream(CluDistreamConfig(n_sites=4))
+    streams = {
+        i: EvolvingGaussianStream(rng=np.random.default_rng(i))
+        for i in range(4)
+    }
+    system.feed_streams(streams, max_records_per_site=10_000)
+    print(system.global_mixture())
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from repro.core import (
+    AnomalyDetector,
+    CluDistream,
+    CluDistreamConfig,
+    Coordinator,
+    CoordinatorConfig,
+    EMConfig,
+    EMResult,
+    EventRecord,
+    EventTable,
+    FitTestResult,
+    Gaussian,
+    GaussianMixture,
+    RemoteSite,
+    RemoteSiteConfig,
+    anomaly_scores,
+    average_log_likelihood,
+    chunk_size,
+    decode_message,
+    encode_message,
+    fit_em,
+    fit_test,
+    iter_chunks,
+    membership_report,
+    select_k,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyDetector",
+    "CluDistream",
+    "CluDistreamConfig",
+    "Coordinator",
+    "CoordinatorConfig",
+    "EMConfig",
+    "EMResult",
+    "EventRecord",
+    "EventTable",
+    "FitTestResult",
+    "Gaussian",
+    "GaussianMixture",
+    "RemoteSite",
+    "RemoteSiteConfig",
+    "anomaly_scores",
+    "average_log_likelihood",
+    "chunk_size",
+    "decode_message",
+    "encode_message",
+    "fit_em",
+    "fit_test",
+    "iter_chunks",
+    "membership_report",
+    "select_k",
+    "__version__",
+]

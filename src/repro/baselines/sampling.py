@@ -1,0 +1,173 @@
+"""Sampling-based EM baseline (the weakest curve of Figure 6).
+
+The simplest way to bound the cost of clustering a stream is to keep a
+uniform sample and fit EM to it.  :class:`ReservoirSampler` implements
+Vitter's reservoir sampling (algorithm R), which maintains a uniform
+sample of everything seen so far in O(m) memory; :class:`SamplingEM`
+refits a Gaussian mixture over the reservoir on a fixed cadence.
+
+The paper's landmark-window comparison shows why this loses: the sample
+thins out every distribution the stream has visited, so cluster detail
+is averaged away -- "the sampling may lose a lot of valuable clustering
+information".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.em import EMConfig, fit_em
+from repro.core.mixture import GaussianMixture
+
+__all__ = ["ReservoirSampler", "SamplingEM", "SamplingEMConfig"]
+
+
+class ReservoirSampler:
+    """Uniform reservoir sample of a stream (Vitter's algorithm R).
+
+    Parameters
+    ----------
+    capacity:
+        Sample size ``m``.
+    rng:
+        Randomness source.
+
+    Notes
+    -----
+    After ``n ≥ m`` records every record seen has probability ``m / n``
+    of being in the reservoir -- the property the tests verify.
+    """
+
+    def __init__(
+        self, capacity: int, rng: np.random.Generator | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng(23)
+        self._sample: list[np.ndarray] = []
+        self.seen = 0
+
+    def offer(self, record: np.ndarray) -> bool:
+        """Present one record; returns ``True`` if it entered the sample."""
+        record = np.asarray(record, dtype=float).ravel()
+        self.seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(record)
+            return True
+        slot = int(self._rng.integers(self.seen))
+        if slot < self.capacity:
+            self._sample[slot] = record
+            return True
+        return False
+
+    @property
+    def sample(self) -> np.ndarray:
+        """The current reservoir as an ``(m', d)`` array (``m' ≤ m``)."""
+        if not self._sample:
+            raise ValueError("reservoir is empty")
+        return np.stack(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+
+@dataclass(frozen=True)
+class SamplingEMConfig:
+    """Sampling-EM parameters.
+
+    Parameters
+    ----------
+    reservoir_size:
+        Records kept in the uniform sample.
+    refit_interval:
+        Refit EM after this many new records (the model between refits
+        is whatever the previous fit produced).
+    em:
+        Inner EM settings.
+    """
+
+    reservoir_size: int = 2000
+    refit_interval: int = 2000
+    em: EMConfig = field(default_factory=EMConfig)
+
+    def __post_init__(self) -> None:
+        if self.reservoir_size < self.em.n_components:
+            raise ValueError("reservoir must hold at least K records")
+        if self.refit_interval < 1:
+            raise ValueError("refit_interval must be at least 1")
+
+
+class SamplingEM:
+    """EM over a reservoir sample, refitted on a fixed cadence."""
+
+    def __init__(
+        self,
+        dim: int,
+        config: SamplingEMConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError("dim must be at least 1")
+        self.dim = dim
+        self.config = config or SamplingEMConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(29)
+        self.reservoir = ReservoirSampler(
+            self.config.reservoir_size, rng=self._rng
+        )
+        self._mixture: GaussianMixture | None = None
+        self._since_refit = 0
+        self.records_seen = 0
+        self.refits = 0
+
+    @property
+    def mixture(self) -> GaussianMixture | None:
+        """Current model (``None`` before enough records arrive)."""
+        return self._mixture
+
+    def process_record(self, record: np.ndarray) -> None:
+        """Offer the record to the reservoir; refit on cadence."""
+        record = np.asarray(record, dtype=float).ravel()
+        if record.size != self.dim:
+            raise ValueError(
+                f"record has dimension {record.size}, expected {self.dim}"
+            )
+        self.reservoir.offer(record)
+        self.records_seen += 1
+        self._since_refit += 1
+        if (
+            self._since_refit >= self.config.refit_interval
+            and len(self.reservoir) >= self.config.em.n_components
+        ):
+            self.refit()
+
+    def process_stream(self, records: Iterable[np.ndarray]) -> None:
+        """Ingest many records."""
+        for record in records:
+            self.process_record(record)
+
+    def refit(self) -> GaussianMixture:
+        """Fit EM to the current reservoir contents."""
+        result = fit_em(self.reservoir.sample, self.config.em, self._rng)
+        self._mixture = result.mixture
+        self._since_refit = 0
+        self.refits += 1
+        return self._mixture
+
+    def current_model(self) -> GaussianMixture:
+        """The model, fitting first if none exists yet."""
+        if self._mixture is None or self._since_refit > 0:
+            if len(self.reservoir) < self.config.em.n_components:
+                raise ValueError("not enough sampled records to fit EM")
+            self.refit()
+        assert self._mixture is not None
+        return self._mixture
+
+    def memory_bytes(self) -> int:
+        """Reservoir plus model parameters, in bytes."""
+        sample_bytes = 8 * self.dim * len(self.reservoir)
+        model_bytes = self._mixture.payload_bytes() if self._mixture else 0
+        return sample_bytes + model_bytes

@@ -1,0 +1,11 @@
+"""Change detection over data streams (paper section 7).
+
+"Model fitting approach provides an alternative way for change
+detection.  A change emerges when new chunk does not fit the existing
+models."  :mod:`repro.changedetect.detector` packages that observation
+as a standalone detector API.
+"""
+
+from repro.changedetect.detector import ChangeDetector, ChangeEvent
+
+__all__ = ["ChangeDetector", "ChangeEvent"]

@@ -1,0 +1,381 @@
+"""Command-line interface: ``cludistream``.
+
+Three subcommands cover the common workflows without writing code:
+
+* ``cludistream chunk-size -d 4 --epsilon 0.02 --delta 0.01`` -- the
+  Theorem 1 chunk size for a parameter choice;
+* ``cludistream run --sites 4 --records 8000 --stream synthetic`` --
+  run a full distributed system over synthetic or net-flow streams and
+  print the per-site and coordinator summary;
+* ``cludistream compare-comm --sites 4 --records 6000`` -- the Figure 2
+  communication comparison against periodic SEM reporting;
+* ``cludistream report -o report.md`` -- run a compact reproduction
+  (communication + quality + parameter math) and write a Markdown
+  summary.
+
+All commands accept ``--seed`` for reproducibility.  Exit status is 0
+on success; argument errors exit with argparse's usual status 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``cludistream`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="cludistream",
+        description="CluDistream: distributed data stream clustering (ICDE 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chunk = sub.add_parser(
+        "chunk-size", help="compute the Theorem 1 chunk size M"
+    )
+    chunk.add_argument("-d", "--dim", type=int, default=4)
+    chunk.add_argument("--epsilon", type=float, default=0.02)
+    chunk.add_argument("--delta", type=float, default=0.01)
+
+    run = sub.add_parser(
+        "run", help="run a distributed clustering experiment"
+    )
+    run.add_argument("--sites", type=int, default=4)
+    run.add_argument("--records", type=int, default=8000, help="per site")
+    run.add_argument(
+        "--stream",
+        choices=("synthetic", "netflow"),
+        default="synthetic",
+    )
+    run.add_argument("--clusters", type=int, default=5, help="K")
+    run.add_argument("--epsilon", type=float, default=0.05)
+    run.add_argument("--delta", type=float, default=0.05)
+    run.add_argument("--chunk", type=int, default=1000)
+    run.add_argument("--p-new", type=float, default=0.1, help="P_d")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--simulate",
+        action="store_true",
+        help="run on the discrete-event engine (reports virtual time)",
+    )
+
+    comm = sub.add_parser(
+        "compare-comm",
+        help="communication cost vs periodic SEM reporting (Figure 2)",
+    )
+    comm.add_argument("--sites", type=int, default=4)
+    comm.add_argument("--records", type=int, default=6000, help="per site")
+    comm.add_argument("--chunk", type=int, default=500)
+    comm.add_argument("--p-new", type=float, default=0.1, help="P_d")
+    comm.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report",
+        help="run a compact reproduction and write a Markdown summary",
+    )
+    report.add_argument(
+        "-o", "--output", default="cludistream-report.md",
+        help="output path (default: cludistream-report.md)",
+    )
+    report.add_argument("--sites", type=int, default=2)
+    report.add_argument("--records", type=int, default=4000, help="per site")
+    report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_chunk_size(args: argparse.Namespace) -> int:
+    from repro.core.chunking import chunk_size, window_error_bound
+
+    m = chunk_size(args.dim, args.epsilon, args.delta)
+    print(f"chunk size M = {m} records")
+    print(
+        "evolving-analysis window error M/2 = "
+        f"{window_error_bound(args.dim, args.epsilon, args.delta):.0f} records"
+    )
+    return 0
+
+
+def _make_streams(args: argparse.Namespace, dim: int):
+    if args.stream == "netflow":
+        from repro.streams.netflow import NetflowConfig, NetflowStreamGenerator
+
+        return {
+            i: NetflowStreamGenerator(
+                NetflowConfig(p_switch=args.p_new),
+                rng=np.random.default_rng(args.seed + 100 + i),
+            )
+            for i in range(args.sites)
+        }
+    from repro.streams.synthetic import (
+        EvolvingGaussianStream,
+        EvolvingStreamConfig,
+    )
+
+    return {
+        i: EvolvingGaussianStream(
+            EvolvingStreamConfig(
+                dim=dim,
+                n_components=args.clusters,
+                p_new_distribution=args.p_new,
+            ),
+            rng=np.random.default_rng(args.seed + 100 + i),
+        )
+        for i in range(args.sites)
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.cludistream import CluDistream, CluDistreamConfig
+    from repro.core.coordinator import CoordinatorConfig
+    from repro.core.em import EMConfig
+    from repro.core.remote import RemoteSiteConfig
+
+    dim = 6 if args.stream == "netflow" else 4
+    config = CluDistreamConfig(
+        n_sites=args.sites,
+        site=RemoteSiteConfig(
+            dim=dim,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            em=EMConfig(n_components=args.clusters, n_init=1, max_iter=40),
+            chunk_override=args.chunk,
+        ),
+        coordinator=CoordinatorConfig(max_components=2 * args.clusters),
+    )
+    system = CluDistream(config, seed=args.seed)
+    streams = _make_streams(args, dim)
+
+    if args.simulate:
+        report = system.run_simulation(
+            streams, max_records_per_site=args.records
+        )
+        print(
+            f"simulated {report.records} records in "
+            f"{report.duration:.1f} virtual seconds"
+        )
+    else:
+        delivered = system.feed_streams(
+            streams, max_records_per_site=args.records
+        )
+        print(f"processed {delivered} records")
+
+    for site in system.sites:
+        print(
+            f"site {site.site_id}: models={len(site.all_models)} "
+            f"tests={site.stats.n_tests} em_runs={site.stats.n_clusterings} "
+            f"reactivations={site.stats.n_reactivations} "
+            f"bytes={site.stats.bytes_sent}"
+        )
+    coordinator = system.coordinator
+    print(
+        f"coordinator: clusters={coordinator.n_components} "
+        f"messages={coordinator.stats.messages_received} "
+        f"bytes={coordinator.stats.bytes_received} "
+        f"merges={coordinator.stats.merges} splits={coordinator.stats.splits}"
+    )
+    mixture = system.global_mixture()
+    for weight, component in sorted(
+        mixture, key=lambda pair: pair[0], reverse=True
+    ):
+        print(f"  w={weight:.3f}  mean={np.round(component.mean, 2)}")
+    return 0
+
+
+def _cmd_compare_comm(args: argparse.Namespace) -> int:
+    from repro.core.em import EMConfig
+    from repro.core.remote import RemoteSiteConfig
+    from repro.baselines.periodic import PeriodicReporterConfig
+    from repro.baselines.sem import SEMConfig
+    from repro.evaluation.comm import compare_communication
+    from repro.streams.base import take
+    from repro.streams.synthetic import (
+        EvolvingGaussianStream,
+        EvolvingStreamConfig,
+    )
+
+    def make_streams(seed: int):
+        return {
+            i: take(
+                EvolvingGaussianStream(
+                    EvolvingStreamConfig(p_new_distribution=args.p_new),
+                    rng=np.random.default_rng(seed + 31 * i),
+                ),
+                args.records,
+            )
+            for i in range(args.sites)
+        }
+
+    em = EMConfig(n_components=5, n_init=1, max_iter=40)
+    comparison = compare_communication(
+        make_streams,
+        n_sites=args.sites,
+        records_per_site=args.records,
+        site_config=RemoteSiteConfig(
+            dim=4, epsilon=0.05, delta=0.05, em=em, chunk_override=args.chunk
+        ),
+        periodic_config=PeriodicReporterConfig(
+            period=args.chunk,
+            sem=SEMConfig(n_components=5, buffer_size=args.chunk, em=em),
+        ),
+        sample_every=max(args.chunk, args.records // 8),
+        seed=args.seed,
+    )
+    print(f"{'updates':>10}  {'CluDistream (B)':>16}  {'periodic SEM (B)':>16}")
+    for position, clu, periodic in zip(
+        comparison.positions,
+        comparison.cludistream_series,
+        comparison.periodic_series,
+    ):
+        print(f"{position:>10}  {clu:>16}  {periodic:>16}")
+    print(
+        f"total: {comparison.cludistream_bytes} B vs "
+        f"{comparison.periodic_bytes} B -> {comparison.ratio:.1f}x savings"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.baselines.periodic import PeriodicReporterConfig
+    from repro.baselines.sem import ScalableEM, SEMConfig
+    from repro.core.chunking import chunk_size
+    from repro.core.em import EMConfig
+    from repro.core.remote import RemoteSite, RemoteSiteConfig
+    from repro.evaluation.comm import compare_communication
+    from repro.evaluation.report import ExperimentReport
+    from repro.streams.base import take
+    from repro.streams.synthetic import (
+        EvolvingGaussianStream,
+        EvolvingStreamConfig,
+    )
+    from repro.windows.horizon import horizon_mixture
+
+    chunk = 500
+    em = EMConfig(n_components=5, n_init=1, max_iter=40)
+    report = ExperimentReport(
+        "CluDistream reproduction summary (compact run)"
+    )
+
+    # Section 1: Theorem 1 parameter math.
+    section = report.section("Theorem 1 chunk sizes")
+    section.add_text(
+        "Chunk size M = -2d·ln(δ(2-δ))/ε for representative parameters."
+    )
+    section.add_table(
+        ("d", "epsilon", "delta", "M"),
+        [
+            (d, eps, delta, chunk_size(d, eps, delta))
+            for d, eps, delta in (
+                (4, 0.02, 0.01),
+                (4, 0.1, 0.01),
+                (6, 0.02, 0.01),
+            )
+        ],
+    )
+
+    # Section 2: communication comparison (Figure 2 shape).
+    def make_streams(seed: int):
+        return {
+            i: take(
+                EvolvingGaussianStream(
+                    EvolvingStreamConfig(p_new_distribution=0.1),
+                    rng=np.random.default_rng(seed + 31 * i),
+                ),
+                args.records,
+            )
+            for i in range(args.sites)
+        }
+
+    comparison = compare_communication(
+        make_streams,
+        n_sites=args.sites,
+        records_per_site=args.records,
+        site_config=RemoteSiteConfig(
+            dim=4, epsilon=0.05, delta=0.05, em=em, chunk_override=chunk
+        ),
+        periodic_config=PeriodicReporterConfig(
+            period=chunk,
+            sem=SEMConfig(n_components=5, buffer_size=chunk, em=em),
+        ),
+        sample_every=max(chunk, args.records // 4),
+        seed=args.seed,
+    )
+    section = report.section("Communication cost (Figure 2 shape)")
+    section.add_series(
+        "CluDistream bytes", [float(v) for v in comparison.cludistream_series]
+    )
+    section.add_series(
+        "periodic SEM bytes", [float(v) for v in comparison.periodic_series]
+    )
+    section.add_verdict(
+        comparison.ratio > 1.0,
+        f"CluDistream ships {comparison.ratio:.1f}x fewer bytes than "
+        "periodic reporting",
+    )
+
+    # Section 3: quality on an evolving stream (Figure 5 shape).
+    stream = EvolvingGaussianStream(
+        EvolvingStreamConfig(p_new_distribution=0.5, separation=4.0),
+        rng=np.random.default_rng(args.seed + 7),
+    )
+    data = take(stream, args.records)
+    site = RemoteSite(
+        0,
+        RemoteSiteConfig(
+            dim=4, epsilon=0.05, delta=0.05, em=em, chunk_override=chunk
+        ),
+        rng=np.random.default_rng(args.seed + 8),
+    )
+    sem = ScalableEM(
+        4,
+        SEMConfig(n_components=5, buffer_size=chunk, em=em),
+        rng=np.random.default_rng(args.seed + 9),
+    )
+    for row in data:
+        site.process_record(row)
+        sem.process_record(row)
+    holdout, _ = stream.segments[-1].mixture.sample(
+        1000, np.random.default_rng(args.seed + 10)
+    )
+    clu_quality = horizon_mixture(site, 2000).average_log_likelihood(holdout)
+    sem_quality = sem.current_model().average_log_likelihood(holdout)
+    section = report.section("Cluster quality (Figure 5 shape)")
+    section.add_table(
+        ("algorithm", "avg log likelihood"),
+        [("CluDistream (horizon)", clu_quality), ("SEM", sem_quality)],
+    )
+    section.add_verdict(
+        clu_quality > sem_quality,
+        "CluDistream beats SEM on the current distribution",
+    )
+
+    path = report.write(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "chunk-size": _cmd_chunk_size,
+        "run": _cmd_run,
+        "compare-comm": _cmd_compare_comm,
+        "report": _cmd_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved CLI.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,326 @@
+"""The assembled CluDistream system (paper section 5).
+
+:class:`CluDistream` wires ``r`` :class:`~repro.core.remote.RemoteSite`
+instances to one :class:`~repro.core.coordinator.Coordinator`, in one of
+two transports:
+
+* **direct mode** (:meth:`CluDistream.feed`) -- messages are delivered
+  to the coordinator synchronously; ideal for quality experiments where
+  network timing is irrelevant;
+* **simulated mode** (:meth:`CluDistream.run_simulation`) -- sites pump
+  their streams through the discrete-event engine over a star network
+  with latency/bandwidth, and the per-second communication-cost series
+  of Figure 2 is collected on the way.
+
+This is the primary public entry point of the library; see
+``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.coordinator import Coordinator, CoordinatorConfig
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import Message
+from repro.core.remote import RemoteSite, RemoteSiteConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import StarNetwork
+from repro.simulation.site import StreamSiteProcess
+
+__all__ = ["CluDistream", "CluDistreamConfig", "SimulationReport"]
+
+
+@dataclass(frozen=True)
+class CluDistreamConfig:
+    """Whole-system configuration.
+
+    Defaults follow section 6 of the paper: ``r = 20`` remote sites,
+    ``ε = 0.02``, ``δ = 0.01``, ``d = 4``, ``K = 5``, ``c_max = 4``.
+
+    Parameters
+    ----------
+    n_sites:
+        Number of remote sites ``r``.
+    site:
+        Per-site configuration (shared by all sites).
+    coordinator:
+        Coordinator configuration.
+    rate:
+        Stream rate per site in records per virtual second (simulated
+        mode only; the paper processes ~1000 updates/s).
+    latency:
+        Site-to-coordinator propagation delay in virtual seconds.
+    bandwidth:
+        Link bandwidth in bytes per virtual second (``None`` =
+        unconstrained).
+    """
+
+    n_sites: int = 20
+    site: RemoteSiteConfig = field(default_factory=RemoteSiteConfig)
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    rate: float = 1000.0
+    latency: float = 0.01
+    bandwidth: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ValueError("need at least one remote site")
+        if self.rate <= 0.0:
+            raise ValueError("rate must be positive")
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Summary of one simulated run.
+
+    Attributes
+    ----------
+    duration:
+        Virtual seconds elapsed.
+    records:
+        Total records delivered across all sites.
+    messages / bytes:
+        Network traffic totals.
+    cost_series:
+        Per-second cumulative communication cost ``(times, bytes)`` --
+        the Figure 2 curve.
+    """
+
+    duration: float
+    records: int
+    messages: int
+    bytes: int
+    cost_series: tuple[list[float], list[float]]
+
+
+class CluDistream:
+    """The distributed clustering system: ``r`` sites + coordinator.
+
+    Parameters
+    ----------
+    config:
+        System configuration.
+    seed:
+        Base seed; site ``i`` uses ``seed + i`` so runs are reproducible
+        and sites are independent.
+    """
+
+    def __init__(
+        self, config: CluDistreamConfig | None = None, seed: int = 0
+    ) -> None:
+        self.config = config or CluDistreamConfig()
+        self.coordinator = Coordinator(
+            self.config.coordinator,
+            rng=np.random.default_rng(seed + 10_000),
+        )
+        self.sites: list[RemoteSite] = [
+            RemoteSite(
+                site_id=i,
+                config=self.config.site,
+                rng=np.random.default_rng(seed + i),
+            )
+            for i in range(self.config.n_sites)
+        ]
+
+    # ------------------------------------------------------------------
+    # Direct (synchronous) mode
+    # ------------------------------------------------------------------
+    def feed(self, site_id: int, record: np.ndarray) -> list[Message]:
+        """Deliver one record to a site; messages reach the coordinator
+        immediately.
+
+        Returns the messages generated (already applied at the
+        coordinator).
+        """
+        messages = self._site(site_id).process_record(record)
+        for message in messages:
+            self.coordinator.handle_message(message)
+        return messages
+
+    def feed_streams(
+        self,
+        streams: Mapping[int, Iterable[np.ndarray]],
+        max_records_per_site: int,
+    ) -> int:
+        """Round-robin feed several site streams in direct mode.
+
+        Parameters
+        ----------
+        streams:
+            ``site_id -> record iterable``.
+        max_records_per_site:
+            Records consumed from each stream.
+
+        Returns
+        -------
+        int
+            Total records delivered.
+        """
+        if max_records_per_site < 1:
+            raise ValueError("max_records_per_site must be positive")
+        iterators: dict[int, Iterator[np.ndarray]] = {
+            site_id: iter(stream) for site_id, stream in streams.items()
+        }
+        delivered = 0
+        for _ in range(max_records_per_site):
+            for site_id, iterator in iterators.items():
+                record = next(iterator, None)
+                if record is None:
+                    continue
+                self.feed(site_id, record)
+                delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Simulated mode
+    # ------------------------------------------------------------------
+    def run_simulation(
+        self,
+        streams: Mapping[int, Iterable[np.ndarray]],
+        max_records_per_site: int,
+        sample_interval: float = 1.0,
+    ) -> SimulationReport:
+        """Run the system on the discrete-event engine.
+
+        Each site consumes its stream at ``config.rate`` records per
+        virtual second; messages traverse the star network with the
+        configured latency/bandwidth; communication cost is sampled
+        every ``sample_interval`` virtual seconds.
+
+        Parameters
+        ----------
+        streams:
+            ``site_id -> record iterable`` (sites without a stream stay
+            idle).
+        max_records_per_site:
+            Stop each site after this many records.
+        sample_interval:
+            Grid period of the cost collector.
+
+        Returns
+        -------
+        SimulationReport
+        """
+        engine = SimulationEngine()
+        network = StarNetwork(
+            engine,
+            deliver=self.coordinator.handle_message,
+            latency=self.config.latency,
+            bandwidth=self.config.bandwidth,
+            sample_interval=sample_interval,
+        )
+        processes: list[StreamSiteProcess] = []
+        for site_id, stream in streams.items():
+            site = self._site(site_id)
+            channel = network.channel_for(site_id)
+            site._emit = channel.send  # plug the uplink in
+            process = StreamSiteProcess(
+                engine=engine,
+                source=iter(stream),
+                consume=site.process_record,
+                rate=self.config.rate,
+                max_records=max_records_per_site,
+            )
+            process.start()
+            processes.append(process)
+        engine.run()
+        network.finalize()
+        for site_id in streams:
+            self._site(site_id)._emit = None
+        return SimulationReport(
+            duration=engine.now,
+            records=sum(process.delivered for process in processes),
+            messages=network.total_messages,
+            bytes=network.total_bytes,
+            cost_series=network.cost.series(),
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def global_mixture(self) -> GaussianMixture:
+        """The coordinator's compact global model."""
+        return self.coordinator.global_mixture()
+
+    def site_mixtures(self) -> Sequence[GaussianMixture]:
+        """Each site's current local model (sites without one skipped)."""
+        return tuple(
+            site.current_model.mixture
+            for site in self.sites
+            if site.current_model is not None
+        )
+
+    def evolving_query(
+        self, start: int, length: int
+    ) -> dict[int, list[tuple[int, int, GaussianMixture | None]]]:
+        """Section 7 evolving analysis across all sites.
+
+        For each site, returns the sequence of ``(span_start, span_end,
+        mixture)`` covering the record window ``[start, start+length)``
+        -- the "series of Gaussian mixture models [reflecting] the
+        evolving process of data stream within that window".  Spans are
+        clipped to the window; the still-open current reign is included;
+        a mixture is ``None`` when the covering model has since expired
+        (sliding-window deletion).
+
+        Answers are exact up to chunk granularity (absolute error
+        ``M/2``, per the paper).
+        """
+        if length <= 0:
+            raise ValueError("window length must be positive")
+        end = start + length
+        answer: dict[int, list[tuple[int, int, GaussianMixture | None]]] = {}
+        for site in self.sites:
+            spans: list[tuple[int, int, GaussianMixture | None]] = []
+            for record in site.events.window(start, length):
+                entry = site.find_model(record.model_id)
+                spans.append(
+                    (
+                        max(record.start, start),
+                        min(record.end, end),
+                        entry.mixture if entry else None,
+                    )
+                )
+            current = site.current_model
+            if current is not None:
+                reign_start = site.current_started_at
+                if reign_start < end and start < site.position:
+                    spans.append(
+                        (
+                            max(reign_start, start),
+                            min(site.position, end),
+                            current.mixture,
+                        )
+                    )
+            answer[site.site_id] = spans
+        return answer
+
+    def total_bytes_sent(self) -> int:
+        """Bytes emitted by all sites (direct or simulated)."""
+        return sum(site.stats.bytes_sent for site in self.sites)
+
+    def total_messages_sent(self) -> int:
+        """Messages emitted by all sites."""
+        return sum(site.stats.messages_sent for site in self.sites)
+
+    def memory_bytes(self) -> int:
+        """Theorem 3 memory across sites plus the coordinator tree."""
+        return (
+            sum(site.memory_bytes() for site in self.sites)
+            + self.coordinator.memory_bytes()
+        )
+
+    def _site(self, site_id: int) -> RemoteSite:
+        if not 0 <= site_id < len(self.sites):
+            raise KeyError(f"unknown site {site_id}")
+        return self.sites[site_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"CluDistream(sites={len(self.sites)}, "
+            f"coordinator={self.coordinator!r})"
+        )

@@ -1,0 +1,564 @@
+"""Coordinator processing: the global model hierarchy (§5.2, Algorithm 2).
+
+The coordinator receives model synopses from ``r`` remote sites and
+maintains a two-level tree:
+
+* **leaves** -- individual Gaussian components shipped by sites, keyed
+  by ``(site_id, model_id, component_index)`` and weighted by the site
+  mixture weight times the model's record counter;
+* **global clusters** (the paper's ``Mix`` nodes) -- groups of leaves,
+  each with a *father* component fitted by the merge machinery of
+  :mod:`repro.core.merging`.
+
+Simply unioning all site components would give an ``r·K``-component
+global mixture -- correct but unscalable and prone to local maxima, as
+section 5.2 notes.  Instead the coordinator greedily merges the pair of
+global clusters with the largest ``M_merge`` until at most
+``max_components`` remain, fitting each father by minimising the L1
+accuracy loss.
+
+On every site update Algorithm 2 runs: each updated component checks
+``M_split`` against the reciprocal of the ``M_remerge`` value stored
+when it was merged; components that drifted away from their father are
+split out and re-merged into the sibling cluster with the largest
+``M_remerge``.
+
+Sliding-window deletions (section 7) subtract weight from a site model
+and drop it once the weight is non-positive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gaussian import Gaussian
+from repro.core.merging import fit_merged_component, m_merge, m_split
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import (
+    DeletionMessage,
+    Message,
+    ModelUpdateMessage,
+    WeightUpdateMessage,
+)
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorConfig",
+    "CoordinatorStats",
+    "GlobalCluster",
+    "Leaf",
+]
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Coordinator tuning knobs.
+
+    Parameters
+    ----------
+    max_components:
+        Upper bound on global clusters; merging kicks in above it.
+        ``None`` disables merging entirely (the naive ``r·K`` union).
+    merge_method:
+        ``"simplex"`` (the paper's downhill-simplex fit of the father
+        component) or ``"moment"`` (exact moment matching -- the cheap
+        ablation).
+    merge_samples:
+        Monte-Carlo budget per accuracy-loss evaluation.
+    attach_threshold:
+        A new leaf joins an existing cluster outright when its
+        symmetrised Mahalanobis distance to the father is below this;
+        otherwise it starts a cluster of its own and the global cap
+        decides whether merging is needed.
+    tolerate_loss:
+        Survive unreliable links: a weight update referring to a model
+        whose announcement was lost is counted
+        (``stats.orphan_updates``) and ignored instead of raising.
+        Model updates are idempotent either way (a duplicate replaces
+        the same leaves), so duplicated deliveries are always safe.
+    index_candidates:
+        The paper's future-work index structure: when set, attach and
+        merge searches prune candidates through a KD-tree over father
+        means, scoring the exact Mahalanobis criterion only on the
+        nearest ``index_candidates`` clusters.  ``None`` (default) keeps
+        the exact linear/quadratic scans.
+    """
+
+    max_components: int | None = 5
+    merge_method: str = "simplex"
+    merge_samples: int = 1024
+    attach_threshold: float = 4.0
+    tolerate_loss: bool = False
+    index_candidates: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_components is not None and self.max_components < 1:
+            raise ValueError("max_components must be at least 1")
+        if self.merge_method not in ("simplex", "moment"):
+            raise ValueError(f"unknown merge method {self.merge_method!r}")
+        if self.attach_threshold <= 0.0:
+            raise ValueError("attach_threshold must be positive")
+        if self.index_candidates is not None and self.index_candidates < 1:
+            raise ValueError("index_candidates must be at least 1")
+
+
+@dataclass
+class Leaf:
+    """A site component living in the coordinator's tree.
+
+    Attributes
+    ----------
+    site_id / model_id / component_index:
+        Origin of the component.
+    gaussian:
+        The component parameters as shipped.
+    weight:
+        Absolute mass: site mixture weight × model record counter.
+    remerge_score:
+        ``M_remerge(i, Mix)`` stored when the leaf was (re)merged into
+        its current father -- Algorithm 2 compares ``M_split`` against
+        its reciprocal on later updates.
+    """
+
+    site_id: int
+    model_id: int
+    component_index: int
+    gaussian: Gaussian
+    weight: float
+    remerge_score: float = float("inf")
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.site_id, self.model_id, self.component_index)
+
+
+@dataclass
+class GlobalCluster:
+    """A father node: a set of leaves plus its fitted representative."""
+
+    cluster_id: int
+    leaves: list[Leaf] = field(default_factory=list)
+    father: Gaussian | None = None
+
+    @property
+    def weight(self) -> float:
+        return float(sum(leaf.weight for leaf in self.leaves))
+
+    def leaf_mixture(self) -> GaussianMixture:
+        """Exact sub-mixture of this cluster's leaves."""
+        if not self.leaves:
+            raise ValueError("cluster has no leaves")
+        weights = np.array([leaf.weight for leaf in self.leaves])
+        return GaussianMixture(
+            weights, tuple(leaf.gaussian for leaf in self.leaves)
+        )
+
+    def refresh_father(self) -> None:
+        """Refit the representative as the leaves' moment-matched pool.
+
+        Pairwise simplex fits happen at merge time; between merges the
+        father tracks its leaves by exact moment matching, which is the
+        best available zero-communication refresh.
+        """
+        self.father = self.leaf_mixture().pooled_gaussian()
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters for the coordinator-side figures."""
+
+    messages_received: int = 0
+    bytes_received: int = 0
+    model_updates: int = 0
+    weight_updates: int = 0
+    deletions: int = 0
+    merges: int = 0
+    splits: int = 0
+    orphan_updates: int = 0
+
+    def register_message(self, message: Message) -> None:
+        self.messages_received += 1
+        self.bytes_received += message.payload_bytes()
+
+
+class Coordinator:
+    """The coordinator site of the CluDistream architecture.
+
+    Parameters
+    ----------
+    config:
+        Tuning knobs; defaults follow the paper (``K = 5`` global
+        components, simplex merge fit).
+    rng:
+        Randomness for the Monte-Carlo accuracy-loss estimates.
+    """
+
+    def __init__(
+        self,
+        config: CoordinatorConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or CoordinatorConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(7)
+        #: ``(site_id, model_id) -> (mixture, count)`` as last reported.
+        self._site_models: dict[tuple[int, int], tuple[GaussianMixture, int]] = {}
+        self._clusters: dict[int, GlobalCluster] = {}
+        self._cluster_ids = itertools.count()
+        self.stats = CoordinatorStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def clusters(self) -> tuple[GlobalCluster, ...]:
+        """Current global clusters (fathers with their leaves)."""
+        return tuple(self._clusters.values())
+
+    @property
+    def n_components(self) -> int:
+        """Number of global clusters."""
+        return len(self._clusters)
+
+    @property
+    def site_models(self) -> dict[tuple[int, int], tuple[GaussianMixture, int]]:
+        """Read-only view of the registered site models."""
+        return dict(self._site_models)
+
+    def global_mixture(self) -> GaussianMixture:
+        """Compact global model: one father component per cluster."""
+        if not self._clusters:
+            raise ValueError("coordinator has received no models yet")
+        pairs = []
+        for cluster in self._clusters.values():
+            if cluster.father is None:
+                cluster.refresh_father()
+            pairs.append((cluster.weight, cluster.father))
+        return GaussianMixture.from_pairs(pairs)
+
+    def landmark_mixture(self) -> GaussianMixture:
+        """Global landmark model: all reported site models, ever.
+
+        The union of every registered ``(site, model)`` mixture weighted
+        by its record counter -- the coordinator-side analogue of
+        :func:`repro.windows.landmark.landmark_mixture`.  Unlike
+        :meth:`global_mixture` (which reflects the merged *current*
+        tree), this spans everything the sites have reported since the
+        landmark, including models whose distribution has long passed.
+        """
+        combined: GaussianMixture | None = None
+        combined_mass = 0.0
+        for mixture, count in self._site_models.values():
+            if count <= 0:
+                continue
+            if combined is None:
+                combined = mixture
+                combined_mass = float(count)
+            else:
+                combined = combined.union(
+                    mixture, combined_mass, float(count)
+                )
+                combined_mass += float(count)
+        if combined is None:
+            raise ValueError("coordinator has received no models yet")
+        return combined
+
+    def full_mixture(self) -> GaussianMixture:
+        """The naive ``r·K`` union of every leaf (section 5.2's baseline)."""
+        leaves = [leaf for cluster in self._clusters.values() for leaf in cluster.leaves]
+        if not leaves:
+            raise ValueError("coordinator has received no models yet")
+        weights = np.array([leaf.weight for leaf in leaves])
+        return GaussianMixture(weights, tuple(leaf.gaussian for leaf in leaves))
+
+    def memory_bytes(self) -> int:
+        """Bytes held in the tree (leaves + fathers + counters)."""
+        total = 0
+        for cluster in self._clusters.values():
+            if cluster.father is not None:
+                total += cluster.father.payload_bytes()
+            total += sum(leaf.gaussian.payload_bytes() + 8 for leaf in cluster.leaves)
+        return total
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        """Dispatch one incoming site message."""
+        self.stats.register_message(message)
+        if isinstance(message, ModelUpdateMessage):
+            self._on_model_update(message)
+        elif isinstance(message, WeightUpdateMessage):
+            self._on_weight_update(message)
+        elif isinstance(message, DeletionMessage):
+            self._on_deletion(message)
+        else:
+            raise TypeError(f"unsupported message type {type(message).__name__}")
+
+    def _on_model_update(self, message: ModelUpdateMessage) -> None:
+        """Register a new site model and insert its component leaves."""
+        self.stats.model_updates += 1
+        key = (message.site_id, message.model_id)
+        self._remove_leaves(key)
+        self._site_models[key] = (message.mixture, message.count)
+        for index, (weight, component) in enumerate(message.mixture):
+            if weight <= 0.0:
+                continue
+            leaf = Leaf(
+                site_id=message.site_id,
+                model_id=message.model_id,
+                component_index=index,
+                gaussian=component,
+                weight=weight * message.count,
+            )
+            self._attach(leaf)
+        self._enforce_component_cap()
+        self.on_updates(message.site_id)
+
+    def _on_weight_update(self, message: WeightUpdateMessage) -> None:
+        """Scale the leaves of a model whose counter moved."""
+        self.stats.weight_updates += 1
+        key = (message.site_id, message.model_id)
+        if key not in self._site_models:
+            if self.config.tolerate_loss:
+                self.stats.orphan_updates += 1
+                return
+            raise KeyError(f"weight update for unknown model {key}")
+        mixture, count = self._site_models[key]
+        new_count = count + message.count_delta
+        if new_count <= 0:
+            self._drop_model(key)
+            return
+        self._site_models[key] = (mixture, new_count)
+        for leaf in self._leaves_of(key):
+            index = leaf.component_index
+            leaf.weight = float(mixture.weights[index]) * new_count
+        self._refresh_fathers()
+        self.on_updates(message.site_id)
+
+    def _on_deletion(self, message: DeletionMessage) -> None:
+        """Sliding-window deletion: negative weight for an expired model."""
+        self.stats.deletions += 1
+        key = (message.site_id, message.model_id)
+        if key not in self._site_models:
+            return  # already expired
+        mixture, count = self._site_models[key]
+        new_count = count - message.count_delta
+        if new_count <= 0:
+            self._drop_model(key)
+            return
+        self._site_models[key] = (mixture, new_count)
+        for leaf in self._leaves_of(key):
+            leaf.weight = float(mixture.weights[leaf.component_index]) * new_count
+        self._refresh_fathers()
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: split / re-merge on updates
+    # ------------------------------------------------------------------
+    def on_updates(self, site_id: int) -> int:
+        """Algorithm 2 (``OnUpdates``) for one updated remote site.
+
+        For each leaf of the site, compare ``M_split`` against the
+        reciprocal of the stored ``M_remerge``; leaves that drifted away
+        from their father are split out and re-merged into the sibling
+        cluster with the largest ``M_remerge``.
+
+        Returns the number of splits performed.
+        """
+        split_leaves: list[Leaf] = []
+        for cluster in list(self._clusters.values()):
+            if len(cluster.leaves) < 2:
+                continue
+            if cluster.father is None:
+                cluster.refresh_father()
+            for leaf in list(cluster.leaves):
+                if leaf.site_id != site_id:
+                    continue
+                score = m_split(leaf.gaussian, cluster.leaf_mixture())
+                if np.isfinite(leaf.remerge_score) and score > (
+                    1.0 / leaf.remerge_score
+                ):
+                    cluster.leaves.remove(leaf)
+                    split_leaves.append(leaf)
+                    self.stats.splits += 1
+            if cluster.leaves:
+                cluster.refresh_father()
+            else:
+                del self._clusters[cluster.cluster_id]
+        for leaf in split_leaves:
+            self._attach(leaf)
+        if split_leaves:
+            self._enforce_component_cap()
+        return len(split_leaves)
+
+    # ------------------------------------------------------------------
+    # Tree maintenance
+    # ------------------------------------------------------------------
+    def _leaves_of(self, key: tuple[int, int]) -> list[Leaf]:
+        return [
+            leaf
+            for cluster in self._clusters.values()
+            for leaf in cluster.leaves
+            if (leaf.site_id, leaf.model_id) == key
+        ]
+
+    def _remove_leaves(self, key: tuple[int, int]) -> None:
+        for cluster_id, cluster in list(self._clusters.items()):
+            cluster.leaves = [
+                leaf
+                for leaf in cluster.leaves
+                if (leaf.site_id, leaf.model_id) != key
+            ]
+            if not cluster.leaves:
+                del self._clusters[cluster_id]
+            else:
+                cluster.father = None
+        self._refresh_fathers()
+
+    def _drop_model(self, key: tuple[int, int]) -> None:
+        self._site_models.pop(key, None)
+        self._remove_leaves(key)
+
+    def _candidate_clusters(
+        self, mean: np.ndarray
+    ) -> list[GlobalCluster]:
+        """Clusters to score exactly: all of them, or the KD-tree's
+        nearest ``index_candidates`` by father mean."""
+        clusters = list(self._clusters.values())
+        for cluster in clusters:
+            if cluster.father is None:
+                cluster.refresh_father()
+        budget = self.config.index_candidates
+        if budget is None or len(clusters) <= budget:
+            return clusters
+        from repro.numerics.kdtree import KDTree
+
+        tree = KDTree(
+            np.stack([cluster.father.mean for cluster in clusters]),
+            clusters,
+        )
+        return [cluster for _, cluster in tree.nearest(mean, k=budget)]
+
+    def _attach(self, leaf: Leaf) -> None:
+        """Home a leaf: nearest father within threshold, else new cluster."""
+        best_cluster: GlobalCluster | None = None
+        best_distance = np.inf
+        for cluster in self._candidate_clusters(leaf.gaussian.mean):
+            distance = leaf.gaussian.symmetric_mahalanobis_sq(cluster.father)
+            if distance < best_distance:
+                best_distance = distance
+                best_cluster = cluster
+        if best_cluster is not None and best_distance <= self.config.attach_threshold:
+            best_cluster.leaves.append(leaf)
+            leaf.remerge_score = (
+                1.0 / best_distance if best_distance > 0.0 else np.inf
+            )
+            best_cluster.refresh_father()
+        else:
+            cluster = GlobalCluster(cluster_id=next(self._cluster_ids))
+            cluster.leaves.append(leaf)
+            leaf.remerge_score = np.inf
+            cluster.refresh_father()
+            self._clusters[cluster.cluster_id] = cluster
+
+    def _refresh_fathers(self) -> None:
+        for cluster in self._clusters.values():
+            if cluster.leaves:
+                cluster.refresh_father()
+
+    def _enforce_component_cap(self) -> None:
+        """Greedy merging until at most ``max_components`` clusters remain.
+
+        Each step merges the cluster pair with the largest ``M_merge``
+        between fathers, fitting the merged father with the configured
+        method (simplex or moment matching).
+        """
+        cap = self.config.max_components
+        if cap is None:
+            return
+        while len(self._clusters) > cap:
+            best_pair = self._best_merge_pair()
+            assert best_pair is not None
+            self._merge_clusters(*best_pair)
+
+    def _best_merge_pair(self) -> tuple[int, int] | None:
+        """The cluster pair with the largest ``M_merge``.
+
+        With ``index_candidates`` set, each cluster is only scored
+        against its KD-tree neighbourhood instead of every other
+        cluster.
+        """
+        ids = list(self._clusters)
+        if len(ids) < 2:
+            return None
+        budget = self.config.index_candidates
+        best_pair: tuple[int, int] | None = None
+        best_score = -np.inf
+        if budget is not None and len(ids) > budget + 1:
+            from repro.numerics.kdtree import KDTree
+
+            for cluster in self._clusters.values():
+                if cluster.father is None:
+                    cluster.refresh_father()
+            tree = KDTree(
+                np.stack(
+                    [self._clusters[i].father.mean for i in ids]
+                ),
+                ids,
+            )
+            for a_id in ids:
+                neighbours = tree.nearest(
+                    self._clusters[a_id].father.mean, k=budget + 1
+                )
+                for _, b_id in neighbours:
+                    if b_id == a_id:
+                        continue
+                    score = m_merge(
+                        self._clusters[a_id].father,
+                        self._clusters[b_id].father,
+                    )
+                    if score > best_score:
+                        best_score = score
+                        best_pair = (min(a_id, b_id), max(a_id, b_id))
+            return best_pair
+        for a_pos, a_id in enumerate(ids):
+            for b_id in ids[a_pos + 1 :]:
+                score = m_merge(
+                    self._clusters[a_id].father,
+                    self._clusters[b_id].father,
+                )
+                if score > best_score:
+                    best_score = score
+                    best_pair = (a_id, b_id)
+        return best_pair
+
+    def _merge_clusters(self, id_a: int, id_b: int) -> None:
+        """Merge two clusters; the father is fitted per §5.2.1."""
+        cluster_a = self._clusters.pop(id_a)
+        cluster_b = self._clusters.pop(id_b)
+        fit = fit_merged_component(
+            cluster_a.weight,
+            cluster_a.father,
+            cluster_b.weight,
+            cluster_b.father,
+            n_samples=self.config.merge_samples,
+            rng=self._rng,
+            method=self.config.merge_method,
+        )
+        merged = GlobalCluster(cluster_id=next(self._cluster_ids))
+        merged.leaves = cluster_a.leaves + cluster_b.leaves
+        merged.father = fit.component
+        for leaf in merged.leaves:
+            distance = leaf.gaussian.symmetric_mahalanobis_sq(merged.father)
+            leaf.remerge_score = 1.0 / distance if distance > 0.0 else np.inf
+        self._clusters[merged.cluster_id] = merged
+        self.stats.merges += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Coordinator(clusters={self.n_components}, "
+            f"site_models={len(self._site_models)}, "
+            f"messages={self.stats.messages_received})"
+        )

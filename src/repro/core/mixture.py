@@ -1,0 +1,312 @@
+"""Gaussian mixture models (paper section 3.1).
+
+A :class:`GaussianMixture` bundles ``K`` weighted :class:`Gaussian`
+components and provides every quantity the paper's algorithms consume:
+
+* the mixture density ``p(x) = Σ_j w_j p(x|j)`` (eq. 1),
+* posteriors ``Pr(j|x)`` (eq. 2),
+* the average log likelihood ``AvgPr`` (Definition 1) both as the paper
+  states it and in the "sharpened" max-component form used in the proof
+  of Theorem 2,
+* moment summaries (pooled mean/covariance) needed by the coordinator's
+  split criterion, and
+* synopsis payload accounting for the communication benchmarks.
+
+Like :class:`Gaussian`, mixtures are immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.gaussian import BYTES_PER_FLOAT, Gaussian
+
+__all__ = ["GaussianMixture"]
+
+#: Log-density floor: records in the far tail of every component clamp
+#: here rather than producing ``-inf`` average log likelihoods.
+LOG_DENSITY_FLOOR = -745.0  # ~ log(smallest positive double)
+
+
+@dataclass(frozen=True)
+class GaussianMixture:
+    """An immutable mixture ``(w_j, μ_j, Σ_j), j = 1..K``.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative weights of shape ``(K,)``; they are normalised to
+        sum to one on construction.
+    components:
+        The ``K`` Gaussian components, all of the same dimension.
+    """
+
+    weights: np.ndarray
+    components: tuple[Gaussian, ...]
+    _pooled: list = field(default_factory=list, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=float).ravel()
+        components = tuple(self.components)
+        if weights.size != len(components):
+            raise ValueError(
+                f"{weights.size} weights for {len(components)} components"
+            )
+        if weights.size == 0:
+            raise ValueError("a mixture needs at least one component")
+        if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = float(weights.sum())
+        if total <= 0.0:
+            raise ValueError("weights must not all be zero")
+        dims = {component.dim for component in components}
+        if len(dims) != 1:
+            raise ValueError(f"components have mixed dimensions: {dims}")
+        object.__setattr__(self, "weights", weights / total)
+        object.__setattr__(self, "components", components)
+        self.weights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, component: Gaussian) -> "GaussianMixture":
+        """Mixture containing one component with weight 1."""
+        return cls(np.ones(1), (component,))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[tuple[float, Gaussian]]
+    ) -> "GaussianMixture":
+        """Build from ``(weight, component)`` pairs."""
+        if not pairs:
+            raise ValueError("need at least one (weight, component) pair")
+        weights = np.array([w for w, _ in pairs], dtype=float)
+        components = tuple(g for _, g in pairs)
+        return cls(weights, components)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_components(self) -> int:
+        """Number of components ``K``."""
+        return len(self.components)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d``."""
+        return self.components[0].dim
+
+    def __iter__(self) -> Iterator[tuple[float, Gaussian]]:
+        return zip(self.weights.tolist(), self.components)
+
+    # ------------------------------------------------------------------
+    # Densities and posteriors
+    # ------------------------------------------------------------------
+    def component_log_pdf(self, points: np.ndarray) -> np.ndarray:
+        """Matrix of ``log p(x|j)`` values, shape ``(n, K)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return np.column_stack(
+            [component.log_pdf(points) for component in self.components]
+        )
+
+    def weighted_log_pdf(self, points: np.ndarray) -> np.ndarray:
+        """Matrix of ``log(w_j p(x|j))`` values, shape ``(n, K)``.
+
+        Zero-weight components contribute ``-inf`` columns, matching the
+        convention that they cannot generate data.
+        """
+        with np.errstate(divide="ignore"):
+            log_weights = np.log(self.weights)
+        return self.component_log_pdf(points) + log_weights[None, :]
+
+    def log_pdf(self, points: np.ndarray) -> np.ndarray:
+        """Mixture log density ``log p(x)`` per row (eq. 1), floored.
+
+        The log-sum-exp is computed stably; rows in the extreme tail of
+        every component clamp to :data:`LOG_DENSITY_FLOOR` instead of
+        ``-inf`` so downstream averages stay finite.
+        """
+        weighted = self.weighted_log_pdf(points)
+        peak = np.max(weighted, axis=1)
+        safe_peak = np.where(np.isfinite(peak), peak, 0.0)
+        summed = np.sum(np.exp(weighted - safe_peak[:, None]), axis=1)
+        log_density = safe_peak + np.log(summed)
+        log_density = np.where(np.isfinite(peak), log_density, -np.inf)
+        return np.maximum(log_density, LOG_DENSITY_FLOOR)
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        """Mixture density ``p(x)`` per row."""
+        return np.exp(self.log_pdf(points))
+
+    def posterior(self, points: np.ndarray) -> np.ndarray:
+        """Posterior membership matrix ``Pr(j|x)`` (eq. 2), shape ``(n, K)``.
+
+        Rows always sum to one.  In the deep tail of every component the
+        computation stays stable: the relatively-closest component wins
+        (a numerically hard assignment); a row whose every weighted log
+        density is ``-inf`` falls back to the mixture weights.
+        """
+        weighted = self.weighted_log_pdf(points)
+        peak = np.max(weighted, axis=1, keepdims=True)
+        finite = np.isfinite(peak).ravel()
+        probs = np.exp(weighted - np.where(np.isfinite(peak), peak, 0.0))
+        totals = probs.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore"):
+            posterior = probs / totals
+        if not np.all(finite):
+            posterior[~finite] = self.weights[None, :]
+        return posterior
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Hard assignment: index of the most probable component per row."""
+        return np.argmax(self.posterior(points), axis=1)
+
+    # ------------------------------------------------------------------
+    # Average log likelihood (Definition 1)
+    # ------------------------------------------------------------------
+    def average_log_likelihood(self, points: np.ndarray) -> float:
+        """``AvgPr = (1/|D|) Σ_x log Σ_j w_j p(x|j)`` (Definition 1)."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[0] == 0:
+            raise ValueError("cannot average over an empty data set")
+        return float(np.mean(self.log_pdf(points)))
+
+    def max_component_log_likelihood(self, points: np.ndarray) -> float:
+        """Sharpened average using per-record max component probability.
+
+        The proof of Theorem 2 replaces the overall mixture probability
+        of each record by the maximal ``w_j p(x|j)`` to sharpen the
+        average-log-likelihood test; this method implements that
+        variant.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[0] == 0:
+            raise ValueError("cannot average over an empty data set")
+        weighted = self.weighted_log_pdf(points)
+        best = np.max(weighted, axis=1)
+        return float(np.mean(np.maximum(best, LOG_DENSITY_FLOOR)))
+
+    # ------------------------------------------------------------------
+    # Moments, sampling, combination
+    # ------------------------------------------------------------------
+    def pooled_gaussian(self) -> Gaussian:
+        """Single moment-matched Gaussian of the whole mixture.
+
+        This provides the ``(μ_Mix, Σ_Mix)`` pair the coordinator's
+        ``M_split`` / ``M_remerge`` criteria compare components against.
+        """
+        if not self._pooled:
+            mean = np.einsum("k,kd->d", self.weights, self._means_matrix())
+            cov = np.zeros((self.dim, self.dim))
+            for weight, component in self:
+                delta = component.mean - mean
+                cov += weight * (component.covariance + np.outer(delta, delta))
+            self._pooled.append(Gaussian(mean, cov))
+        return self._pooled[0]
+
+    def _means_matrix(self) -> np.ndarray:
+        return np.stack([component.mean for component in self.components])
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` samples; returns ``(points, component_labels)``."""
+        if n < 0:
+            raise ValueError("sample count must be non-negative")
+        labels = rng.choice(self.n_components, size=n, p=self.weights)
+        points = np.empty((n, self.dim))
+        for j, component in enumerate(self.components):
+            mask = labels == j
+            count = int(mask.sum())
+            if count:
+                points[mask] = component.sample(count, rng)
+        return points, labels
+
+    def scaled(self, factor: float) -> np.ndarray:
+        """Raw (unnormalised) weights scaled by ``factor``.
+
+        Helper for the sliding-window deletion protocol where model
+        weights are adjusted by signed record counts.
+        """
+        if factor <= 0.0:
+            raise ValueError("scale factor must be positive")
+        return self.weights * factor
+
+    def with_components(
+        self, weights: np.ndarray, components: Sequence[Gaussian]
+    ) -> "GaussianMixture":
+        """New mixture with replaced contents (dimension-checked)."""
+        mixture = GaussianMixture(np.asarray(weights, dtype=float), tuple(components))
+        if mixture.dim != self.dim:
+            raise ValueError("replacement components change dimensionality")
+        return mixture
+
+    def union(
+        self, other: "GaussianMixture", weight_self: float, weight_other: float
+    ) -> "GaussianMixture":
+        """Weighted union of two mixtures.
+
+        ``weight_self`` / ``weight_other`` are the relative masses of the
+        two mixtures (typically record counts); the result renormalises.
+        This is the coordinator's "combine all Gaussian models directly"
+        primitive of section 5.2.
+        """
+        if other.dim != self.dim:
+            raise ValueError("cannot union mixtures of different dimension")
+        if weight_self < 0.0 or weight_other < 0.0:
+            raise ValueError("union masses must be non-negative")
+        weights = np.concatenate(
+            [self.weights * weight_self, other.weights * weight_other]
+        )
+        return GaussianMixture(weights, self.components + other.components)
+
+    # ------------------------------------------------------------------
+    # Serialisation (synopsis payloads)
+    # ------------------------------------------------------------------
+    def payload_bytes(self) -> int:
+        """Bytes to ship this mixture as a synopsis.
+
+        ``K`` weights plus each component's parameters -- exactly the
+        ``K(d² + d + 1)`` accounting of Theorem 3 (or ``K(2d + 1)`` for
+        diagonal components), at 8 bytes per parameter.
+        """
+        return BYTES_PER_FLOAT * self.n_components + sum(
+            component.payload_bytes() for component in self.components
+        )
+
+    def to_dict(self) -> Mapping[str, object]:
+        """Plain-data representation (for message payloads and tests)."""
+        return {
+            "weights": self.weights.tolist(),
+            "components": [c.to_dict() for c in self.components],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "GaussianMixture":
+        """Inverse of :meth:`to_dict`."""
+        components = tuple(
+            Gaussian.from_dict(item) for item in payload["components"]
+        )
+        return cls(np.asarray(payload["weights"], dtype=float), components)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GaussianMixture):
+            return NotImplemented
+        return (
+            np.array_equal(self.weights, other.weights)
+            and self.components == other.components
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.weights.tobytes(), self.components))
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianMixture(K={self.n_components}, dim={self.dim}, "
+            f"weights={np.round(self.weights, 4)})"
+        )

@@ -1,0 +1,124 @@
+"""Synopsis messages exchanged between remote sites and the coordinator.
+
+Section 5.3 of the paper reduces communication three ways: only model
+synopses are transmitted (never raw records), nothing is transmitted
+while a site's distribution is stable, and no global information is
+broadcast back.  The message vocabulary needed for that protocol is
+small:
+
+* :class:`ModelUpdateMessage` -- a site trained a new model; carries the
+  full mixture synopsis plus its record counter.
+* :class:`WeightUpdateMessage` -- in the multi-test strategy a chunk
+  matched an *archived* model, so only that model's weight (record
+  count) changes; carries ids and a counter delta.
+* :class:`DeletionMessage` -- sliding-window deletion (section 7): the
+  site uploads a model ID with a negative weight and the coordinator
+  subtracts it.
+
+Every message knows its payload size in bytes so the simulation layer
+can meter communication cost exactly the way Figure 2 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mixture import GaussianMixture
+
+__all__ = [
+    "DeletionMessage",
+    "Message",
+    "ModelUpdateMessage",
+    "WeightUpdateMessage",
+]
+
+#: Fixed per-message framing overhead (site id, model id, timestamps,
+#: message tag) counted in every payload.
+HEADER_BYTES = 32
+
+#: Bytes for one integer counter field.
+COUNTER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for site-to-coordinator messages.
+
+    Attributes
+    ----------
+    site_id:
+        Originating remote site.
+    model_id:
+        Site-local identifier of the model the message concerns.
+    time:
+        Stream position (records processed at the site) when the
+        message was emitted.  The simulation layer translates this to
+        virtual seconds.
+    """
+
+    site_id: int
+    model_id: int
+    time: int
+
+    def payload_bytes(self) -> int:
+        """Wire size of this message in bytes."""
+        return HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class ModelUpdateMessage(Message):
+    """A newly trained model's full synopsis.
+
+    Attributes
+    ----------
+    mixture:
+        The freshly fitted ``(w, μ, Σ)`` parameters.
+    count:
+        Number of records the model currently explains (Theorem 1's
+        ``M`` right after training).
+    reference_likelihood:
+        ``AvgPr_0`` of the model -- shipped so the coordinator can run
+        fit diagnostics without raw data.
+    """
+
+    mixture: GaussianMixture
+    count: int
+    reference_likelihood: float
+
+    def payload_bytes(self) -> int:
+        return (
+            HEADER_BYTES
+            + self.mixture.payload_bytes()
+            + COUNTER_BYTES  # count
+            + COUNTER_BYTES  # reference likelihood
+        )
+
+
+@dataclass(frozen=True)
+class WeightUpdateMessage(Message):
+    """Counter delta for a model the coordinator already holds.
+
+    Emitted when the multi-test strategy matches a chunk to an archived
+    model: the distribution is one the coordinator has seen, so only its
+    weight moves.
+    """
+
+    count_delta: int
+
+    def payload_bytes(self) -> int:
+        return HEADER_BYTES + COUNTER_BYTES
+
+
+@dataclass(frozen=True)
+class DeletionMessage(Message):
+    """Sliding-window deletion: negative weight for an expired model.
+
+    The coordinator subtracts ``count_delta`` (a positive number of
+    expired records) from the model's weight and drops the model when
+    the weight becomes non-positive (section 7).
+    """
+
+    count_delta: int
+
+    def payload_bytes(self) -> int:
+        return HEADER_BYTES + COUNTER_BYTES

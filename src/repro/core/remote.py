@@ -1,0 +1,569 @@
+"""Remote-site processing: the test-and-cluster strategy (Algorithm 1).
+
+A :class:`RemoteSite` consumes its local stream record by record,
+buffers Theorem 1-sized chunks and runs Algorithm 1 on each full chunk:
+
+1. the very first chunk is clustered with EM, establishing the current
+   model and its reference likelihood ``AvgPr_0``;
+2. every later chunk is *tested* first (``J_fit ≤ ε``).  A fitting chunk
+   just bumps the current model's counter -- no EM, no communication;
+3. with the multi-test strategy (``c_max > 1``) a chunk that fails the
+   current model is tested against up to ``c_max - 1`` archived models;
+   matching one *reactivates* it (cheap ``WeightUpdateMessage``);
+4. only when every test fails does the site archive the current model,
+   append an event-table entry and run EM, emitting a full
+   ``ModelUpdateMessage``.
+
+The site also keeps the per-model counters, the event table driving the
+section 7 evolving analysis, and cost statistics (tests vs clusterings,
+buffered bytes, Theorem 3 memory accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.chunking import chunk_size
+from repro.core.em import EMConfig, fit_em
+from repro.core.events import EventTable
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import (
+    DeletionMessage,
+    Message,
+    ModelUpdateMessage,
+    WeightUpdateMessage,
+)
+from repro.core.testing import (
+    LikelihoodVariant,
+    adaptive_threshold,
+    average_log_likelihood,
+    fit_test,
+    log_density_spread,
+)
+
+__all__ = ["ModelEntry", "RemoteSite", "RemoteSiteConfig", "SiteStatistics"]
+
+
+@dataclass(frozen=True)
+class RemoteSiteConfig:
+    """Parameters of one remote site.
+
+    Defaults follow the paper's experimental setting (section 6):
+    ``ε = 0.02``, ``δ = 0.01``, ``d = 4``, ``K = 5``, ``c_max = 4``.
+
+    Parameters
+    ----------
+    dim:
+        Record dimensionality ``d``.
+    epsilon:
+        Error bound ``ε`` of the fit test (and chunk-size formula).
+    delta:
+        Probability error ``δ`` of Theorem 1.
+    c_max:
+        Maximal number of model tests per chunk (current model plus up
+        to ``c_max - 1`` archived models).  ``c_max = 1`` is the paper's
+        single-test strategy.
+    em:
+        EM trainer configuration (``K`` lives here).
+    variant:
+        Likelihood flavour of the fit test.
+    warm_start:
+        Additionally refine EM from the failing current model (an extra
+        candidate next to the cold restarts).  Off by default: the
+        k-means++ cold start consistently matches or beats the warm
+        refinement (see ``bench_ablation_warm_start``), so the extra EM
+        run is pure cost; the knob remains for ablation.
+    adaptive_test:
+        Use the variance-aware tolerance of
+        :func:`repro.core.testing.adaptive_threshold` (default).  Off
+        reproduces the paper's verbatim ``J_fit ≤ ε`` criterion.
+    handle_missing:
+        Accept records with NaN (missing) attributes: EM runs the exact
+        missing-data variant (:mod:`repro.core.missing`) and the fit
+        test evaluates marginal likelihoods.  Off (default), NaN records
+        are rejected.
+    auto_k:
+        Inclusive ``(k_min, k_max)`` range for automatic component
+        selection: each clustering sweeps the range and installs the
+        BIC winner (:func:`repro.core.selection.select_k`), so the model
+        size adapts to the data instead of being fixed at
+        ``em.n_components``.  ``None`` (default) keeps the paper's fixed
+        ``K``.  Not combinable with ``handle_missing`` or
+        ``warm_start``.
+    reference_holdout:
+        Fraction of each training chunk held out to estimate the
+        reference statistics ``AvgPr_0`` / ``σ̂`` out of sample.
+        Measuring them on the records EM just fitted makes the
+        reference optimistically biased by roughly
+        ``#params / 2M``, which mis-fires the test on hard data; the
+        held-out estimate removes the bias (see DESIGN.md,
+        faithful-intent corrections).  ``0.0`` reproduces the paper's
+        in-sample reference.
+    chunk_override:
+        Explicit chunk size ``M``; when ``None`` Theorem 1's formula is
+        used.
+    """
+
+    dim: int = 4
+    epsilon: float = 0.02
+    delta: float = 0.01
+    c_max: int = 4
+    em: EMConfig = field(default_factory=EMConfig)
+    variant: LikelihoodVariant = LikelihoodVariant.MIXTURE
+    warm_start: bool = False
+    adaptive_test: bool = True
+    handle_missing: bool = False
+    auto_k: tuple[int, int] | None = None
+    reference_holdout: float = 0.25
+    chunk_override: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError("dim must be at least 1")
+        if self.c_max < 1:
+            raise ValueError("c_max must be at least 1")
+        if self.chunk_override is not None and self.chunk_override < 1:
+            raise ValueError("chunk_override must be at least 1")
+        if not 0.0 <= self.reference_holdout < 1.0:
+            raise ValueError("reference_holdout must lie in [0, 1)")
+        if self.auto_k is not None:
+            k_min, k_max = self.auto_k
+            if k_min < 1 or k_max < k_min:
+                raise ValueError("auto_k must satisfy 1 <= k_min <= k_max")
+            if self.handle_missing:
+                raise ValueError("auto_k is not supported with handle_missing")
+            if self.warm_start:
+                raise ValueError("auto_k is not supported with warm_start")
+
+    @property
+    def chunk(self) -> int:
+        """Chunk size ``M`` (Theorem 1 unless overridden)."""
+        if self.chunk_override is not None:
+            return self.chunk_override
+        return chunk_size(self.dim, self.epsilon, self.delta)
+
+
+@dataclass
+class ModelEntry:
+    """A model in the site's model list with its bookkeeping.
+
+    Attributes
+    ----------
+    model_id:
+        Site-local identifier (monotonically increasing).
+    mixture:
+        The fitted mixture parameters.
+    reference_likelihood:
+        ``AvgPr_0`` recorded when the model was trained.
+    reference_std:
+        Per-record log-density spread ``σ̂`` of the reference sample
+        (drives the adaptive test threshold).
+    reference_size:
+        Number of records the reference statistics were estimated on.
+    count:
+        Counter ``c``: number of records currently attributed to the
+        model.
+    trained_at:
+        Stream position (records) when the model was trained.
+    """
+
+    model_id: int
+    mixture: GaussianMixture
+    reference_likelihood: float
+    reference_std: float
+    reference_size: int
+    count: int
+    trained_at: int
+
+
+@dataclass
+class SiteStatistics:
+    """Cost counters backing Theorems 3-4 and the scalability figures.
+
+    ``n_tests`` counts fit-test evaluations (cost ``λC`` each in the
+    paper's model); ``n_clusterings`` counts EM runs (cost ``C``).
+    """
+
+    records_seen: int = 0
+    chunks_processed: int = 0
+    n_tests: int = 0
+    n_clusterings: int = 0
+    n_reactivations: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    def register_message(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.payload_bytes()
+
+
+class RemoteSite:
+    """One remote site running Algorithm 1 over its local stream.
+
+    Parameters
+    ----------
+    site_id:
+        Identifier used in outgoing messages.
+    config:
+        Site parameters.
+    rng:
+        Randomness for EM seeding (kept site-local so distributed runs
+        are reproducible per site).
+    emit:
+        Optional callback invoked with every outgoing
+        :class:`~repro.core.protocol.Message`; the simulation layer
+        plugs the network channel in here.  Messages are also returned
+        by :meth:`process_record` / :meth:`process_chunk` so the site is
+        usable without any simulation harness.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        config: RemoteSiteConfig | None = None,
+        rng: np.random.Generator | None = None,
+        emit: Callable[[Message], None] | None = None,
+    ) -> None:
+        self.site_id = site_id
+        self.config = config or RemoteSiteConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(site_id)
+        self._emit = emit
+        self._buffer: list[np.ndarray] = []
+        self._current: ModelEntry | None = None
+        self._archive: list[ModelEntry] = []
+        self._next_model_id = 0
+        #: Records consumed through completed chunks (buffer excluded).
+        self._position = 0
+        #: Stream index where the current model's reign began.
+        self._current_started_at = 0
+        self.events = EventTable()
+        self.stats = SiteStatistics()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def chunk(self) -> int:
+        """Chunk size ``M`` in records."""
+        return self.config.chunk
+
+    @property
+    def position(self) -> int:
+        """Records fully consumed through chunks so far."""
+        return self._position
+
+    @property
+    def current_model(self) -> ModelEntry | None:
+        """The model currently explaining the stream (``None`` initially)."""
+        return self._current
+
+    @property
+    def current_started_at(self) -> int:
+        """Stream index where the current model's reign began."""
+        return self._current_started_at
+
+    @property
+    def model_list(self) -> Sequence[ModelEntry]:
+        """Archived models, oldest first (the paper's model list)."""
+        return tuple(self._archive)
+
+    @property
+    def all_models(self) -> Sequence[ModelEntry]:
+        """Archived models plus the current one, in training order."""
+        models = list(self._archive)
+        if self._current is not None:
+            models.append(self._current)
+        return tuple(sorted(models, key=lambda entry: entry.model_id))
+
+    def memory_bytes(self) -> int:
+        """Theorem 3 memory accounting for this site, in bytes.
+
+        Buffer of at most ``M`` ``d``-dimensional records plus the
+        parameters of every stored mixture (and its counter).
+        """
+        buffer_bytes = 8 * self.config.dim * self.chunk
+        model_bytes = sum(
+            entry.mixture.payload_bytes() + 8 for entry in self.all_models
+        )
+        return buffer_bytes + model_bytes
+
+    def find_model(self, model_id: int) -> ModelEntry | None:
+        """Look up any stored model (archived or current) by id."""
+        for entry in self.all_models:
+            if entry.model_id == model_id:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Record / chunk ingestion
+    # ------------------------------------------------------------------
+    def process_record(self, record: np.ndarray) -> list[Message]:
+        """Ingest one record; runs Algorithm 1 when a chunk completes.
+
+        Returns the messages emitted by this record (usually empty --
+        at most one chunk boundary can fall on a single record).
+        """
+        record = np.asarray(record, dtype=float).ravel()
+        if record.size != self.config.dim:
+            raise ValueError(
+                f"record has dimension {record.size}, site expects "
+                f"{self.config.dim}"
+            )
+        if np.isnan(record).any() and not self.config.handle_missing:
+            raise ValueError(
+                "record has missing attributes; enable "
+                "RemoteSiteConfig(handle_missing=True) to accept them"
+            )
+        self._buffer.append(record)
+        self.stats.records_seen += 1
+        if len(self._buffer) < self.chunk:
+            return []
+        chunk = np.stack(self._buffer)
+        self._buffer = []
+        self._position += chunk.shape[0]
+        return self._handle_chunk(chunk)
+
+    def process_stream(self, records: Iterable[np.ndarray]) -> list[Message]:
+        """Ingest many records; returns all messages emitted."""
+        messages: list[Message] = []
+        for record in records:
+            messages.extend(self.process_record(record))
+        return messages
+
+    def process_chunk(self, chunk: np.ndarray) -> list[Message]:
+        """Run Algorithm 1 on a whole chunk at once.
+
+        Batch entry point for replays and benchmarks; the chunk may have
+        any length ≥ ``K``.  Record accounting is kept consistent with
+        the record-by-record path.
+        """
+        chunk = np.atleast_2d(np.asarray(chunk, dtype=float))
+        if self._buffer:
+            raise RuntimeError(
+                "process_chunk cannot be mixed with a partially filled "
+                "record buffer"
+            )
+        self.stats.records_seen += chunk.shape[0]
+        self._position += chunk.shape[0]
+        return self._handle_chunk(chunk)
+
+    # ------------------------------------------------------------------
+    # Sliding-window support (section 7)
+    # ------------------------------------------------------------------
+    def expire(self, model_id: int, expired_records: int) -> list[Message]:
+        """Delete ``expired_records`` worth of weight from a stored model.
+
+        Implements the section 7 deletion protocol: the weight is
+        subtracted locally and a :class:`DeletionMessage` (model ID with
+        negative weight) is emitted for the coordinator.  The model is
+        dropped from the archive when its count becomes non-positive.
+        """
+        if expired_records <= 0:
+            raise ValueError("expired_records must be positive")
+        entry = self.find_model(model_id)
+        if entry is None:
+            raise KeyError(f"site {self.site_id} has no model {model_id}")
+        entry.count -= expired_records
+        if entry.count <= 0 and entry is not self._current:
+            self._archive = [e for e in self._archive if e is not entry]
+        message = DeletionMessage(
+            site_id=self.site_id,
+            model_id=model_id,
+            time=self._position,
+            count_delta=expired_records,
+        )
+        return self._send([message])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _handle_chunk(self, chunk: np.ndarray) -> list[Message]:
+        """Algorithm 1 body; ``chunk`` is already counted in ``_position``."""
+        if chunk.shape[1] != self.config.dim:
+            raise ValueError(
+                f"chunk has dimension {chunk.shape[1]}, site expects "
+                f"{self.config.dim}"
+            )
+        self.stats.chunks_processed += 1
+
+        if self._current is None:
+            return self._cluster_chunk(chunk, warm=None)
+
+        # Test 1: the current model (section 5.1.2).
+        self.stats.n_tests += 1
+        result = fit_test(
+            self._current.mixture,
+            chunk,
+            self._current.reference_likelihood,
+            self._threshold(self._current, chunk.shape[0]),
+            self.config.variant,
+        )
+        if result.fits:
+            self._current.count += chunk.shape[0]
+            return []
+
+        # Tests 2..c_max: archived models, most recent first (multi-test
+        # strategy, section 5.1.2).
+        reactivated = self._try_reactivate(chunk)
+        if reactivated is not None:
+            return reactivated
+
+        # Every test failed: archive the current model and re-cluster.
+        warm = self._current.mixture if self.config.warm_start else None
+        self._retire_current(chunk.shape[0])
+        return self._cluster_chunk(chunk, warm=warm)
+
+    def _cluster_chunk(
+        self, chunk: np.ndarray, warm: GaussianMixture | None
+    ) -> list[Message]:
+        """EM on the chunk; installs and announces the new current model.
+
+        A slice of the chunk is held out (``reference_holdout``) so the
+        reference ``AvgPr_0`` / ``σ̂`` are estimated out of sample.
+        """
+        train, validation = self._split_reference(chunk)
+        if self.config.handle_missing and np.isnan(train).any():
+            from repro.core.missing import fit_em_missing
+
+            result = fit_em_missing(
+                train, self.config.em, self._rng, initial=warm
+            )
+        elif self.config.auto_k is not None:
+            from repro.core.selection import select_k
+
+            result = select_k(
+                train, self.config.auto_k, self.config.em, self._rng
+            ).best
+        else:
+            result = fit_em(train, self.config.em, self._rng, initial=warm)
+        self.stats.n_clusterings += 1
+        reference = average_log_likelihood(
+            result.mixture, validation, self.config.variant
+        )
+        self._current = ModelEntry(
+            model_id=self._allocate_model_id(),
+            mixture=result.mixture,
+            reference_likelihood=reference,
+            reference_std=log_density_spread(
+                result.mixture, validation, self.config.variant
+            ),
+            reference_size=validation.shape[0],
+            count=chunk.shape[0],
+            trained_at=self._position,
+        )
+        self._current_started_at = self._position - chunk.shape[0]
+        message = ModelUpdateMessage(
+            site_id=self.site_id,
+            model_id=self._current.model_id,
+            time=self._position,
+            mixture=result.mixture,
+            count=self._current.count,
+            reference_likelihood=result.log_likelihood,
+        )
+        return self._send([message])
+
+    def _try_reactivate(self, chunk: np.ndarray) -> list[Message] | None:
+        """Multi-test: match the chunk against archived models.
+
+        Returns the emitted messages on a match, ``None`` when no
+        archived model fits (or ``c_max`` allows no extra tests).
+        """
+        budget = self.config.c_max - 1
+        if budget <= 0 or not self._archive:
+            return None
+        for entry in reversed(self._archive[-budget:]):
+            self.stats.n_tests += 1
+            result = fit_test(
+                entry.mixture,
+                chunk,
+                entry.reference_likelihood,
+                self._threshold(entry, chunk.shape[0]),
+                self.config.variant,
+            )
+            if not result.fits:
+                continue
+            # The archived model explains the chunk: swap it back in.
+            self._retire_current(chunk.shape[0])
+            self._archive = [e for e in self._archive if e is not entry]
+            entry.count += chunk.shape[0]
+            self._current = entry
+            self._current_started_at = self._position - chunk.shape[0]
+            self.stats.n_reactivations += 1
+            message = WeightUpdateMessage(
+                site_id=self.site_id,
+                model_id=entry.model_id,
+                time=self._position,
+                count_delta=chunk.shape[0],
+            )
+            return self._send([message])
+        return None
+
+    def _retire_current(self, failing_chunk_len: int) -> None:
+        """Archive the current model and close its event-table entry.
+
+        The chunk that failed the test belongs to the *next* model, so
+        the closed span ends where that chunk began.
+        """
+        assert self._current is not None
+        end = self._position - failing_chunk_len
+        if end > self._current_started_at:
+            self.events.append(
+                start=self._current_started_at,
+                end=end,
+                model_id=self._current.model_id,
+            )
+        self._archive.append(self._current)
+        self._current = None
+
+    def _threshold(self, entry: ModelEntry, chunk_len: int) -> float:
+        """Effective fit-test tolerance for one model/chunk pair."""
+        if not self.config.adaptive_test:
+            return self.config.epsilon
+        return adaptive_threshold(
+            self.config.epsilon,
+            self.config.delta,
+            entry.reference_std,
+            chunk_len,
+            m_ref=entry.reference_size,
+        )
+
+    def _split_reference(
+        self, chunk: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split a chunk into (train, validation) for the reference.
+
+        Falls back to using the whole chunk for both when the holdout
+        is disabled or the chunk is too small to spare records.
+        """
+        fraction = self.config.reference_holdout
+        n = chunk.shape[0]
+        n_val = int(n * fraction)
+        n_components = self.config.em.n_components
+        if fraction <= 0.0 or n_val < 8 or n - n_val < 2 * n_components:
+            return chunk, chunk
+        permutation = self._rng.permutation(n)
+        validation = chunk[permutation[:n_val]]
+        train = chunk[permutation[n_val:]]
+        return train, validation
+
+    def _allocate_model_id(self) -> int:
+        model_id = self._next_model_id
+        self._next_model_id += 1
+        return model_id
+
+    def _send(self, messages: list[Message]) -> list[Message]:
+        for message in messages:
+            self.stats.register_message(message)
+            if self._emit is not None:
+                self._emit(message)
+        return messages
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteSite(id={self.site_id}, chunk={self.chunk}, "
+            f"models={len(self.all_models)}, "
+            f"records={self.stats.records_seen})"
+        )

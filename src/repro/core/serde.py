@@ -1,0 +1,191 @@
+"""Binary wire format for synopsis messages.
+
+The byte accounting in :mod:`repro.core.protocol` is only honest if the
+messages actually fit in that many bytes.  This module provides the
+encoding that proves it: every message serialises to *exactly*
+``message.payload_bytes()`` bytes and round-trips losslessly.
+
+Layout (little endian):
+
+==========  =====  =====================================================
+field       bytes  notes
+==========  =====  =====================================================
+magic       4      ``b"CDS1"`` (format version 1)
+tag         1      message type (:data:`TAG_BY_TYPE`)
+flags       1      bit 0: diagonal covariances
+K           1      mixture components (model updates; else 0)
+d           1      dimensionality (model updates; else 0)
+site_id     8      int64
+model_id    8      int64
+time        8      int64
+==========  =====  =====================================================
+
+-- 32 header bytes (``protocol.HEADER_BYTES``), then per type:
+
+* ``ModelUpdateMessage``: ``count`` (int64), ``reference_likelihood``
+  (float64), ``K`` weights, then per component ``d`` mean values and
+  ``d²`` (full) or ``d`` (diagonal) covariance values -- all float64.
+* ``WeightUpdateMessage`` / ``DeletionMessage``: ``count_delta``
+  (int64).
+
+Mixtures mixing diagonal and full-covariance components are rejected
+(they never occur -- a mixture comes from one EM run with one
+covariance mode) because their size could not match the accounting.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import (
+    HEADER_BYTES,
+    DeletionMessage,
+    Message,
+    ModelUpdateMessage,
+    WeightUpdateMessage,
+)
+
+__all__ = ["decode_message", "encode_message"]
+
+MAGIC = b"CDS1"
+
+TAG_MODEL_UPDATE = 1
+TAG_WEIGHT_UPDATE = 2
+TAG_DELETION = 3
+
+TAG_BY_TYPE = {
+    ModelUpdateMessage: TAG_MODEL_UPDATE,
+    WeightUpdateMessage: TAG_WEIGHT_UPDATE,
+    DeletionMessage: TAG_DELETION,
+}
+
+_HEADER = struct.Struct("<4sBBBBqqq")
+assert _HEADER.size == HEADER_BYTES
+
+
+def _mixture_mode(mixture: GaussianMixture) -> bool:
+    """``True`` if all components are diagonal; raises on mixed modes."""
+    modes = {component.diagonal for component in mixture.components}
+    if len(modes) > 1:
+        raise ValueError(
+            "cannot encode a mixture with mixed diagonal/full components"
+        )
+    return modes.pop()
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise ``message``; the result has ``payload_bytes()`` length."""
+    tag = TAG_BY_TYPE.get(type(message))
+    if tag is None:
+        raise TypeError(f"cannot encode {type(message).__name__}")
+
+    flags = 0
+    k = d = 0
+    body = b""
+    if isinstance(message, ModelUpdateMessage):
+        mixture = message.mixture
+        diagonal = _mixture_mode(mixture)
+        flags |= int(diagonal)
+        k = mixture.n_components
+        d = mixture.dim
+        if k > 255 or d > 255:
+            raise ValueError("mixture too large for the wire format")
+        parts = [
+            struct.pack("<q", message.count),
+            struct.pack("<d", message.reference_likelihood),
+            np.asarray(mixture.weights, dtype="<f8").tobytes(),
+        ]
+        for component in mixture.components:
+            parts.append(np.asarray(component.mean, dtype="<f8").tobytes())
+            if diagonal:
+                parts.append(
+                    np.ascontiguousarray(
+                        np.diag(component.covariance), dtype="<f8"
+                    ).tobytes()
+                )
+            else:
+                parts.append(
+                    np.ascontiguousarray(
+                        component.covariance, dtype="<f8"
+                    ).tobytes()
+                )
+        body = b"".join(parts)
+    else:
+        body = struct.pack("<q", message.count_delta)
+
+    header = _HEADER.pack(
+        MAGIC,
+        tag,
+        flags,
+        k,
+        d,
+        message.site_id,
+        message.model_id,
+        message.time,
+    )
+    encoded = header + body
+    if len(encoded) != message.payload_bytes():
+        raise AssertionError(
+            f"encoded size {len(encoded)} != accounted "
+            f"{message.payload_bytes()}"
+        )
+    return encoded
+
+
+def decode_message(payload: bytes) -> Message:
+    """Inverse of :func:`encode_message`."""
+    if len(payload) < HEADER_BYTES:
+        raise ValueError("payload shorter than the message header")
+    magic, tag, flags, k, d, site_id, model_id, time = _HEADER.unpack_from(
+        payload
+    )
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}; not a CDS1 message")
+    body = payload[HEADER_BYTES:]
+
+    if tag == TAG_MODEL_UPDATE:
+        diagonal = bool(flags & 1)
+        (count,) = struct.unpack_from("<q", body, 0)
+        (reference,) = struct.unpack_from("<d", body, 8)
+        offset = 16
+        weights = np.frombuffer(body, dtype="<f8", count=k, offset=offset)
+        offset += 8 * k
+        cov_values = d if diagonal else d * d
+        components = []
+        for _ in range(k):
+            mean = np.frombuffer(body, dtype="<f8", count=d, offset=offset)
+            offset += 8 * d
+            cov_flat = np.frombuffer(
+                body, dtype="<f8", count=cov_values, offset=offset
+            )
+            offset += 8 * cov_values
+            cov = np.diag(cov_flat) if diagonal else cov_flat.reshape(d, d)
+            components.append(Gaussian(mean.copy(), cov, diagonal=diagonal))
+        if offset != len(body):
+            raise ValueError("trailing bytes after model update body")
+        return ModelUpdateMessage(
+            site_id=site_id,
+            model_id=model_id,
+            time=time,
+            mixture=GaussianMixture(weights.copy(), tuple(components)),
+            count=count,
+            reference_likelihood=reference,
+        )
+
+    if tag in (TAG_WEIGHT_UPDATE, TAG_DELETION):
+        if len(body) != 8:
+            raise ValueError("bad body size for a counter message")
+        (count_delta,) = struct.unpack("<q", body)
+        cls = WeightUpdateMessage if tag == TAG_WEIGHT_UPDATE else DeletionMessage
+        return cls(
+            site_id=site_id,
+            model_id=model_id,
+            time=time,
+            count_delta=count_delta,
+        )
+
+    raise ValueError(f"unknown message tag {tag}")

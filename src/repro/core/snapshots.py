@@ -1,0 +1,121 @@
+"""Pyramidal-time-frame snapshots (the CluStream strategy of §7).
+
+Section 7 contrasts CluDistream's event-driven model maintenance with
+CluStream's *static* strategy: "When a pyramid time arrives, a snapshot
+of current cluster model (micro-clusters) is stored.  This strategy may
+introduce redundant records, while missing some important events."
+
+To let a benchmark measure that claim, this module implements the
+classic pyramidal time frame of Aggarwal et al.:
+
+* a snapshot taken at tick ``t`` has *order* ``i`` when ``t`` is
+  divisible by ``α^i`` (the largest such ``i`` wins);
+* at most ``α^l + 1`` snapshots are retained per order (``l`` is the
+  ``capacity`` knob), older ones of the same order are discarded.
+
+Stored payloads are opaque to the store; the comparison benchmark
+stores the site's current model id at each chunk boundary and answers
+"which model was active at time t?" from the closest retained snapshot,
+scoring it against the event table's exact answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["PyramidalSnapshotStore", "Snapshot"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One retained snapshot: a tick, its pyramid order and a payload."""
+
+    tick: int
+    order: int
+    payload: object
+
+
+class PyramidalSnapshotStore:
+    """The pyramidal time frame of CluStream.
+
+    Parameters
+    ----------
+    alpha:
+        Pyramid base (≥ 2).  Snapshot order ``i`` covers ticks divisible
+        by ``alpha**i``.
+    capacity:
+        Retention exponent ``l``: at most ``alpha**l + 1`` snapshots are
+        kept per order.
+    """
+
+    def __init__(self, alpha: int = 2, capacity: int = 1) -> None:
+        if alpha < 2:
+            raise ValueError("alpha must be at least 2")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.alpha = alpha
+        self.capacity = capacity
+        self._per_order_limit = alpha**capacity + 1
+        self._orders: dict[int, list[Snapshot]] = {}
+        self.offered = 0
+        self.stored_total = 0
+
+    def order_of(self, tick: int) -> int:
+        """Highest ``i`` with ``alpha**i`` dividing ``tick`` (0 otherwise)."""
+        if tick <= 0:
+            return 0
+        order = 0
+        while tick % self.alpha == 0:
+            tick //= self.alpha
+            order += 1
+        return order
+
+    def offer(self, tick: int, payload: object) -> bool:
+        """Present the state at ``tick``; returns ``True`` when stored.
+
+        Every positive tick is stored (at its natural order); retention
+        then evicts the oldest snapshot of that order beyond the
+        per-order limit -- exactly the CluStream scheme.
+        """
+        if tick < 0:
+            raise ValueError("ticks must be non-negative")
+        self.offered += 1
+        if tick == 0:
+            return False
+        order = self.order_of(tick)
+        bucket = self._orders.setdefault(order, [])
+        bucket.append(Snapshot(tick=tick, order=order, payload=payload))
+        self.stored_total += 1
+        if len(bucket) > self._per_order_limit:
+            bucket.pop(0)
+        return True
+
+    def snapshots(self) -> list[Snapshot]:
+        """All retained snapshots, sorted by tick."""
+        everything = [
+            snapshot
+            for bucket in self._orders.values()
+            for snapshot in bucket
+        ]
+        everything.sort(key=lambda snapshot: snapshot.tick)
+        return everything
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._orders.values())
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        return iter(self.snapshots())
+
+    def closest(self, tick: int) -> Snapshot:
+        """The retained snapshot whose tick is nearest to ``tick``.
+
+        Raises
+        ------
+        ValueError
+            If nothing has been stored yet.
+        """
+        retained = self.snapshots()
+        if not retained:
+            raise ValueError("no snapshots retained")
+        return min(retained, key=lambda snapshot: abs(snapshot.tick - tick))

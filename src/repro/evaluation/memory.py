@@ -1,0 +1,66 @@
+"""Memory accounting (Theorem 3).
+
+Theorem 3 bounds the per-site memory of CluDistream by::
+
+    O( -2 d ln(δ(2-δ)) / ε  +  B K (d² + d + 1) )
+
+-- one chunk-sized record buffer plus the parameters of the ``B``
+mixtures the evolving stream has produced.  This module turns the bound
+into concrete byte counts so the Figure 10 benchmarks can compare the
+theoretical envelope against the measured
+:meth:`~repro.core.remote.RemoteSite.memory_bytes`.
+"""
+
+from __future__ import annotations
+
+from repro.core.chunking import chunk_size
+
+__all__ = ["predicted_site_memory_bytes", "mixture_parameter_count"]
+
+#: Bytes per stored scalar (doubles, as in the payload accounting).
+BYTES_PER_FLOAT = 8
+
+
+def mixture_parameter_count(
+    n_components: int, dim: int, diagonal: bool = False
+) -> int:
+    """Parameters of one ``K``-component mixture: ``K (d² + d + 1)``.
+
+    For diagonal Gaussians the covariance takes ``d`` values, giving
+    ``K (2d + 1)`` -- the variant Theorem 3 mentions parenthetically.
+    """
+    if n_components < 1 or dim < 1:
+        raise ValueError("n_components and dim must be positive")
+    cov_params = dim if diagonal else dim * dim
+    return n_components * (cov_params + dim + 1)
+
+
+def predicted_site_memory_bytes(
+    dim: int,
+    epsilon: float,
+    delta: float,
+    n_components: int,
+    n_distributions: int,
+    diagonal: bool = False,
+) -> int:
+    """Theorem 3's memory bound in bytes.
+
+    Parameters
+    ----------
+    dim / epsilon / delta:
+        The chunk-size parameters (buffer of ``M`` ``d``-dim records).
+    n_components:
+        Mixture size ``K``.
+    n_distributions:
+        ``B``, the number of distinct distributions the stream has
+        exhibited (models stored in the model list).
+    diagonal:
+        Use the diagonal-covariance parameter count.
+    """
+    if n_distributions < 0:
+        raise ValueError("n_distributions must be non-negative")
+    buffer_scalars = chunk_size(dim, epsilon, delta) * dim
+    model_scalars = n_distributions * mixture_parameter_count(
+        n_components, dim, diagonal
+    )
+    return BYTES_PER_FLOAT * (buffer_scalars + model_scalars)

@@ -1,0 +1,31 @@
+"""Persistence: checkpointing site and coordinator state.
+
+Long-running stream processors restart; :mod:`repro.io.checkpoint`
+serialises the full state of a :class:`~repro.core.remote.RemoteSite`
+(model list, counters, event table, statistics) and of a
+:class:`~repro.core.coordinator.Coordinator` (site models, cluster
+tree) to plain JSON, and restores them to continue processing exactly
+where they left off.
+"""
+
+from repro.io.checkpoint import (
+    load_coordinator,
+    load_site,
+    restore_coordinator,
+    restore_site,
+    save_coordinator,
+    save_site,
+    snapshot_coordinator,
+    snapshot_site,
+)
+
+__all__ = [
+    "load_coordinator",
+    "load_site",
+    "restore_coordinator",
+    "restore_site",
+    "save_coordinator",
+    "save_site",
+    "snapshot_coordinator",
+    "snapshot_site",
+]

@@ -1,0 +1,300 @@
+"""JSON checkpoints for sites and the coordinator.
+
+``snapshot_*`` / ``restore_*`` convert live objects to and from plain
+dictionaries; ``save_*`` / ``load_*`` wrap them with file I/O.  A
+restored object continues *exactly* where the original stopped: model
+ids, counters, the event table, the record buffer, and even the EM
+random-generator state are preserved, so feeding the same records to
+the original and the restored site produces identical behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.coordinator import (
+    Coordinator,
+    CoordinatorConfig,
+    GlobalCluster,
+    Leaf,
+)
+from repro.core.em import EMConfig
+from repro.core.mixture import GaussianMixture
+from repro.core.gaussian import Gaussian
+from repro.core.remote import ModelEntry, RemoteSite, RemoteSiteConfig
+from repro.core.testing import LikelihoodVariant
+
+__all__ = [
+    "load_coordinator",
+    "load_site",
+    "restore_coordinator",
+    "restore_site",
+    "save_coordinator",
+    "save_site",
+    "snapshot_coordinator",
+    "snapshot_site",
+]
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _em_config_to_dict(config: EMConfig) -> dict:
+    return {
+        "n_components": config.n_components,
+        "tol": config.tol,
+        "max_iter": config.max_iter,
+        "n_init": config.n_init,
+        "diagonal": config.diagonal,
+        "covariance_ridge": config.covariance_ridge,
+        "init": config.init,
+    }
+
+
+def _em_config_from_dict(payload: Mapping) -> EMConfig:
+    return EMConfig(**payload)
+
+
+def _rng_state(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def _rng_from_state(state: Mapping) -> np.random.Generator:
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = dict(state)
+    return rng
+
+
+def _finite_or_none(value: float) -> float | None:
+    """JSON has no infinity; encode ``inf`` as ``None``."""
+    return None if math.isinf(value) else float(value)
+
+
+def _none_or_inf(value: float | None) -> float:
+    return math.inf if value is None else float(value)
+
+
+def _model_entry_to_dict(entry: ModelEntry) -> dict:
+    return {
+        "model_id": entry.model_id,
+        "mixture": entry.mixture.to_dict(),
+        "reference_likelihood": entry.reference_likelihood,
+        "reference_std": entry.reference_std,
+        "reference_size": entry.reference_size,
+        "count": entry.count,
+        "trained_at": entry.trained_at,
+    }
+
+
+def _model_entry_from_dict(payload: Mapping) -> ModelEntry:
+    return ModelEntry(
+        model_id=payload["model_id"],
+        mixture=GaussianMixture.from_dict(payload["mixture"]),
+        reference_likelihood=payload["reference_likelihood"],
+        reference_std=payload["reference_std"],
+        reference_size=payload["reference_size"],
+        count=payload["count"],
+        trained_at=payload["trained_at"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Remote site
+# ----------------------------------------------------------------------
+def snapshot_site(site: RemoteSite) -> dict:
+    """Serialise a site's full state to a JSON-compatible dict."""
+    config = site.config
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "remote_site",
+        "site_id": site.site_id,
+        "config": {
+            "dim": config.dim,
+            "epsilon": config.epsilon,
+            "delta": config.delta,
+            "c_max": config.c_max,
+            "em": _em_config_to_dict(config.em),
+            "variant": config.variant.value,
+            "warm_start": config.warm_start,
+            "adaptive_test": config.adaptive_test,
+            "handle_missing": config.handle_missing,
+            "reference_holdout": config.reference_holdout,
+            "chunk_override": config.chunk_override,
+        },
+        "buffer": [row.tolist() for row in site._buffer],
+        "current": (
+            _model_entry_to_dict(site.current_model)
+            if site.current_model is not None
+            else None
+        ),
+        "archive": [_model_entry_to_dict(e) for e in site.model_list],
+        "next_model_id": site._next_model_id,
+        "position": site.position,
+        "current_started_at": site.current_started_at,
+        "events": [
+            [record.start, record.end, record.model_id]
+            for record in site.events
+        ],
+        "stats": vars(site.stats).copy(),
+        "rng": _rng_state(site._rng),
+    }
+
+
+def restore_site(payload: Mapping) -> RemoteSite:
+    """Rebuild a site from :func:`snapshot_site` output."""
+    if payload.get("kind") != "remote_site":
+        raise ValueError("payload is not a remote-site checkpoint")
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format {payload.get('format')}")
+    raw = dict(payload["config"])
+    raw["em"] = _em_config_from_dict(raw["em"])
+    raw["variant"] = LikelihoodVariant(raw["variant"])
+    config = RemoteSiteConfig(**raw)
+    site = RemoteSite(
+        payload["site_id"], config, rng=_rng_from_state(payload["rng"])
+    )
+    site._buffer = [np.asarray(row, dtype=float) for row in payload["buffer"]]
+    site._current = (
+        _model_entry_from_dict(payload["current"])
+        if payload["current"] is not None
+        else None
+    )
+    site._archive = [_model_entry_from_dict(e) for e in payload["archive"]]
+    site._next_model_id = payload["next_model_id"]
+    site._position = payload["position"]
+    site._current_started_at = payload["current_started_at"]
+    for start, end, model_id in payload["events"]:
+        site.events.append(start, end, model_id)
+    for key, value in payload["stats"].items():
+        setattr(site.stats, key, value)
+    return site
+
+
+def save_site(site: RemoteSite, path: str | Path) -> Path:
+    """Write a site checkpoint to ``path`` (JSON)."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot_site(site)))
+    return path
+
+
+def load_site(path: str | Path) -> RemoteSite:
+    """Read a site checkpoint written by :func:`save_site`."""
+    return restore_site(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def snapshot_coordinator(coordinator: Coordinator) -> dict:
+    """Serialise the coordinator's full state to a JSON-compatible dict."""
+    config = coordinator.config
+    clusters = []
+    for cluster in coordinator.clusters:
+        clusters.append(
+            {
+                "cluster_id": cluster.cluster_id,
+                "father": (
+                    cluster.father.to_dict()
+                    if cluster.father is not None
+                    else None
+                ),
+                "leaves": [
+                    {
+                        "site_id": leaf.site_id,
+                        "model_id": leaf.model_id,
+                        "component_index": leaf.component_index,
+                        "gaussian": leaf.gaussian.to_dict(),
+                        "weight": leaf.weight,
+                        "remerge_score": _finite_or_none(leaf.remerge_score),
+                    }
+                    for leaf in cluster.leaves
+                ],
+            }
+        )
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "coordinator",
+        "config": {
+            "max_components": config.max_components,
+            "merge_method": config.merge_method,
+            "merge_samples": config.merge_samples,
+            "attach_threshold": config.attach_threshold,
+            "tolerate_loss": config.tolerate_loss,
+            "index_candidates": config.index_candidates,
+        },
+        "site_models": [
+            {
+                "site_id": site_id,
+                "model_id": model_id,
+                "mixture": mixture.to_dict(),
+                "count": count,
+            }
+            for (site_id, model_id), (mixture, count) in (
+                coordinator.site_models.items()
+            )
+        ],
+        "clusters": clusters,
+        "stats": vars(coordinator.stats).copy(),
+        "rng": _rng_state(coordinator._rng),
+    }
+
+
+def restore_coordinator(payload: Mapping) -> Coordinator:
+    """Rebuild a coordinator from :func:`snapshot_coordinator` output."""
+    if payload.get("kind") != "coordinator":
+        raise ValueError("payload is not a coordinator checkpoint")
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format {payload.get('format')}")
+    config = CoordinatorConfig(**payload["config"])
+    coordinator = Coordinator(config, rng=_rng_from_state(payload["rng"]))
+    for entry in payload["site_models"]:
+        key = (entry["site_id"], entry["model_id"])
+        coordinator._site_models[key] = (
+            GaussianMixture.from_dict(entry["mixture"]),
+            entry["count"],
+        )
+    max_cluster_id = -1
+    for raw in payload["clusters"]:
+        cluster = GlobalCluster(cluster_id=raw["cluster_id"])
+        cluster.father = (
+            Gaussian.from_dict(raw["father"])
+            if raw["father"] is not None
+            else None
+        )
+        for leaf_raw in raw["leaves"]:
+            cluster.leaves.append(
+                Leaf(
+                    site_id=leaf_raw["site_id"],
+                    model_id=leaf_raw["model_id"],
+                    component_index=leaf_raw["component_index"],
+                    gaussian=Gaussian.from_dict(leaf_raw["gaussian"]),
+                    weight=leaf_raw["weight"],
+                    remerge_score=_none_or_inf(leaf_raw["remerge_score"]),
+                )
+            )
+        coordinator._clusters[cluster.cluster_id] = cluster
+        max_cluster_id = max(max_cluster_id, cluster.cluster_id)
+    coordinator._cluster_ids = itertools.count(max_cluster_id + 1)
+    for key, value in payload["stats"].items():
+        setattr(coordinator.stats, key, value)
+    return coordinator
+
+
+def save_coordinator(coordinator: Coordinator, path: str | Path) -> Path:
+    """Write a coordinator checkpoint to ``path`` (JSON)."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot_coordinator(coordinator)))
+    return path
+
+
+def load_coordinator(path: str | Path) -> Coordinator:
+    """Read a coordinator checkpoint written by :func:`save_coordinator`."""
+    return restore_coordinator(json.loads(Path(path).read_text()))

@@ -1,0 +1,46 @@
+"""Numerical support routines for the CluDistream reproduction.
+
+The paper leans on three pieces of numerical machinery that do not belong
+to the clustering logic itself:
+
+* robust covariance linear algebra (inverses and log-determinants of
+  near-singular matrices produced by small EM responsibilities),
+* the downhill-simplex (Nelder-Mead) minimiser of [19] used to fit merged
+  mixture components on the coordinator, and
+* numerical integration of the L1 accuracy-loss ``l(x)`` between mixture
+  densities.
+
+Everything here is implemented from scratch on top of ``numpy`` so that
+the rest of the library has no hidden dependencies on SciPy internals.
+"""
+
+from repro.numerics.integrate import (
+    l1_density_distance,
+    monte_carlo_l1,
+    trapezoid_grid,
+)
+from repro.numerics.linalg import (
+    SPDFactors,
+    ensure_spd,
+    log_det_spd,
+    mahalanobis_sq,
+    regularize_covariance,
+    safe_inverse,
+    spd_factorize,
+)
+from repro.numerics.simplex import NelderMeadResult, nelder_mead
+
+__all__ = [
+    "NelderMeadResult",
+    "SPDFactors",
+    "ensure_spd",
+    "l1_density_distance",
+    "log_det_spd",
+    "mahalanobis_sq",
+    "monte_carlo_l1",
+    "nelder_mead",
+    "regularize_covariance",
+    "safe_inverse",
+    "spd_factorize",
+    "trapezoid_grid",
+]

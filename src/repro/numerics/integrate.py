@@ -1,0 +1,136 @@
+"""Numerical estimation of the L1 distance between mixture densities.
+
+The merge step on the coordinator scores candidate merged components by
+the accuracy-loss functional of section 5.2.1::
+
+    l(x) = ∫ | w_i p(x|i) + w_j p(x|j) - (w_i + w_j) p(x|i') | dx
+
+The integral has no closed form for Gaussians, so we estimate it two
+ways:
+
+* :func:`trapezoid_grid` -- deterministic tensor-grid quadrature,
+  accurate in low dimension (d ≤ 3) and used by tests as ground truth;
+* :func:`monte_carlo_l1` -- importance-sampled Monte Carlo that scales
+  to the paper's default ``d = 4`` and beyond; this is what the merge
+  fitter uses in production.
+
+Both accept arbitrary density callables so they are reusable for the
+split criterion ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["l1_density_distance", "monte_carlo_l1", "trapezoid_grid"]
+
+Density = Callable[[np.ndarray], np.ndarray]
+
+
+def trapezoid_grid(
+    density_a: Density,
+    density_b: Density,
+    lower: Sequence[float],
+    upper: Sequence[float],
+    points_per_dim: int = 101,
+) -> float:
+    """Tensor-grid trapezoid estimate of ``∫ |a(x) - b(x)| dx``.
+
+    Parameters
+    ----------
+    density_a / density_b:
+        Vectorised densities mapping ``(n, d)`` arrays to ``(n,)``
+        values.
+    lower / upper:
+        Integration box; it should cover the effective support of both
+        densities (roughly ``μ ± 6σ``).
+    points_per_dim:
+        Grid resolution per axis.  The total cost is
+        ``points_per_dim ** d`` -- keep ``d`` small.
+
+    Returns
+    -------
+    float
+        The estimated L1 distance, a value in ``[0, 2]`` for normalised
+        densities.
+    """
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape:
+        raise ValueError("integration bounds must have matching shapes")
+    if np.any(upper <= lower):
+        raise ValueError("upper bounds must exceed lower bounds")
+    dim = lower.size
+    if points_per_dim**dim > 5_000_000:
+        raise ValueError(
+            "grid too large; use monte_carlo_l1 for dimension "
+            f"{dim} at {points_per_dim} points per axis"
+        )
+
+    axes = [
+        np.linspace(lower[i], upper[i], points_per_dim) for i in range(dim)
+    ]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    grid = np.stack([m.ravel() for m in mesh], axis=1)
+    gap = np.abs(density_a(grid) - density_b(grid)).reshape(
+        [points_per_dim] * dim
+    )
+    for axis in reversed(range(dim)):
+        gap = np.trapezoid(gap, axes[axis], axis=axis)
+    return float(gap)
+
+
+def monte_carlo_l1(
+    density_a: Density,
+    density_b: Density,
+    sampler: Callable[[int, np.random.Generator], np.ndarray],
+    proposal_density: Density,
+    n_samples: int = 4096,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Importance-sampled estimate of ``∫ |a(x) - b(x)| dx``.
+
+    Parameters
+    ----------
+    sampler:
+        Draws ``n`` proposal samples: ``sampler(n, rng) -> (n, d)``.
+        For merge fitting the proposal is the equal-weight mixture of
+        the two components being merged, which covers the support of
+        both integrand terms.
+    proposal_density:
+        Density of the proposal distribution (must be positive wherever
+        either integrand density is non-negligible).
+    n_samples:
+        Monte Carlo budget.
+    rng:
+        Source of randomness; a fresh default generator when omitted.
+
+    Returns
+    -------
+    float
+        Unbiased estimate of the L1 distance.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    samples = sampler(n_samples, rng)
+    weights = proposal_density(samples)
+    if np.any(weights <= 0.0):
+        raise ValueError("proposal density must be positive at its samples")
+    integrand = np.abs(density_a(samples) - density_b(samples))
+    return float(np.mean(integrand / weights))
+
+
+def l1_density_distance(
+    density_a: Density,
+    density_b: Density,
+    lower: Sequence[float],
+    upper: Sequence[float],
+    points_per_dim: int = 101,
+) -> float:
+    """Convenience alias of :func:`trapezoid_grid` with the same contract."""
+    return trapezoid_grid(
+        density_a, density_b, lower, upper, points_per_dim=points_per_dim
+    )

@@ -1,0 +1,137 @@
+"""A small KD-tree for nearest-component queries.
+
+The paper's future-work section proposes "constructing index structure
+to accelerate merge and split based on the mixture models".  This
+module provides that index: a classic median-split KD-tree over
+component *means* supporting k-nearest-neighbour queries.
+
+Euclidean distance between means is not the algorithm's criterion (that
+is the symmetrised Mahalanobis form), so the tree is used as a
+*candidate pruner*: fetch the ``k`` nearest components by mean, then
+score only those exactly.  For well-conditioned covariances the true
+best pair is almost always among the Euclidean near-neighbours; the
+coordinator validates the shortcut with a configurable candidate count.
+
+Implemented from scratch (no scipy.spatial) with an iterative query to
+keep recursion depth independent of tree size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+
+@dataclass
+class _Node:
+    axis: int
+    point: np.ndarray
+    payload: object
+    left: "_Node | None"
+    right: "_Node | None"
+
+
+class KDTree:
+    """Static KD-tree over points with attached payloads.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    payloads:
+        One payload object per point (e.g. a cluster id).
+
+    Notes
+    -----
+    The tree is immutable; the coordinator rebuilds it when its cluster
+    set changes, which is cheap at the scales involved (``O(n log n)``
+    with small constants) and keeps the structure trivially consistent.
+    """
+
+    def __init__(self, points: np.ndarray, payloads: list) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[0] != len(payloads):
+            raise ValueError("one payload required per point")
+        if points.shape[0] == 0:
+            raise ValueError("cannot index zero points")
+        self.size = points.shape[0]
+        self.dim = points.shape[1]
+        order = list(range(self.size))
+        self._root = self._build(points, payloads, order, depth=0)
+
+    def _build(
+        self,
+        points: np.ndarray,
+        payloads: list,
+        indices: list[int],
+        depth: int,
+    ) -> _Node | None:
+        if not indices:
+            return None
+        axis = depth % self.dim
+        indices.sort(key=lambda i: points[i, axis])
+        middle = len(indices) // 2
+        index = indices[middle]
+        return _Node(
+            axis=axis,
+            point=points[index],
+            payload=payloads[index],
+            left=self._build(points, payloads, indices[:middle], depth + 1),
+            right=self._build(
+                points, payloads, indices[middle + 1 :], depth + 1
+            ),
+        )
+
+    def nearest(self, query: np.ndarray, k: int = 1) -> list[tuple[float, object]]:
+        """The ``k`` nearest points to ``query``.
+
+        Returns ``(distance, payload)`` pairs sorted by ascending
+        Euclidean distance.  Fewer than ``k`` pairs come back when the
+        tree is smaller than ``k``.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        query = np.asarray(query, dtype=float).ravel()
+        if query.size != self.dim:
+            raise ValueError(
+                f"query has dimension {query.size}, tree holds {self.dim}"
+            )
+        # Max-heap (by negative distance) of the best k seen so far.
+        best: list[tuple[float, int, object]] = []
+        counter = 0
+        # Stack entries carry the squared distance from the query to the
+        # splitting plane that separates it from this subtree (0 for the
+        # side the query lies on).
+        stack: list[tuple[_Node | None, float]] = [(self._root, 0.0)]
+        while stack:
+            node, plane_gap_sq = stack.pop()
+            if node is None:
+                continue
+            if len(best) == k and plane_gap_sq > -best[0][0]:
+                continue  # the subtree cannot hold anything closer
+            distance = float(np.sum((query - node.point) ** 2))
+            counter += 1
+            if len(best) < k:
+                heapq.heappush(best, (-distance, counter, node.payload))
+            elif distance < -best[0][0]:
+                heapq.heapreplace(best, (-distance, counter, node.payload))
+            gap = query[node.axis] - node.point[node.axis]
+            near_first = gap <= 0.0
+            near = node.left if near_first else node.right
+            far = node.right if near_first else node.left
+            # LIFO stack: push far side first so the near side explores
+            # first and tightens the pruning radius early.
+            stack.append((far, gap * gap))
+            stack.append((near, 0.0))
+        results = [
+            (float(np.sqrt(-neg)), payload) for neg, _, payload in best
+        ]
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,182 @@
+"""Downhill simplex (Nelder-Mead) minimisation, implemented from scratch.
+
+The coordinator fits a merged Gaussian component by minimising the L1
+accuracy loss ``l(x)`` (paper section 5.2.1).  Because the derivatives of
+``l(x)`` are unknown, the paper uses the derivative-free downhill simplex
+method of Nelder and Mead [19].  This module implements the classic
+algorithm with the standard reflection / expansion / contraction /
+shrink coefficients and an adaptive initial simplex.
+
+The implementation intentionally mirrors the original 1965 formulation
+rather than SciPy's variant so the library carries no behavioural
+dependency on SciPy's optimiser internals; a regression test compares
+the two on standard test functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["NelderMeadResult", "nelder_mead"]
+
+#: Standard Nelder-Mead coefficients: reflection, expansion, contraction,
+#: shrink.
+ALPHA = 1.0
+GAMMA = 2.0
+RHO = 0.5
+SIGMA = 0.5
+
+
+@dataclass(frozen=True)
+class NelderMeadResult:
+    """Outcome of a downhill-simplex run.
+
+    Attributes
+    ----------
+    x:
+        Best parameter vector found.
+    fun:
+        Objective value at :attr:`x`.
+    iterations:
+        Number of simplex iterations performed.
+    evaluations:
+        Number of objective evaluations.
+    converged:
+        ``True`` if the spread criterion was met before ``max_iter``.
+    """
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    evaluations: int
+    converged: bool
+
+
+def _initial_simplex(x0: np.ndarray, step: float) -> np.ndarray:
+    """Build the ``(n+1, n)`` starting simplex around ``x0``.
+
+    Each vertex perturbs one coordinate by ``step`` relative to its
+    magnitude (absolute ``step`` for zero coordinates), the scheme used
+    by most practical implementations.
+    """
+    n = x0.size
+    simplex = np.tile(x0, (n + 1, 1))
+    for i in range(n):
+        if simplex[i + 1, i] != 0.0:
+            simplex[i + 1, i] *= 1.0 + step
+        else:
+            simplex[i + 1, i] = step
+    return simplex
+
+
+def nelder_mead(
+    objective: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    max_iter: int = 500,
+    xtol: float = 1e-6,
+    ftol: float = 1e-8,
+    initial_step: float = 0.05,
+) -> NelderMeadResult:
+    """Minimise ``objective`` starting from ``x0``.
+
+    Parameters
+    ----------
+    objective:
+        Callable mapping a parameter vector to a finite float.  Values
+        that come back non-finite are treated as ``+inf`` so the simplex
+        retreats from invalid regions (e.g. negative variances during a
+        merge fit).
+    x0:
+        Initial guess, shape ``(n,)``.
+    max_iter:
+        Iteration budget.
+    xtol / ftol:
+        Convergence thresholds on the simplex spread in parameter space
+        and objective value respectively; both must hold.
+    initial_step:
+        Relative perturbation used to seed the simplex.
+
+    Returns
+    -------
+    NelderMeadResult
+    """
+    x0 = np.asarray(x0, dtype=float).ravel()
+    if x0.size == 0:
+        raise ValueError("cannot optimise a zero-dimensional parameter vector")
+
+    def safe_eval(x: np.ndarray) -> float:
+        value = float(objective(x))
+        return value if np.isfinite(value) else np.inf
+
+    simplex = _initial_simplex(x0, initial_step)
+    values = np.array([safe_eval(vertex) for vertex in simplex])
+    evaluations = values.size
+
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iter + 1):
+        order = np.argsort(values, kind="stable")
+        simplex = simplex[order]
+        values = values[order]
+
+        x_spread = float(np.max(np.abs(simplex[1:] - simplex[0])))
+        f_spread = float(np.abs(values[-1] - values[0]))
+        if x_spread <= xtol and f_spread <= ftol:
+            converged = True
+            break
+
+        centroid = np.mean(simplex[:-1], axis=0)
+        worst = simplex[-1]
+
+        reflected = centroid + ALPHA * (centroid - worst)
+        f_reflected = safe_eval(reflected)
+        evaluations += 1
+
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1] = reflected
+            values[-1] = f_reflected
+            continue
+
+        if f_reflected < values[0]:
+            expanded = centroid + GAMMA * (reflected - centroid)
+            f_expanded = safe_eval(expanded)
+            evaluations += 1
+            if f_expanded < f_reflected:
+                simplex[-1] = expanded
+                values[-1] = f_expanded
+            else:
+                simplex[-1] = reflected
+                values[-1] = f_reflected
+            continue
+
+        # Contraction: outside if the reflection improved on the worst
+        # vertex, inside otherwise.
+        if f_reflected < values[-1]:
+            contracted = centroid + RHO * (reflected - centroid)
+        else:
+            contracted = centroid + RHO * (worst - centroid)
+        f_contracted = safe_eval(contracted)
+        evaluations += 1
+        if f_contracted < min(f_reflected, values[-1]):
+            simplex[-1] = contracted
+            values[-1] = f_contracted
+            continue
+
+        # Shrink every vertex toward the best one.
+        best = simplex[0]
+        for i in range(1, simplex.shape[0]):
+            simplex[i] = best + SIGMA * (simplex[i] - best)
+            values[i] = safe_eval(simplex[i])
+            evaluations += 1
+
+    best_index = int(np.argmin(values))
+    return NelderMeadResult(
+        x=simplex[best_index].copy(),
+        fun=float(values[best_index]),
+        iterations=iterations,
+        evaluations=evaluations,
+        converged=converged,
+    )

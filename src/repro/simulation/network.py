@@ -1,0 +1,200 @@
+"""Star-topology network between remote sites and the coordinator.
+
+The distributed architecture of the paper (after [5, 7, 10, 21]) has no
+site-to-site links: every remote site talks to the coordinator only.
+:class:`StarNetwork` models exactly that -- one :class:`NetworkChannel`
+per site, each with configurable propagation latency and bandwidth, all
+metering their traffic into a shared
+:class:`~repro.simulation.collector.TimeSeriesCollector` so the Figure 2
+communication-cost curves fall straight out of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.protocol import Message
+from repro.simulation.collector import TimeSeriesCollector
+from repro.simulation.engine import SimulationEngine
+
+__all__ = ["ChannelStats", "NetworkChannel", "StarNetwork"]
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel traffic counters.
+
+    ``messages`` / ``bytes`` count *attempted* sends (that is what the
+    sender pays for and what the cost collector meters); ``dropped``
+    and ``duplicated`` record what the unreliable link then did.
+    """
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+
+
+class NetworkChannel:
+    """A one-way site-to-coordinator link.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine providing the clock.
+    deliver:
+        Callback receiving each message on arrival (the coordinator's
+        ``handle_message``).
+    latency:
+        Propagation delay in virtual seconds.
+    bandwidth:
+        Bytes per virtual second; transmission time is
+        ``payload / bandwidth``.  ``None`` models an unconstrained link
+        (latency only).
+    collector:
+        Optional shared byte-cost collector (metered at send time,
+        matching "total communication cost collected every second").
+    drop_rate / duplicate_rate:
+        Unreliable-link model: each transmission is independently lost
+        with ``drop_rate`` probability or delivered twice with
+        ``duplicate_rate`` probability (the duplicate arrives one extra
+        latency later).  Model updates are idempotent at the
+        coordinator, so duplicates are harmless; drops are survivable
+        with :class:`~repro.core.coordinator.CoordinatorConfig`
+        ``tolerate_loss=True``.
+    rng:
+        Randomness for the unreliability model.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        deliver: Callable[[Message], None],
+        latency: float = 0.01,
+        bandwidth: float | None = None,
+        collector: TimeSeriesCollector | None = None,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if latency < 0.0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth is not None and bandwidth <= 0.0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError("drop_rate must lie in [0, 1)")
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must lie in [0, 1)")
+        self._engine = engine
+        self._deliver = deliver
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._collector = collector
+        self.stats = ChannelStats()
+        #: Time the link becomes free; serialises transmissions.
+        self._busy_until = 0.0
+
+    def send(self, message: Message) -> float:
+        """Transmit ``message``; returns its (scheduled) arrival time.
+
+        Transmissions on one channel are serialised: a message must wait
+        for the previous one to finish before occupying the link.  The
+        sender pays for the bytes whether or not the link then drops
+        the message.
+        """
+        payload = message.payload_bytes()
+        now = self._engine.now
+        start = max(now, self._busy_until)
+        transmit = payload / self.bandwidth if self.bandwidth else 0.0
+        arrival = start + transmit + self.latency
+        self._busy_until = start + transmit
+        self.stats.messages += 1
+        self.stats.bytes += payload
+        if self._collector is not None:
+            self._collector.add(now, payload)
+        if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
+            self.stats.dropped += 1
+            return arrival
+        self._engine.schedule_at(arrival, lambda: self._deliver(message))
+        if (
+            self.duplicate_rate > 0.0
+            and self._rng.random() < self.duplicate_rate
+        ):
+            self.stats.duplicated += 1
+            self._engine.schedule_at(
+                arrival + self.latency, lambda: self._deliver(message)
+            )
+        return arrival
+
+
+class StarNetwork:
+    """All site-to-coordinator channels plus the shared cost meter.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    deliver:
+        Coordinator-side message sink.
+    latency / bandwidth:
+        Defaults applied to every channel created by
+        :meth:`channel_for`.
+    sample_interval:
+        Grid period of the shared communication-cost collector.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        deliver: Callable[[Message], None],
+        latency: float = 0.01,
+        bandwidth: float | None = None,
+        sample_interval: float = 1.0,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self._engine = engine
+        self._deliver = deliver
+        self._latency = latency
+        self._bandwidth = bandwidth
+        self._drop_rate = drop_rate
+        self._duplicate_rate = duplicate_rate
+        self._seed = seed
+        self.cost = TimeSeriesCollector(interval=sample_interval)
+        self._channels: dict[int, NetworkChannel] = {}
+
+    def channel_for(self, site_id: int) -> NetworkChannel:
+        """The (lazily created) uplink channel of ``site_id``."""
+        if site_id not in self._channels:
+            self._channels[site_id] = NetworkChannel(
+                engine=self._engine,
+                deliver=self._deliver,
+                latency=self._latency,
+                bandwidth=self._bandwidth,
+                collector=self.cost,
+                drop_rate=self._drop_rate,
+                duplicate_rate=self._duplicate_rate,
+                rng=np.random.default_rng(self._seed + 90_000 + site_id),
+            )
+        return self._channels[site_id]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes sent across all channels."""
+        return sum(channel.stats.bytes for channel in self._channels.values())
+
+    @property
+    def total_messages(self) -> int:
+        """Messages sent across all channels."""
+        return sum(channel.stats.messages for channel in self._channels.values())
+
+    def finalize(self) -> None:
+        """Flush the cost collector up to the current clock."""
+        self.cost.finalize(self._engine.now)

@@ -1,0 +1,127 @@
+"""Gradually drifting streams.
+
+The paper's synthetic workloads switch distributions *abruptly* (a new
+mixture every 2k points with probability ``P_d``).  Real streams also
+*drift*: cluster centres move continuously.  Drift exercises a
+different part of CluDistream -- chunks keep failing the fit test by a
+little, and warm-started EM (refining the previous model) shines over
+cold restarts.
+
+:class:`DriftingGaussianStream` moves every component mean along a
+fixed random direction at ``drift_per_record`` units per record, while
+weights and covariances stay put.  Ground truth is queryable at any
+record index via :meth:`mixture_at`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.streams.synthetic import random_mixture
+
+__all__ = ["DriftConfig", "DriftingGaussianStream"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Drift stream parameters.
+
+    Parameters
+    ----------
+    dim / n_components:
+        Shape of the underlying mixture.
+    drift_per_record:
+        Distance each component mean travels per record.
+    step:
+        Records generated per ground-truth refresh (the mixture is
+        piecewise constant over ``step`` records; smaller = smoother
+        drift, more bookkeeping).
+    separation / scale / box:
+        Passed through to the initial random mixture.
+    """
+
+    dim: int = 4
+    n_components: int = 5
+    drift_per_record: float = 0.002
+    step: int = 100
+    separation: float = 4.0
+    scale: float = 0.5
+    box: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.drift_per_record < 0.0:
+            raise ValueError("drift_per_record must be non-negative")
+        if self.step < 1:
+            raise ValueError("step must be at least 1")
+
+
+class DriftingGaussianStream:
+    """Infinite stream whose cluster centres move continuously.
+
+    Parameters
+    ----------
+    config:
+        Drift parameters.
+    rng:
+        Randomness for the initial mixture, the drift directions and
+        the record sampling.
+    """
+
+    def __init__(
+        self,
+        config: DriftConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or DriftConfig()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.initial = random_mixture(
+            self.config.dim,
+            self.config.n_components,
+            self._rng,
+            box=self.config.box,
+            scale=self.config.scale,
+            separation=self.config.separation,
+        )
+        directions = self._rng.standard_normal(
+            (self.config.n_components, self.config.dim)
+        )
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        self._directions = directions / np.maximum(norms, 1e-12)
+        self.records_generated = 0
+        self._iterator = self._generate()
+
+    def mixture_at(self, record_index: int) -> GaussianMixture:
+        """Ground-truth mixture when record ``record_index`` is emitted."""
+        if record_index < 0:
+            raise ValueError("record index must be non-negative")
+        offset = record_index * self.config.drift_per_record
+        components = tuple(
+            Gaussian(
+                component.mean + offset * direction,
+                component.covariance,
+                diagonal=component.diagonal,
+            )
+            for component, direction in zip(
+                self.initial.components, self._directions
+            )
+        )
+        return GaussianMixture(self.initial.weights, components)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self._iterator
+
+    def __next__(self) -> np.ndarray:
+        return next(self._iterator)
+
+    def _generate(self) -> Iterator[np.ndarray]:
+        while True:
+            mixture = self.mixture_at(self.records_generated)
+            block, _ = mixture.sample(self.config.step, self._rng)
+            for row in block:
+                self.records_generated += 1
+                yield row

@@ -1,0 +1,71 @@
+"""Incomplete-record stream wrapper.
+
+The paper's motivating scenarios -- unreliable P2P collection paths,
+obstructed sensors -- produce records with *missing* attributes.
+:class:`MissingValueStream` wraps any record stream and knocks out each
+attribute independently with probability ``rate`` (marking it NaN),
+always leaving at least one attribute observed so the record still
+carries information.  Downstream, :mod:`repro.core.missing` handles the
+NaNs exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["MissingValueStream"]
+
+
+class MissingValueStream:
+    """Wrap a stream, erasing attributes at random.
+
+    Parameters
+    ----------
+    source:
+        The complete-record stream.
+    rate:
+        Per-attribute missingness probability in ``[0, 1)``.
+    rng:
+        Randomness source (independent of the source's).
+
+    Attributes
+    ----------
+    emitted:
+        Records emitted so far.
+    erased:
+        Total attribute values erased so far.
+    """
+
+    def __init__(
+        self,
+        source: Iterable[np.ndarray],
+        rate: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("missingness rate must lie in [0, 1)")
+        self._source = iter(source)
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng(404)
+        self.emitted = 0
+        self.erased = 0
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self
+
+    def __next__(self) -> np.ndarray:
+        record = np.asarray(next(self._source), dtype=float).copy()
+        self.emitted += 1
+        if self.rate <= 0.0:
+            return record
+        mask = self._rng.random(record.size) < self.rate
+        if mask.all():
+            # Keep one attribute observed; a fully missing record is
+            # information-free and rejected downstream.
+            keep = int(self._rng.integers(record.size))
+            mask[keep] = False
+        record[mask] = np.nan
+        self.erased += int(mask.sum())
+        return record

@@ -1,0 +1,24 @@
+"""Window semantics over CluDistream sites (paper sections 6-7).
+
+* :mod:`repro.windows.landmark` -- everything since the landmark
+  (stream start): the union of all models weighted by their record
+  counters.  CluDistream answers these natively; SEM can only offer its
+  single current model.
+* :mod:`repro.windows.horizon` -- the data within a horizon ``H`` of
+  the current time, answered from the event table by weighting each
+  model by its overlap with the window (Figures 5 and 7).
+* :mod:`repro.windows.sliding` -- true sliding windows with deletion:
+  expired spans are removed via the negative-weight model updates of
+  section 7.
+"""
+
+from repro.windows.horizon import horizon_mixture, horizon_model_spans
+from repro.windows.landmark import landmark_mixture
+from repro.windows.sliding import SlidingWindowManager
+
+__all__ = [
+    "SlidingWindowManager",
+    "horizon_mixture",
+    "horizon_model_spans",
+    "landmark_mixture",
+]

@@ -1,0 +1,73 @@
+"""Horizon-window answers from the event table.
+
+A *horizon* query asks for the model of the most recent ``H`` records
+("the data in a horizon of current time", section 6.2).  CluDistream
+answers it without re-clustering: the event table says which model
+covered which span, so the horizon model is the union of the
+overlapping models weighted by their overlap lengths.  Answers are
+exact up to chunk granularity (half a chunk of absolute error, per
+section 7).
+"""
+
+from __future__ import annotations
+
+from repro.core.mixture import GaussianMixture
+from repro.core.remote import RemoteSite
+
+__all__ = ["horizon_mixture", "horizon_model_spans"]
+
+
+def horizon_model_spans(
+    site: RemoteSite, horizon: int
+) -> list[tuple[int, int]]:
+    """``(model_id, overlap_records)`` pairs covering the last ``horizon``
+    records.
+
+    Includes both closed event-table entries and the current model's
+    still-open reign.  Pairs appear in time order; the same model id can
+    appear more than once when the multi-test strategy reactivated it.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be at least 1")
+    end = site.position
+    start = max(0, end - horizon)
+    spans: list[tuple[int, int]] = []
+    for record in site.events.window(start, max(end - start, 1)) if end else []:
+        overlap = min(record.end, end) - max(record.start, start)
+        if overlap > 0:
+            spans.append((record.model_id, overlap))
+    if site.current_model is not None:
+        reign_start = site.current_started_at
+        overlap = min(end, end) - max(reign_start, start)
+        if overlap > 0:
+            spans.append((site.current_model.model_id, overlap))
+    return spans
+
+
+def horizon_mixture(site: RemoteSite, horizon: int) -> GaussianMixture:
+    """The site's model of its most recent ``horizon`` records.
+
+    Raises
+    ------
+    ValueError
+        If no model overlaps the window (site still buffering its first
+        chunk).
+    """
+    spans = horizon_model_spans(site, horizon)
+    combined: GaussianMixture | None = None
+    combined_mass = 0.0
+    for model_id, overlap in spans:
+        entry = site.find_model(model_id)
+        if entry is None:  # expired via sliding-window deletion
+            continue
+        if combined is None:
+            combined = entry.mixture
+            combined_mass = float(overlap)
+        else:
+            combined = combined.union(
+                entry.mixture, combined_mass, float(overlap)
+            )
+            combined_mass += float(overlap)
+    if combined is None:
+        raise ValueError("no model covers the requested horizon yet")
+    return combined

@@ -1,0 +1,104 @@
+"""Sliding windows via the section 7 deletion protocol.
+
+In a sliding window of ``W`` records, spans leaving the window must be
+*deleted* from the model.  CluDistream handles deletion without raw
+data: the remote site uploads the affected model ID with a negative
+weight and both sides subtract it from the model's counter, dropping
+the model entirely once its weight is non-positive.
+
+:class:`SlidingWindowManager` wraps a :class:`~repro.core.remote.RemoteSite`
+and drives that protocol: it tracks, at chunk granularity, which model
+absorbed which span of the stream, and expires the oldest spans as the
+window advances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.protocol import Message
+from repro.core.remote import RemoteSite
+
+__all__ = ["SlidingWindowManager"]
+
+
+class SlidingWindowManager:
+    """Maintain a sliding window of ``window`` records over a site.
+
+    Parameters
+    ----------
+    site:
+        The wrapped remote site.  Feed records through
+        :meth:`process_record` (not directly to the site) so span
+        bookkeeping stays consistent.
+    window:
+        Window size ``W`` in records; must be at least one chunk.
+
+    Notes
+    -----
+    Spans are tracked at chunk granularity (the resolution at which the
+    site attributes records to models), so the effective window size is
+    exact to within one chunk -- consistent with the ``M/2`` absolute
+    error the paper quotes for event-table answers.
+    """
+
+    def __init__(self, site: RemoteSite, window: int) -> None:
+        if window < site.chunk:
+            raise ValueError(
+                f"window ({window}) must be at least one chunk "
+                f"({site.chunk})"
+            )
+        self.site = site
+        self.window = window
+        #: Arrival-ordered ``[model_id, records]`` spans inside the window.
+        self._spans: deque[list[int]] = deque()
+        self._in_window = 0
+
+    @property
+    def records_in_window(self) -> int:
+        """Records currently attributed inside the window."""
+        return self._in_window
+
+    def process_record(self, record: np.ndarray) -> list[Message]:
+        """Feed one record; expire old spans once the window overflows.
+
+        Returns every message emitted -- the site's normal model/weight
+        updates plus any :class:`~repro.core.protocol.DeletionMessage`
+        triggered by expiry.
+        """
+        before = self.site.position
+        messages = list(self.site.process_record(record))
+        after = self.site.position
+        if after > before:
+            # A chunk completed; attribute it to the now-current model.
+            current = self.site.current_model
+            assert current is not None
+            consumed = after - before
+            self._spans.append([current.model_id, consumed])
+            self._in_window += consumed
+            messages.extend(self._expire_overflow())
+        return messages
+
+    def _expire_overflow(self) -> list[Message]:
+        """Expire the oldest spans until the window fits."""
+        messages: list[Message] = []
+        while self._in_window > self.window and self._spans:
+            model_id, length = self._spans[0]
+            excess = self._in_window - self.window
+            expire_now = min(length, excess)
+            if self.site.find_model(model_id) is not None:
+                messages.extend(self.site.expire(model_id, expire_now))
+            self._in_window -= expire_now
+            if expire_now == length:
+                self._spans.popleft()
+            else:
+                self._spans[0][1] = length - expire_now
+        return messages
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowManager(window={self.window}, "
+            f"in_window={self._in_window}, spans={len(self._spans)})"
+        )

@@ -1,0 +1,111 @@
+"""Tests for model-fit change detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.changedetect.detector import ChangeDetector
+from repro.core.em import EMConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.remote import RemoteSite, RemoteSiteConfig
+
+
+def make_detector(seed: int = 5, c_max: int = 4) -> ChangeDetector:
+    config = RemoteSiteConfig(
+        dim=2,
+        epsilon=0.3,
+        delta=0.05,
+        c_max=c_max,
+        em=EMConfig(n_components=2, n_init=1, max_iter=25, tol=1e-3),
+        chunk_override=250,
+    )
+    return ChangeDetector(RemoteSite(0, config, rng=np.random.default_rng(seed)))
+
+
+def mixture_at(center: float) -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian.spherical(np.array([center, 0.0]), 0.3),
+            Gaussian.spherical(np.array([center, 5.0]), 0.3),
+        ),
+    )
+
+
+def feed(detector: ChangeDetector, center: float, n: int, seed: int):
+    points, _ = mixture_at(center).sample(n, np.random.default_rng(seed))
+    detected = []
+    for row in points:
+        detected.extend(detector.process_record(row))
+    return detected
+
+
+class TestChangeDetector:
+    def test_no_change_on_stationary_stream(self):
+        detector = make_detector()
+        feed(detector, 0.0, 1500, 1)
+        assert detector.changes == []
+
+    def test_detects_a_distribution_change(self):
+        detector = make_detector()
+        chunk = detector.site.chunk
+        feed(detector, 0.0, chunk * 2, 1)
+        detected = feed(detector, 40.0, chunk, 2)
+        assert len(detected) == 1
+        assert detected[0].position == chunk * 2
+        assert not detected[0].reactivation
+
+    def test_reactivation_flagged(self):
+        detector = make_detector()
+        chunk = detector.site.chunk
+        feed(detector, 0.0, chunk * 2, 1)
+        feed(detector, 40.0, chunk * 2, 2)
+        detected = feed(detector, 0.0, chunk, 3)
+        assert len(detected) == 1
+        assert detected[0].reactivation
+
+    def test_first_model_is_not_a_change(self):
+        detector = make_detector()
+        feed(detector, 0.0, detector.site.chunk, 1)
+        assert detector.changes == []
+
+    def test_detection_position_within_one_chunk(self):
+        detector = make_detector()
+        chunk = detector.site.chunk
+        feed(detector, 0.0, chunk * 3, 1)
+        true_change = chunk * 3
+        feed(detector, 40.0, chunk * 2, 2)
+        positions = detector.detected_positions()
+        assert len(positions) == 1
+        assert abs(positions[0] - true_change) <= chunk
+
+    def test_matches_scoring(self):
+        detector = make_detector()
+        chunk = detector.site.chunk
+        feed(detector, 0.0, chunk * 2, 1)
+        feed(detector, 40.0, chunk * 2, 2)
+        hits, misses, false_alarms = detector.matches([chunk * 2])
+        assert (hits, misses, false_alarms) == (1, 0, 0)
+
+    def test_matches_counts_misses_and_false_alarms(self):
+        detector = make_detector()
+        chunk = detector.site.chunk
+        feed(detector, 0.0, chunk * 2, 1)
+        feed(detector, 40.0, chunk, 2)
+        # Claim two true changes; only one was real/detected.
+        hits, misses, false_alarms = detector.matches(
+            [chunk * 2, chunk * 10]
+        )
+        assert hits == 1
+        assert misses == 1
+        assert false_alarms == 0
+
+    def test_multiple_changes_all_detected(self):
+        detector = make_detector(c_max=1)
+        chunk = detector.site.chunk
+        centers = [0.0, 40.0, 80.0, 120.0]
+        for index, center in enumerate(centers):
+            feed(detector, center, chunk, 10 + index)
+        assert len(detector.changes) == 3

@@ -1,0 +1,74 @@
+"""Shared fixtures for the CluDistream test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.remote import RemoteSiteConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_2d() -> Gaussian:
+    """A correlated 2-d Gaussian used across density tests."""
+    return Gaussian(
+        mean=np.array([1.0, -2.0]),
+        covariance=np.array([[2.0, 0.6], [0.6, 1.0]]),
+    )
+
+
+@pytest.fixture
+def mixture_2d() -> GaussianMixture:
+    """A well-separated three-component 2-d mixture."""
+    components = (
+        Gaussian.spherical(np.array([0.0, 0.0]), 0.5),
+        Gaussian.spherical(np.array([6.0, 0.0]), 0.8),
+        Gaussian.spherical(np.array([0.0, 6.0]), 0.3),
+    )
+    return GaussianMixture(np.array([0.5, 0.3, 0.2]), components)
+
+
+@pytest.fixture
+def mixture_1d() -> GaussianMixture:
+    """A bimodal 1-d mixture."""
+    components = (
+        Gaussian(np.array([-3.0]), np.array([[0.5]])),
+        Gaussian(np.array([3.0]), np.array([[1.0]])),
+    )
+    return GaussianMixture(np.array([0.4, 0.6]), components)
+
+
+@pytest.fixture
+def fast_em() -> EMConfig:
+    """EM settings tuned for fast tests."""
+    return EMConfig(n_components=3, n_init=1, max_iter=40, tol=1e-3)
+
+
+@pytest.fixture
+def fast_site_config(fast_em: EMConfig) -> RemoteSiteConfig:
+    """Remote-site settings with a small explicit chunk for fast tests."""
+    return RemoteSiteConfig(
+        dim=2,
+        epsilon=0.3,
+        delta=0.05,
+        c_max=4,
+        em=fast_em,
+        chunk_override=300,
+    )
+
+
+def sample_from(
+    mixture: GaussianMixture, n: int, seed: int = 0
+) -> np.ndarray:
+    """Deterministic sample helper used by many tests."""
+    points, _ = mixture.sample(n, np.random.default_rng(seed))
+    return points

@@ -1,0 +1,133 @@
+"""Edge-coverage tests for public API surfaces not exercised elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+
+
+class TestMixtureUtilities:
+    def test_scaled_returns_raw_weights(self, mixture_2d):
+        scaled = mixture_2d.scaled(100.0)
+        assert np.allclose(scaled, mixture_2d.weights * 100.0)
+
+    def test_scaled_rejects_non_positive_factor(self, mixture_2d):
+        with pytest.raises(ValueError, match="positive"):
+            mixture_2d.scaled(0.0)
+
+    def test_with_components_replaces_contents(self, mixture_2d):
+        new_components = tuple(
+            Gaussian(c.mean + 1.0, c.covariance)
+            for c in mixture_2d.components
+        )
+        replaced = mixture_2d.with_components(
+            mixture_2d.weights, new_components
+        )
+        assert replaced.components[0].mean[0] == pytest.approx(
+            mixture_2d.components[0].mean[0] + 1.0
+        )
+
+    def test_with_components_rejects_dimension_change(self, mixture_2d):
+        wrong = (Gaussian.spherical(np.zeros(3), 1.0),)
+        with pytest.raises(ValueError, match="dimensionality"):
+            mixture_2d.with_components(np.ones(1), wrong)
+
+    def test_component_log_pdf_shape(self, mixture_2d, rng):
+        points = rng.normal(size=(7, 2))
+        assert mixture_2d.component_log_pdf(points).shape == (7, 3)
+
+    def test_weighted_log_pdf_handles_zero_weights(self, gaussian_2d):
+        mixture = GaussianMixture(
+            np.array([1.0, 0.0]),
+            (gaussian_2d, Gaussian.spherical(np.zeros(2), 1.0)),
+        )
+        weighted = mixture.weighted_log_pdf(np.zeros((1, 2)))
+        assert weighted[0, 1] == -np.inf
+        assert np.isfinite(mixture.log_pdf(np.zeros((1, 2))))[0]
+
+    def test_repr_is_informative(self, mixture_2d, gaussian_2d):
+        assert "K=3" in repr(mixture_2d)
+        assert "dim=2" in repr(gaussian_2d)
+
+
+class TestGaussianUtilities:
+    def test_precision_is_inverse_covariance(self, gaussian_2d):
+        identity = gaussian_2d.precision @ gaussian_2d.covariance
+        assert np.allclose(identity, np.eye(2), atol=1e-9)
+
+    def test_log_det_matches_numpy(self, gaussian_2d):
+        expected = float(np.log(np.linalg.det(gaussian_2d.covariance)))
+        assert gaussian_2d.log_det == pytest.approx(expected, rel=1e-9)
+
+
+class TestSiteStatisticsAndRepr:
+    def test_register_message_accumulates(self):
+        from repro.core.protocol import WeightUpdateMessage
+        from repro.core.remote import SiteStatistics
+
+        stats = SiteStatistics()
+        message = WeightUpdateMessage(
+            site_id=0, model_id=0, time=0, count_delta=1
+        )
+        stats.register_message(message)
+        stats.register_message(message)
+        assert stats.messages_sent == 2
+        assert stats.bytes_sent == 2 * message.payload_bytes()
+
+    def test_site_repr(self, fast_site_config):
+        from repro.core.remote import RemoteSite
+
+        site = RemoteSite(3, fast_site_config)
+        text = repr(site)
+        assert "id=3" in text
+        assert "chunk=300" in text
+
+    def test_coordinator_repr(self):
+        from repro.core.coordinator import Coordinator
+
+        assert "clusters=0" in repr(Coordinator())
+
+
+class TestEvolvingQueryWithExpiredModels:
+    def test_expired_model_yields_none_span(self):
+        from repro.core.cludistream import CluDistream, CluDistreamConfig
+        from repro.core.coordinator import CoordinatorConfig
+        from repro.core.em import EMConfig
+        from repro.core.remote import RemoteSiteConfig
+
+        config = CluDistreamConfig(
+            n_sites=1,
+            site=RemoteSiteConfig(
+                dim=2,
+                epsilon=0.3,
+                delta=0.05,
+                em=EMConfig(n_components=2, n_init=1, max_iter=25, tol=1e-3),
+                chunk_override=250,
+            ),
+            coordinator=CoordinatorConfig(
+                max_components=4, merge_method="moment", tolerate_loss=True
+            ),
+        )
+        system = CluDistream(config, seed=0)
+        mixture = GaussianMixture(
+            np.array([0.5, 0.5]),
+            (
+                Gaussian.spherical(np.array([0.0, 0.0]), 0.4),
+                Gaussian.spherical(np.array([0.0, 5.0]), 0.4),
+            ),
+        )
+        a, _ = mixture.sample(250, np.random.default_rng(1))
+        shifted, _ = mixture.sample(250, np.random.default_rng(2))
+        system.feed_streams({0: list(a) + list(shifted + 40.0)},
+                            max_records_per_site=500)
+        site = system.sites[0]
+        old_id = site.events[0].model_id
+        # Expire the archived model entirely.
+        site.expire(old_id, 250)
+        answer = system.evolving_query(0, 500)
+        spans = answer[0]
+        assert spans[0][2] is None  # expired model's span has no mixture
+        assert spans[-1][2] is not None

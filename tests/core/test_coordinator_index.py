@@ -1,0 +1,107 @@
+"""Tests for the coordinator's KD-tree candidate pruning (future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coordinator import Coordinator, CoordinatorConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import ModelUpdateMessage
+
+
+def site_model(center: np.ndarray) -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian.spherical(center, 0.4),
+            Gaussian.spherical(center + np.array([0.0, 3.0]), 0.4),
+        ),
+    )
+
+
+def update(site_id: int, center: np.ndarray) -> ModelUpdateMessage:
+    return ModelUpdateMessage(
+        site_id=site_id,
+        model_id=0,
+        time=0,
+        mixture=site_model(center),
+        count=1000,
+        reference_likelihood=-1.0,
+    )
+
+
+def run_coordinator(index_candidates: int | None) -> Coordinator:
+    coordinator = Coordinator(
+        CoordinatorConfig(
+            max_components=6,
+            merge_method="moment",
+            index_candidates=index_candidates,
+        ),
+        rng=np.random.default_rng(0),
+    )
+    rng = np.random.default_rng(1)
+    for site_id in range(12):
+        center = rng.uniform(-40.0, 40.0, size=2)
+        coordinator.handle_message(update(site_id, center))
+    return coordinator
+
+
+class TestIndexedCoordinator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="index_candidates"):
+            CoordinatorConfig(index_candidates=0)
+
+    def test_index_respects_component_cap(self):
+        coordinator = run_coordinator(index_candidates=3)
+        assert coordinator.n_components <= 6
+
+    def test_indexed_result_close_to_exact(self):
+        """Pruned merge decisions should land near the exact ones: the
+        same number of global clusters and a global mixture assigning
+        similar likelihood to probe data."""
+        exact = run_coordinator(index_candidates=None)
+        indexed = run_coordinator(index_candidates=3)
+        assert indexed.n_components == exact.n_components
+        probe = np.random.default_rng(2).uniform(-40.0, 40.0, size=(500, 2))
+        exact_quality = exact.global_mixture().average_log_likelihood(probe)
+        indexed_quality = indexed.global_mixture().average_log_likelihood(
+            probe
+        )
+        assert indexed_quality == pytest.approx(exact_quality, abs=2.0)
+
+    def test_large_candidate_budget_equals_exact(self):
+        """With the budget covering every cluster, the indexed path
+        makes identical decisions."""
+        exact = run_coordinator(index_candidates=None)
+        covered = run_coordinator(index_candidates=50)
+        assert covered.n_components == exact.n_components
+        exact_means = sorted(
+            tuple(np.round(c.father.mean, 6))
+            for c in exact.clusters
+        )
+        covered_means = sorted(
+            tuple(np.round(c.father.mean, 6))
+            for c in covered.clusters
+        )
+        assert exact_means == covered_means
+
+    def test_attach_uses_candidates(self):
+        """A leaf near an existing cluster joins it under the index."""
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                max_components=None,
+                attach_threshold=10.0,
+                index_candidates=2,
+            ),
+            rng=np.random.default_rng(3),
+        )
+        for site_id, x in enumerate((0.0, 50.0, 100.0, 150.0)):
+            coordinator.handle_message(
+                update(site_id, np.array([x, 0.0]))
+            )
+        before = coordinator.n_components
+        # A new site lands exactly on the cluster at x=100.
+        coordinator.handle_message(update(99, np.array([100.0, 0.0])))
+        assert coordinator.n_components == before

@@ -1,0 +1,93 @@
+"""Tests for the event table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventRecord, EventTable
+
+
+class TestEventRecord:
+    def test_length(self):
+        assert EventRecord(0, 100, 1).length == 100
+
+    def test_rejects_empty_span(self):
+        with pytest.raises(ValueError, match="exceed"):
+            EventRecord(5, 5, 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventRecord(-1, 5, 0)
+
+    def test_overlap_semantics(self):
+        record = EventRecord(10, 20, 0)
+        assert record.overlaps(0, 11)
+        assert record.overlaps(19, 30)
+        assert not record.overlaps(0, 10)  # half-open boundaries
+        assert not record.overlaps(20, 30)
+
+
+class TestEventTable:
+    def make_table(self) -> EventTable:
+        table = EventTable()
+        table.append(0, 100, 0)
+        table.append(100, 250, 1)
+        table.append(250, 300, 0)  # model 0 reactivated
+        return table
+
+    def test_events_must_tile_the_stream(self):
+        table = EventTable()
+        table.append(0, 100, 0)
+        with pytest.raises(ValueError, match="horizon"):
+            table.append(150, 200, 1)
+
+    def test_horizon_tracks_last_end(self):
+        table = self.make_table()
+        assert table.horizon == 300
+
+    def test_model_at_inside_spans(self):
+        table = self.make_table()
+        assert table.model_at(0) == 0
+        assert table.model_at(99) == 0
+        assert table.model_at(100) == 1
+        assert table.model_at(299) == 0
+
+    def test_model_at_outside_known_range(self):
+        table = self.make_table()
+        assert table.model_at(300) is None
+        assert table.model_at(-1) is None
+
+    def test_window_query_returns_overlapping_events(self):
+        table = self.make_table()
+        events = table.window(50, 100)  # [50, 150)
+        assert [event.model_id for event in events] == [0, 1]
+
+    def test_window_query_single_span(self):
+        table = self.make_table()
+        events = table.window(110, 10)
+        assert len(events) == 1
+        assert events[0].model_id == 1
+
+    def test_window_rejects_bad_parameters(self):
+        table = self.make_table()
+        with pytest.raises(ValueError, match="length"):
+            table.window(0, 0)
+        with pytest.raises(ValueError, match="start"):
+            table.window(-5, 10)
+
+    def test_change_points(self):
+        table = self.make_table()
+        assert table.change_points() == [100, 250, 300]
+
+    def test_empty_table(self):
+        table = EventTable()
+        assert len(table) == 0
+        assert table.horizon == 0
+        assert table.model_at(0) is None
+        assert table.change_points() == []
+
+    def test_iteration_and_indexing(self):
+        table = self.make_table()
+        assert len(list(table)) == 3
+        assert table[1].model_id == 1
+        assert table.records[2].start == 250

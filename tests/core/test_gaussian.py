@@ -1,0 +1,155 @@
+"""Tests for single Gaussian components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import multivariate_normal
+
+from repro.core.gaussian import Gaussian
+
+
+class TestConstruction:
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            Gaussian(np.zeros(2), np.eye(3))
+
+    def test_vector_covariance_treated_as_diagonal(self):
+        gaussian = Gaussian(np.zeros(2), np.array([2.0, 3.0]))
+        assert np.allclose(gaussian.covariance, np.diag([2.0, 3.0]))
+
+    def test_diagonal_flag_zeroes_off_diagonals(self):
+        cov = np.array([[1.0, 0.5], [0.5, 2.0]])
+        gaussian = Gaussian(np.zeros(2), cov, diagonal=True)
+        assert gaussian.covariance[0, 1] == pytest.approx(0.0)
+
+    def test_immutability(self, gaussian_2d: Gaussian):
+        with pytest.raises(ValueError):
+            gaussian_2d.mean[0] = 99.0
+        with pytest.raises(ValueError):
+            gaussian_2d.covariance[0, 0] = 99.0
+
+    def test_from_samples_recovers_moments(self, rng):
+        samples = rng.normal([1.0, -1.0], [0.5, 2.0], size=(50_000, 2))
+        fitted = Gaussian.from_samples(samples)
+        assert np.allclose(fitted.mean, [1.0, -1.0], atol=0.05)
+        assert np.allclose(
+            np.diag(fitted.covariance), [0.25, 4.0], rtol=0.05
+        )
+
+    def test_from_samples_needs_two_records(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Gaussian.from_samples(np.ones((1, 3)))
+
+    def test_spherical_constructor(self):
+        gaussian = Gaussian.spherical(np.zeros(3), 2.5)
+        assert np.allclose(gaussian.covariance, 2.5 * np.eye(3))
+
+
+class TestDensity:
+    def test_log_pdf_matches_scipy(self, gaussian_2d: Gaussian, rng):
+        points = rng.normal(size=(20, 2))
+        reference = multivariate_normal(
+            gaussian_2d.mean, gaussian_2d.covariance
+        )
+        assert np.allclose(
+            gaussian_2d.log_pdf(points), reference.logpdf(points)
+        )
+
+    def test_pdf_is_exp_of_log_pdf(self, gaussian_2d: Gaussian):
+        point = np.array([[0.0, 0.0]])
+        assert gaussian_2d.pdf(point)[0] == pytest.approx(
+            np.exp(gaussian_2d.log_pdf(point)[0])
+        )
+
+    def test_density_peaks_at_mean(self, gaussian_2d: Gaussian):
+        at_mean = gaussian_2d.pdf(gaussian_2d.mean[None, :])[0]
+        away = gaussian_2d.pdf(gaussian_2d.mean[None, :] + 1.0)[0]
+        assert at_mean > away
+
+    def test_one_dimensional_density_integrates_to_one(self):
+        gaussian = Gaussian(np.array([0.5]), np.array([[2.0]]))
+        grid = np.linspace(-15, 15, 20_001)[:, None]
+        integral = np.trapezoid(gaussian.pdf(grid), grid.ravel())
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_mahalanobis_of_mean_is_zero(self, gaussian_2d: Gaussian):
+        assert gaussian_2d.mahalanobis_sq(gaussian_2d.mean)[
+            0
+        ] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSampling:
+    def test_sample_moments(self, gaussian_2d: Gaussian, rng):
+        samples = gaussian_2d.sample(100_000, rng)
+        assert np.allclose(samples.mean(axis=0), gaussian_2d.mean, atol=0.03)
+        assert np.allclose(
+            np.cov(samples.T, bias=True), gaussian_2d.covariance, atol=0.05
+        )
+
+    def test_sample_shape(self, gaussian_2d: Gaussian, rng):
+        assert gaussian_2d.sample(7, rng).shape == (7, 2)
+
+    def test_zero_samples(self, gaussian_2d: Gaussian, rng):
+        assert gaussian_2d.sample(0, rng).shape == (0, 2)
+
+    def test_negative_count_rejected(self, gaussian_2d: Gaussian, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            gaussian_2d.sample(-1, rng)
+
+
+class TestCombination:
+    def test_symmetric_mahalanobis_is_symmetric(self, rng):
+        a = Gaussian(rng.normal(size=3), np.eye(3) * 2.0)
+        b = Gaussian(rng.normal(size=3), np.eye(3) * 0.5)
+        assert a.symmetric_mahalanobis_sq(b) == pytest.approx(
+            b.symmetric_mahalanobis_sq(a)
+        )
+
+    def test_symmetric_mahalanobis_zero_for_same_mean(self):
+        a = Gaussian(np.ones(2), np.eye(2))
+        b = Gaussian(np.ones(2), 3.0 * np.eye(2))
+        assert a.symmetric_mahalanobis_sq(b) == pytest.approx(0.0)
+
+    def test_dimension_mismatch_rejected(self):
+        a = Gaussian(np.zeros(2), np.eye(2))
+        b = Gaussian(np.zeros(3), np.eye(3))
+        with pytest.raises(ValueError, match="different dimension"):
+            a.symmetric_mahalanobis_sq(b)
+
+    def test_merge_moments_mean_is_weighted_average(self):
+        a = Gaussian(np.array([0.0, 0.0]), np.eye(2))
+        b = Gaussian(np.array([4.0, 0.0]), np.eye(2))
+        merged = a.merge_moments(b, 1.0, 3.0)
+        assert np.allclose(merged.mean, [3.0, 0.0])
+
+    def test_merge_moments_covariance_includes_mean_spread(self):
+        a = Gaussian(np.array([-2.0]), np.array([[1.0]]))
+        b = Gaussian(np.array([2.0]), np.array([[1.0]]))
+        merged = a.merge_moments(b, 1.0, 1.0)
+        # Var = E[var] + var of means = 1 + 4.
+        assert merged.covariance[0, 0] == pytest.approx(5.0)
+
+    def test_merge_moments_rejects_zero_mass(self):
+        a = Gaussian(np.zeros(1), np.eye(1))
+        with pytest.raises(ValueError, match="positive"):
+            a.merge_moments(a, 0.0, 0.0)
+
+
+class TestSerialization:
+    def test_round_trip(self, gaussian_2d: Gaussian):
+        clone = Gaussian.from_dict(gaussian_2d.to_dict())
+        assert clone == gaussian_2d
+
+    def test_payload_bytes_full_vs_diagonal(self):
+        full = Gaussian(np.zeros(4), np.eye(4))
+        diag = Gaussian(np.zeros(4), np.eye(4), diagonal=True)
+        assert full.payload_bytes() == 8 * (4 + 16)
+        assert diag.payload_bytes() == 8 * (4 + 4)
+
+    def test_equality_and_hash(self, gaussian_2d: Gaussian):
+        clone = Gaussian(gaussian_2d.mean, gaussian_2d.covariance)
+        assert clone == gaussian_2d
+        assert hash(clone) == hash(gaussian_2d)
+        other = Gaussian(gaussian_2d.mean + 1.0, gaussian_2d.covariance)
+        assert other != gaussian_2d

@@ -1,0 +1,113 @@
+"""Tests for the synopsis message vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import (
+    COUNTER_BYTES,
+    HEADER_BYTES,
+    DeletionMessage,
+    Message,
+    ModelUpdateMessage,
+    WeightUpdateMessage,
+)
+
+
+def small_mixture() -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian.spherical(np.zeros(3), 1.0),
+            Gaussian.spherical(np.ones(3), 1.0),
+        ),
+    )
+
+
+class TestPayloadAccounting:
+    def test_base_message_is_header_only(self):
+        message = Message(site_id=0, model_id=1, time=5)
+        assert message.payload_bytes() == HEADER_BYTES
+
+    def test_model_update_carries_full_synopsis(self):
+        mixture = small_mixture()
+        message = ModelUpdateMessage(
+            site_id=0,
+            model_id=1,
+            time=5,
+            mixture=mixture,
+            count=100,
+            reference_likelihood=-1.0,
+        )
+        expected = HEADER_BYTES + mixture.payload_bytes() + 2 * COUNTER_BYTES
+        assert message.payload_bytes() == expected
+
+    def test_weight_update_is_small(self):
+        message = WeightUpdateMessage(
+            site_id=0, model_id=1, time=5, count_delta=100
+        )
+        assert message.payload_bytes() == HEADER_BYTES + COUNTER_BYTES
+
+    def test_weight_update_much_smaller_than_model_update(self):
+        mixture = small_mixture()
+        full = ModelUpdateMessage(
+            site_id=0,
+            model_id=1,
+            time=5,
+            mixture=mixture,
+            count=100,
+            reference_likelihood=-1.0,
+        )
+        light = WeightUpdateMessage(
+            site_id=0, model_id=1, time=5, count_delta=100
+        )
+        assert light.payload_bytes() * 4 < full.payload_bytes()
+
+    def test_deletion_matches_weight_update_size(self):
+        deletion = DeletionMessage(
+            site_id=0, model_id=1, time=5, count_delta=50
+        )
+        weight = WeightUpdateMessage(
+            site_id=0, model_id=1, time=5, count_delta=50
+        )
+        assert deletion.payload_bytes() == weight.payload_bytes()
+
+    def test_diagonal_mixture_payload_smaller(self):
+        full = small_mixture()
+        diagonal = GaussianMixture(
+            np.array([0.5, 0.5]),
+            (
+                Gaussian.spherical(np.zeros(3), 1.0, diagonal=True),
+                Gaussian.spherical(np.ones(3), 1.0, diagonal=True),
+            ),
+        )
+        assert diagonal.payload_bytes() < full.payload_bytes()
+
+
+class TestMessageFields:
+    def test_messages_are_frozen(self):
+        message = WeightUpdateMessage(
+            site_id=0, model_id=1, time=5, count_delta=3
+        )
+        try:
+            message.count_delta = 7
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("message should be immutable")
+
+    def test_model_update_preserves_mixture(self):
+        mixture = small_mixture()
+        message = ModelUpdateMessage(
+            site_id=2,
+            model_id=3,
+            time=10,
+            mixture=mixture,
+            count=42,
+            reference_likelihood=-2.5,
+        )
+        assert message.mixture is mixture
+        assert message.count == 42
+        assert message.site_id == 2

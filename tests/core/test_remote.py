@@ -1,0 +1,246 @@
+"""Tests for the remote site (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import (
+    DeletionMessage,
+    ModelUpdateMessage,
+    WeightUpdateMessage,
+)
+from repro.core.remote import RemoteSite, RemoteSiteConfig
+
+
+def make_mixture(center: float) -> GaussianMixture:
+    """A two-component 2-d mixture around ``center``."""
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian.spherical(np.array([center, 0.0]), 0.3),
+            Gaussian.spherical(np.array([center, 5.0]), 0.3),
+        ),
+    )
+
+
+def stream_of(mixture: GaussianMixture, n: int, seed: int):
+    points, _ = mixture.sample(n, np.random.default_rng(seed))
+    return points
+
+
+@pytest.fixture
+def site(fast_site_config: RemoteSiteConfig) -> RemoteSite:
+    config = RemoteSiteConfig(
+        dim=2,
+        epsilon=fast_site_config.epsilon,
+        delta=fast_site_config.delta,
+        c_max=4,
+        em=EMConfig(n_components=2, n_init=1, max_iter=40, tol=1e-3),
+        chunk_override=300,
+    )
+    return RemoteSite(0, config, rng=np.random.default_rng(5))
+
+
+class TestConfig:
+    def test_chunk_uses_theorem1_by_default(self):
+        config = RemoteSiteConfig(dim=4, epsilon=0.02, delta=0.01)
+        assert config.chunk == 1567
+
+    def test_chunk_override(self):
+        config = RemoteSiteConfig(chunk_override=123)
+        assert config.chunk == 123
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            RemoteSiteConfig(dim=0)
+        with pytest.raises(ValueError):
+            RemoteSiteConfig(c_max=0)
+        with pytest.raises(ValueError):
+            RemoteSiteConfig(chunk_override=0)
+
+
+class TestFirstChunk:
+    def test_no_model_before_first_chunk_completes(self, site: RemoteSite):
+        data = stream_of(make_mixture(0.0), site.chunk - 1, 1)
+        for row in data:
+            assert site.process_record(row) == []
+        assert site.current_model is None
+
+    def test_first_chunk_is_always_clustered(self, site: RemoteSite):
+        data = stream_of(make_mixture(0.0), site.chunk, 1)
+        messages = site.process_stream(data)
+        assert len(messages) == 1
+        assert isinstance(messages[0], ModelUpdateMessage)
+        assert site.current_model is not None
+        assert site.current_model.count == site.chunk
+        assert site.stats.n_clusterings == 1
+        assert site.stats.n_tests == 0
+
+    def test_record_dimension_checked(self, site: RemoteSite):
+        with pytest.raises(ValueError, match="dimension"):
+            site.process_record(np.zeros(5))
+
+
+class TestStableStream:
+    def test_fitting_chunks_only_bump_the_counter(self, site: RemoteSite):
+        mixture = make_mixture(0.0)
+        messages = site.process_stream(stream_of(mixture, site.chunk * 5, 2))
+        model_updates = [
+            m for m in messages if isinstance(m, ModelUpdateMessage)
+        ]
+        assert len(model_updates) == 1  # only the initial clustering
+        assert site.current_model.count == site.chunk * 5
+        assert site.stats.n_clusterings == 1
+
+    def test_no_communication_while_stable(self, site: RemoteSite):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))
+        bytes_after_first = site.stats.bytes_sent
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk * 4, 3))
+        assert site.stats.bytes_sent == bytes_after_first
+
+
+class TestDistributionChange:
+    def test_change_triggers_reclustering_and_event(self, site: RemoteSite):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk * 2, 2))
+        messages = site.process_stream(
+            stream_of(make_mixture(50.0), site.chunk, 3)
+        )
+        assert any(isinstance(m, ModelUpdateMessage) for m in messages)
+        assert site.stats.n_clusterings == 2
+        assert len(site.events) == 1
+        event = site.events[0]
+        assert event.start == 0
+        assert event.end == site.chunk * 2
+        assert len(site.model_list) == 1
+
+    def test_new_model_covers_the_failing_chunk(self, site: RemoteSite):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))
+        site.process_stream(stream_of(make_mixture(50.0), site.chunk, 3))
+        assert site.current_started_at == site.chunk
+        assert site.current_model.count == site.chunk
+
+
+class TestMultiTestReactivation:
+    def test_alternating_distributions_reactivate_archived_models(
+        self, site: RemoteSite
+    ):
+        a, b = make_mixture(0.0), make_mixture(50.0)
+        # A A B B A: the return to A should reuse the archived model.
+        site.process_stream(stream_of(a, site.chunk * 2, 2))
+        site.process_stream(stream_of(b, site.chunk * 2, 3))
+        messages = site.process_stream(stream_of(a, site.chunk, 4))
+        weight_updates = [
+            m for m in messages if isinstance(m, WeightUpdateMessage)
+        ]
+        assert len(weight_updates) == 1
+        assert site.stats.n_reactivations == 1
+        assert site.stats.n_clusterings == 2  # A and B only
+
+    def test_single_test_strategy_never_reactivates(self):
+        config = RemoteSiteConfig(
+            dim=2,
+            epsilon=0.3,
+            delta=0.05,
+            c_max=1,
+            em=EMConfig(n_components=2, n_init=1, max_iter=40, tol=1e-3),
+            chunk_override=300,
+        )
+        site = RemoteSite(0, config, rng=np.random.default_rng(5))
+        a, b = make_mixture(0.0), make_mixture(50.0)
+        site.process_stream(stream_of(a, site.chunk, 2))
+        site.process_stream(stream_of(b, site.chunk, 3))
+        site.process_stream(stream_of(a, site.chunk, 4))
+        assert site.stats.n_reactivations == 0
+        assert site.stats.n_clusterings == 3
+
+    def test_event_table_tiles_the_stream_under_alternation(
+        self, site: RemoteSite
+    ):
+        a, b = make_mixture(0.0), make_mixture(50.0)
+        for seed, mixture in enumerate([a, b, a, b]):
+            site.process_stream(stream_of(mixture, site.chunk, 10 + seed))
+        events = list(site.events)
+        assert events[0].start == 0
+        for previous, current in zip(events, events[1:]):
+            assert current.start == previous.end
+
+
+class TestChunkEntryPoint:
+    def test_process_chunk_equivalent_accounting(self, site: RemoteSite):
+        chunk = stream_of(make_mixture(0.0), site.chunk, 2)
+        site.process_chunk(chunk)
+        assert site.stats.records_seen == site.chunk
+        assert site.position == site.chunk
+
+    def test_process_chunk_rejected_with_partial_buffer(
+        self, site: RemoteSite
+    ):
+        site.process_record(np.zeros(2))
+        with pytest.raises(RuntimeError, match="partially filled"):
+            site.process_chunk(np.zeros((10, 2)))
+
+
+class TestExpire:
+    def test_expire_emits_deletion_and_reduces_counter(
+        self, site: RemoteSite
+    ):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk * 2, 2))
+        model_id = site.current_model.model_id
+        messages = site.expire(model_id, site.chunk)
+        assert isinstance(messages[0], DeletionMessage)
+        assert site.current_model.count == site.chunk
+
+    def test_fully_expired_archived_model_is_dropped(self, site: RemoteSite):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))
+        site.process_stream(stream_of(make_mixture(50.0), site.chunk, 3))
+        archived_id = site.model_list[0].model_id
+        site.expire(archived_id, site.chunk * 2)
+        assert site.find_model(archived_id) is None
+
+    def test_expire_unknown_model_rejected(self, site: RemoteSite):
+        with pytest.raises(KeyError):
+            site.expire(99, 10)
+
+    def test_expire_requires_positive_count(self, site: RemoteSite):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))
+        with pytest.raises(ValueError, match="positive"):
+            site.expire(site.current_model.model_id, 0)
+
+
+class TestAccounting:
+    def test_memory_bytes_grows_with_models(self, site: RemoteSite):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))
+        one_model = site.memory_bytes()
+        site.process_stream(stream_of(make_mixture(50.0), site.chunk, 3))
+        assert site.memory_bytes() > one_model
+
+    def test_emit_callback_receives_messages(self, fast_site_config):
+        received = []
+        config = RemoteSiteConfig(
+            dim=2,
+            epsilon=0.3,
+            em=EMConfig(n_components=2, n_init=1, max_iter=30, tol=1e-3),
+            chunk_override=300,
+        )
+        site = RemoteSite(
+            0, config, rng=np.random.default_rng(5), emit=received.append
+        )
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))
+        assert len(received) == 1
+        assert site.stats.messages_sent == 1
+
+    def test_verbatim_test_mode_runs(self):
+        config = RemoteSiteConfig(
+            dim=2,
+            epsilon=0.3,
+            adaptive_test=False,
+            em=EMConfig(n_components=2, n_init=1, max_iter=30, tol=1e-3),
+            chunk_override=300,
+        )
+        site = RemoteSite(0, config, rng=np.random.default_rng(5))
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk * 3, 2))
+        assert site.stats.chunks_processed == 3

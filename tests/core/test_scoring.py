@@ -1,0 +1,134 @@
+"""Tests for soft-membership and anomaly scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.scoring import (
+    AnomalyDetector,
+    anomaly_scores,
+    calibrate_threshold,
+    membership_report,
+)
+
+
+@pytest.fixture
+def model() -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.6, 0.4]),
+        (
+            Gaussian.spherical(np.array([0.0, 0.0]), 0.5),
+            Gaussian.spherical(np.array([5.0, 0.0]), 0.5),
+        ),
+    )
+
+
+class TestMembership:
+    def test_probabilities_sum_to_one(self, model, rng):
+        records, _ = model.sample(20, rng)
+        for row in membership_report(model, records):
+            assert sum(p for _, p in row) == pytest.approx(1.0)
+
+    def test_sorted_strongest_first(self, model, rng):
+        records, _ = model.sample(20, rng)
+        for row in membership_report(model, records):
+            probs = [p for _, p in row]
+            assert probs == sorted(probs, reverse=True)
+
+    def test_near_center_record_is_confident(self, model):
+        report = membership_report(model, np.array([[5.0, 0.0]]))
+        cluster, probability = report[0][0]
+        assert cluster == 1
+        assert probability > 0.99
+
+    def test_between_clusters_record_is_soft(self, model):
+        report = membership_report(model, np.array([[2.4, 0.0]]))
+        _, probability = report[0][0]
+        assert probability < 0.95  # genuinely uncertain
+
+    def test_handles_missing_attributes(self, model):
+        report = membership_report(model, np.array([[5.0, np.nan]]))
+        cluster, probability = report[0][0]
+        assert cluster == 1
+        assert probability > 0.9
+
+
+class TestAnomalyScores:
+    def test_outlier_scores_higher_than_inlier(self, model):
+        scores = anomaly_scores(
+            model, np.array([[0.0, 0.0], [50.0, 50.0]])
+        )
+        assert scores[1] > scores[0] + 10.0
+
+    def test_marginal_scoring_for_incomplete_records(self, model):
+        inlier = anomaly_scores(model, np.array([[0.0, np.nan]]))[0]
+        outlier = anomaly_scores(model, np.array([[50.0, np.nan]]))[0]
+        assert outlier > inlier + 10.0
+
+
+class TestCalibration:
+    def test_threshold_hits_target_rate(self, model, rng):
+        reference, _ = model.sample(5000, rng)
+        threshold = calibrate_threshold(model, reference, 0.05)
+        fresh, _ = model.sample(5000, rng)
+        rate = float(np.mean(anomaly_scores(model, fresh) > threshold))
+        assert rate == pytest.approx(0.05, abs=0.02)
+
+    def test_invalid_rate_rejected(self, model, rng):
+        reference, _ = model.sample(100, rng)
+        with pytest.raises(ValueError, match="false_positive_rate"):
+            calibrate_threshold(model, reference, 0.0)
+
+    def test_small_reference_rejected(self, model):
+        with pytest.raises(ValueError, match="at least 10"):
+            calibrate_threshold(model, np.zeros((3, 2)))
+
+
+class TestAnomalyDetector:
+    def test_flags_attack_traffic(self, model, rng):
+        reference, _ = model.sample(2000, rng)
+        detector = AnomalyDetector(model, reference, 0.01)
+        normal, _ = model.sample(500, rng)
+        attack = normal + 20.0
+        normal_flags = sum(
+            v.is_anomaly for v in detector.score_batch(normal)
+        )
+        attack_flags = sum(
+            v.is_anomaly for v in detector.score_batch(attack)
+        )
+        assert attack_flags == 500
+        assert normal_flags < 25
+
+    def test_verdict_carries_membership(self, model, rng):
+        reference, _ = model.sample(1000, rng)
+        detector = AnomalyDetector(model, reference)
+        verdict = detector.score(np.array([5.0, 0.0]))
+        assert not verdict.is_anomaly
+        assert verdict.top_cluster == 1
+        assert verdict.top_probability > 0.99
+
+    def test_counters_track_usage(self, model, rng):
+        reference, _ = model.sample(1000, rng)
+        detector = AnomalyDetector(model, reference)
+        records, _ = model.sample(100, rng)
+        detector.score_batch(records)
+        assert detector.scored == 100
+        assert detector.flagged <= 5
+
+    def test_recalibrate_swaps_the_model(self, model, rng):
+        reference, _ = model.sample(1000, rng)
+        detector = AnomalyDetector(model, reference)
+        shifted = GaussianMixture(
+            model.weights,
+            tuple(
+                Gaussian(c.mean + 100.0, c.covariance)
+                for c in model.components
+            ),
+        )
+        new_reference, _ = shifted.sample(1000, rng)
+        detector.recalibrate(shifted, new_reference)
+        verdict = detector.score(np.array([100.0, 100.0]))
+        assert not verdict.is_anomaly

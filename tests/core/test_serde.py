@@ -1,0 +1,144 @@
+"""Tests for the binary wire format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import (
+    DeletionMessage,
+    Message,
+    ModelUpdateMessage,
+    WeightUpdateMessage,
+)
+from repro.core.serde import decode_message, encode_message
+
+
+def full_mixture() -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.3, 0.7]),
+        (
+            Gaussian(
+                np.array([1.0, -2.0, 0.5]),
+                np.array(
+                    [[2.0, 0.3, 0.0], [0.3, 1.0, 0.1], [0.0, 0.1, 0.8]]
+                ),
+            ),
+            Gaussian.spherical(np.array([5.0, 5.0, 5.0]), 1.5),
+        ),
+    )
+
+
+def diagonal_mixture() -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian(np.zeros(4), np.diag([1.0, 2.0, 0.5, 3.0]), diagonal=True),
+            Gaussian(np.ones(4), np.diag([0.3, 0.4, 0.5, 0.6]), diagonal=True),
+        ),
+    )
+
+
+def model_update(mixture: GaussianMixture) -> ModelUpdateMessage:
+    return ModelUpdateMessage(
+        site_id=3,
+        model_id=7,
+        time=12345,
+        mixture=mixture,
+        count=1567,
+        reference_likelihood=-4.25,
+    )
+
+
+class TestRoundTrip:
+    def test_model_update_full_covariance(self):
+        message = model_update(full_mixture())
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+
+    def test_model_update_diagonal_covariance(self):
+        message = model_update(diagonal_mixture())
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert all(c.diagonal for c in decoded.mixture.components)
+
+    def test_weight_update(self):
+        message = WeightUpdateMessage(
+            site_id=1, model_id=2, time=99, count_delta=500
+        )
+        assert decode_message(encode_message(message)) == message
+
+    def test_deletion(self):
+        message = DeletionMessage(
+            site_id=1, model_id=2, time=99, count_delta=250
+        )
+        assert decode_message(encode_message(message)) == message
+
+    def test_negative_count_delta_survives(self):
+        message = WeightUpdateMessage(
+            site_id=0, model_id=0, time=0, count_delta=-321
+        )
+        assert decode_message(encode_message(message)).count_delta == -321
+
+
+class TestSizeAccounting:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            model_update(full_mixture()),
+            model_update(diagonal_mixture()),
+            WeightUpdateMessage(site_id=1, model_id=2, time=3, count_delta=4),
+            DeletionMessage(site_id=1, model_id=2, time=3, count_delta=4),
+        ],
+        ids=["model-full", "model-diag", "weight", "deletion"],
+    )
+    def test_encoded_size_equals_payload_bytes(self, message):
+        assert len(encode_message(message)) == message.payload_bytes()
+
+
+class TestValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_message(Message(site_id=0, model_id=0, time=0))
+
+    def test_mixed_covariance_modes_rejected(self):
+        mixed = GaussianMixture(
+            np.array([0.5, 0.5]),
+            (
+                Gaussian.spherical(np.zeros(2), 1.0),
+                Gaussian.spherical(np.ones(2), 1.0, diagonal=True),
+            ),
+        )
+        with pytest.raises(ValueError, match="mixed"):
+            encode_message(model_update(mixed))
+
+    def test_bad_magic_rejected(self):
+        payload = encode_message(
+            WeightUpdateMessage(site_id=0, model_id=0, time=0, count_delta=1)
+        )
+        corrupted = b"XXXX" + payload[4:]
+        with pytest.raises(ValueError, match="bad magic"):
+            decode_message(corrupted)
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            decode_message(b"CDS1")
+
+    def test_trailing_garbage_rejected(self):
+        payload = encode_message(model_update(full_mixture()))
+        with pytest.raises(ValueError, match="trailing"):
+            decode_message(payload + b"\x00" * 8)
+
+    def test_unknown_tag_rejected(self):
+        payload = bytearray(
+            encode_message(
+                WeightUpdateMessage(
+                    site_id=0, model_id=0, time=0, count_delta=1
+                )
+            )
+        )
+        payload[4] = 200  # overwrite the tag byte
+        with pytest.raises(ValueError, match="unknown message tag"):
+            decode_message(bytes(payload))

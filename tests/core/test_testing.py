@@ -1,0 +1,159 @@
+"""Tests for the J_fit test criterion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.testing import (
+    LikelihoodVariant,
+    average_log_likelihood,
+    fit_test,
+)
+
+
+class TestAverageLogLikelihood:
+    def test_mixture_variant_matches_definition(self, mixture_2d, rng):
+        data, _ = mixture_2d.sample(300, rng)
+        assert average_log_likelihood(mixture_2d, data) == pytest.approx(
+            mixture_2d.average_log_likelihood(data)
+        )
+
+    def test_max_component_variant(self, mixture_2d, rng):
+        data, _ = mixture_2d.sample(300, rng)
+        sharpened = average_log_likelihood(
+            mixture_2d, data, LikelihoodVariant.MAX_COMPONENT
+        )
+        assert sharpened <= average_log_likelihood(mixture_2d, data)
+
+    def test_variants_close_for_separated_clusters(self, mixture_2d, rng):
+        # With well-separated clusters one component dominates each
+        # record, so the sharpened average nearly equals the full one.
+        data, _ = mixture_2d.sample(500, rng)
+        full = average_log_likelihood(mixture_2d, data)
+        sharp = average_log_likelihood(
+            mixture_2d, data, LikelihoodVariant.MAX_COMPONENT
+        )
+        assert full - sharp < 0.05
+
+
+class TestFitTest:
+    def test_same_distribution_chunk_fits(self, mixture_2d, rng):
+        train, _ = mixture_2d.sample(1500, rng)
+        reference = mixture_2d.average_log_likelihood(train)
+        chunk, _ = mixture_2d.sample(1500, rng)
+        result = fit_test(mixture_2d, chunk, reference, epsilon=0.2)
+        assert result.fits
+        assert result.j_fit <= 0.2
+
+    def test_shifted_distribution_fails(self, mixture_2d, rng):
+        train, _ = mixture_2d.sample(1500, rng)
+        reference = mixture_2d.average_log_likelihood(train)
+        chunk, _ = mixture_2d.sample(1500, rng)
+        result = fit_test(mixture_2d, chunk + 15.0, reference, epsilon=0.2)
+        assert not result.fits
+        assert result.j_fit > 0.2
+
+    def test_statistic_is_absolute_difference(self, mixture_2d, rng):
+        chunk, _ = mixture_2d.sample(500, rng)
+        likelihood = mixture_2d.average_log_likelihood(chunk)
+        result = fit_test(mixture_2d, chunk, likelihood - 0.5, epsilon=0.1)
+        assert result.j_fit == pytest.approx(0.5)
+        assert result.chunk_likelihood == pytest.approx(likelihood)
+        assert result.reference_likelihood == pytest.approx(likelihood - 0.5)
+
+    def test_boundary_is_inclusive(self, mixture_2d, rng):
+        chunk, _ = mixture_2d.sample(500, rng)
+        likelihood = mixture_2d.average_log_likelihood(chunk)
+        probe = fit_test(mixture_2d, chunk, likelihood - 0.1, epsilon=1.0)
+        # Re-test with ε set to exactly the observed statistic: the
+        # criterion is ``J_fit ≤ ε``, so this must pass.
+        result = fit_test(
+            mixture_2d, chunk, likelihood - 0.1, epsilon=probe.j_fit
+        )
+        assert result.fits
+
+    def test_invalid_epsilon_rejected(self, mixture_2d, rng):
+        chunk, _ = mixture_2d.sample(10, rng)
+        with pytest.raises(ValueError, match="epsilon"):
+            fit_test(mixture_2d, chunk, 0.0, epsilon=0.0)
+
+    def test_non_finite_reference_rejected(self, mixture_2d, rng):
+        chunk, _ = mixture_2d.sample(10, rng)
+        with pytest.raises(ValueError, match="finite"):
+            fit_test(mixture_2d, chunk, float("-inf"), epsilon=0.1)
+
+    def test_adaptive_threshold_controls_false_positives(
+        self, mixture_2d, rng
+    ):
+        """Same-distribution chunks rarely fail the adaptive test -- the
+        property δ is supposed to control."""
+        from repro.core.chunking import chunk_size
+        from repro.core.testing import adaptive_threshold, log_density_spread
+
+        epsilon, delta = 0.02, 0.01
+        m = chunk_size(2, epsilon, delta)
+        train, _ = mixture_2d.sample(m, rng)
+        reference = mixture_2d.average_log_likelihood(train)
+        sigma = log_density_spread(mixture_2d, train)
+        threshold = adaptive_threshold(epsilon, delta, sigma, m)
+        failures = 0
+        trials = 100
+        for _ in range(trials):
+            chunk, _ = mixture_2d.sample(m, rng)
+            if not fit_test(mixture_2d, chunk, reference, threshold).fits:
+                failures += 1
+        assert failures / trials <= 3 * delta + 0.02
+
+    def test_adaptive_threshold_never_below_epsilon(self):
+        from repro.core.testing import adaptive_threshold
+
+        assert adaptive_threshold(0.5, 0.01, 0.0, 100) == pytest.approx(0.5)
+        assert adaptive_threshold(0.01, 0.01, 2.0, 100) > 0.01
+
+    def test_adaptive_threshold_shrinks_with_chunk_size(self):
+        from repro.core.testing import adaptive_threshold
+
+        small = adaptive_threshold(1e-6, 0.05, 1.0, 100)
+        large = adaptive_threshold(1e-6, 0.05, 1.0, 10_000)
+        assert large < small
+
+    def test_adaptive_threshold_rejects_bad_parameters(self):
+        from repro.core.testing import adaptive_threshold
+
+        with pytest.raises(ValueError):
+            adaptive_threshold(0.0, 0.01, 1.0, 10)
+        with pytest.raises(ValueError):
+            adaptive_threshold(0.1, 1.5, 1.0, 10)
+        with pytest.raises(ValueError):
+            adaptive_threshold(0.1, 0.01, -1.0, 10)
+        with pytest.raises(ValueError):
+            adaptive_threshold(0.1, 0.01, 1.0, 0)
+
+    def test_log_density_spread_positive_on_real_data(self, mixture_2d, rng):
+        from repro.core.testing import log_density_spread
+
+        data, _ = mixture_2d.sample(500, rng)
+        assert log_density_spread(mixture_2d, data) > 0.0
+
+    def test_log_density_spread_needs_two_records(self, mixture_2d):
+        from repro.core.testing import log_density_spread
+
+        with pytest.raises(ValueError, match="two records"):
+            log_density_spread(mixture_2d, np.zeros((1, 2)))
+
+    def test_still_detects_gross_changes_with_adaptive_threshold(
+        self, mixture_2d, rng
+    ):
+        from repro.core.chunking import chunk_size
+        from repro.core.testing import adaptive_threshold, log_density_spread
+
+        epsilon, delta = 0.02, 0.01
+        m = chunk_size(2, epsilon, delta)
+        train, _ = mixture_2d.sample(m, rng)
+        reference = mixture_2d.average_log_likelihood(train)
+        sigma = log_density_spread(mixture_2d, train)
+        threshold = adaptive_threshold(epsilon, delta, sigma, m)
+        shifted, _ = mixture_2d.sample(m, rng)
+        result = fit_test(mixture_2d, shifted + 8.0, reference, threshold)
+        assert not result.fits

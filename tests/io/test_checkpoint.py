@@ -1,0 +1,198 @@
+"""Tests for site and coordinator checkpoints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coordinator import Coordinator, CoordinatorConfig
+from repro.core.em import EMConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import ModelUpdateMessage
+from repro.core.remote import RemoteSite, RemoteSiteConfig
+from repro.io.checkpoint import (
+    load_coordinator,
+    load_site,
+    restore_coordinator,
+    restore_site,
+    save_coordinator,
+    save_site,
+    snapshot_coordinator,
+    snapshot_site,
+)
+
+
+def make_site(seed: int = 5) -> RemoteSite:
+    config = RemoteSiteConfig(
+        dim=2,
+        epsilon=0.3,
+        delta=0.05,
+        em=EMConfig(n_components=2, n_init=1, max_iter=30, tol=1e-3),
+        chunk_override=300,
+    )
+    return RemoteSite(0, config, rng=np.random.default_rng(seed))
+
+
+def mixture_at(center: float) -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian.spherical(np.array([center, 0.0]), 0.3),
+            Gaussian.spherical(np.array([center, 5.0]), 0.3),
+        ),
+    )
+
+
+def feed(site: RemoteSite, center: float, n: int, seed: int) -> None:
+    points, _ = mixture_at(center).sample(n, np.random.default_rng(seed))
+    site.process_stream(points)
+
+
+class TestSiteCheckpoint:
+    def test_round_trip_preserves_models_and_events(self):
+        site = make_site()
+        feed(site, 0.0, 600, 1)
+        feed(site, 40.0, 300, 2)
+        clone = restore_site(snapshot_site(site))
+        assert clone.site_id == site.site_id
+        assert clone.position == site.position
+        assert len(clone.all_models) == len(site.all_models)
+        assert clone.current_model.mixture == site.current_model.mixture
+        assert list(clone.events.records) == list(site.events.records)
+        assert vars(clone.stats) == vars(site.stats)
+
+    def test_round_trip_preserves_partial_buffer(self):
+        site = make_site()
+        feed(site, 0.0, 450, 1)  # one chunk + 150 buffered
+        clone = restore_site(snapshot_site(site))
+        assert len(clone._buffer) == 150
+        assert np.allclose(np.stack(clone._buffer), np.stack(site._buffer))
+
+    def test_restored_site_continues_identically(self):
+        original = make_site()
+        feed(original, 0.0, 600, 1)
+        clone = restore_site(snapshot_site(original))
+        # Same future records through both: identical behaviour.
+        future, _ = mixture_at(40.0).sample(600, np.random.default_rng(3))
+        msgs_original = original.process_stream(future.copy())
+        msgs_clone = clone.process_stream(future.copy())
+        assert len(msgs_original) == len(msgs_clone)
+        assert original.stats.n_clusterings == clone.stats.n_clusterings
+        assert (
+            original.current_model.mixture == clone.current_model.mixture
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        site = make_site()
+        feed(site, 0.0, 600, 1)
+        path = save_site(site, tmp_path / "site.json")
+        clone = load_site(path)
+        assert clone.current_model.mixture == site.current_model.mixture
+
+    def test_wrong_kind_rejected(self):
+        site = make_site()
+        payload = snapshot_site(site)
+        payload["kind"] = "coordinator"
+        with pytest.raises(ValueError, match="not a remote-site"):
+            restore_site(payload)
+
+    def test_wrong_version_rejected(self):
+        site = make_site()
+        payload = snapshot_site(site)
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="unsupported"):
+            restore_site(payload)
+
+
+class TestCoordinatorCheckpoint:
+    def make_coordinator(self) -> Coordinator:
+        coordinator = Coordinator(
+            CoordinatorConfig(max_components=4, merge_method="moment"),
+            rng=np.random.default_rng(7),
+        )
+        for site_id in range(5):
+            coordinator.handle_message(
+                ModelUpdateMessage(
+                    site_id=site_id,
+                    model_id=0,
+                    time=0,
+                    mixture=mixture_at(float(site_id * 15)),
+                    count=1000,
+                    reference_likelihood=-1.0,
+                )
+            )
+        return coordinator
+
+    def test_round_trip_preserves_tree(self):
+        coordinator = self.make_coordinator()
+        clone = restore_coordinator(snapshot_coordinator(coordinator))
+        assert clone.n_components == coordinator.n_components
+        assert clone.site_models.keys() == coordinator.site_models.keys()
+        assert vars(clone.stats) == vars(coordinator.stats)
+        assert clone.global_mixture() == coordinator.global_mixture()
+
+    def test_restored_coordinator_accepts_new_updates(self):
+        coordinator = self.make_coordinator()
+        clone = restore_coordinator(snapshot_coordinator(coordinator))
+        clone.handle_message(
+            ModelUpdateMessage(
+                site_id=9,
+                model_id=0,
+                time=1,
+                mixture=mixture_at(200.0),
+                count=500,
+                reference_likelihood=-1.0,
+            )
+        )
+        assert (9, 0) in clone.site_models
+        assert clone.n_components <= 4
+
+    def test_cluster_id_counter_does_not_collide(self):
+        coordinator = self.make_coordinator()
+        clone = restore_coordinator(snapshot_coordinator(coordinator))
+        existing = {c.cluster_id for c in clone.clusters}
+        clone.handle_message(
+            ModelUpdateMessage(
+                site_id=8,
+                model_id=0,
+                time=1,
+                mixture=mixture_at(500.0),
+                count=500,
+                reference_likelihood=-1.0,
+            )
+        )
+        new_ids = {c.cluster_id for c in clone.clusters} - existing
+        assert all(new_id > max(existing) for new_id in new_ids)
+
+    def test_file_round_trip(self, tmp_path):
+        coordinator = self.make_coordinator()
+        path = save_coordinator(coordinator, tmp_path / "coord.json")
+        clone = load_coordinator(path)
+        assert clone.global_mixture() == coordinator.global_mixture()
+
+    def test_wrong_kind_rejected(self):
+        coordinator = self.make_coordinator()
+        payload = snapshot_coordinator(coordinator)
+        payload["kind"] = "remote_site"
+        with pytest.raises(ValueError, match="not a coordinator"):
+            restore_coordinator(payload)
+
+    def test_infinite_remerge_scores_survive_json(self, tmp_path):
+        import json
+
+        coordinator = self.make_coordinator()
+        payload = snapshot_coordinator(coordinator)
+        json.dumps(payload)  # must be strictly JSON-serialisable
+        clone = restore_coordinator(payload)
+        scores = [
+            leaf.remerge_score
+            for cluster in clone.clusters
+            for leaf in cluster.leaves
+        ]
+        originals = [
+            leaf.remerge_score
+            for cluster in coordinator.clusters
+            for leaf in cluster.leaves
+        ]
+        assert sorted(map(str, scores)) == sorted(map(str, originals))

@@ -1,0 +1,174 @@
+"""Tests for the tree-structured network extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coordinator import CoordinatorConfig
+from repro.core.em import EMConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.remote import RemoteSiteConfig
+from repro.multilayer.tree import TreeNetwork, mixture_change
+
+
+def fast_tree() -> TreeNetwork:
+    return TreeNetwork(
+        site_config=RemoteSiteConfig(
+            dim=2,
+            epsilon=0.3,
+            delta=0.05,
+            em=EMConfig(n_components=2, n_init=1, max_iter=25, tol=1e-3),
+            chunk_override=250,
+        ),
+        coordinator_config=CoordinatorConfig(
+            max_components=4, merge_method="moment"
+        ),
+        seed=0,
+    )
+
+
+def mixture_at(center: float) -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian.spherical(np.array([center, 0.0]), 0.3),
+            Gaussian.spherical(np.array([center, 5.0]), 0.3),
+        ),
+    )
+
+
+class TestMixtureChange:
+    def test_none_baseline_always_changes(self, mixture_2d):
+        assert mixture_change(None, mixture_2d) == float("inf")
+
+    def test_identical_mixtures_score_zero(self, mixture_2d):
+        assert mixture_change(mixture_2d, mixture_2d) == pytest.approx(0.0)
+
+    def test_component_count_change_is_structural(self, mixture_2d, mixture_1d):
+        single = GaussianMixture.single(mixture_2d.components[0])
+        assert mixture_change(mixture_2d, single) == float("inf")
+
+    def test_moved_component_scores_positive(self, mixture_2d):
+        moved = GaussianMixture(
+            mixture_2d.weights,
+            (
+                Gaussian.spherical(np.array([1.0, 1.0]), 0.5),
+            )
+            + mixture_2d.components[1:],
+        )
+        assert mixture_change(mixture_2d, moved) > 0.1
+
+
+class TestTopology:
+    def test_single_root_enforced(self):
+        tree = fast_tree()
+        tree.add_internal(0)
+        with pytest.raises(ValueError, match="root"):
+            tree.add_internal(1)
+
+    def test_duplicate_ids_rejected(self):
+        tree = fast_tree()
+        tree.add_internal(0)
+        with pytest.raises(ValueError, match="already used"):
+            tree.add_leaf(0, parent_id=0)
+
+    def test_leaf_requires_internal_parent(self):
+        tree = fast_tree()
+        tree.add_internal(0)
+        tree.add_leaf(1, parent_id=0)
+        with pytest.raises(ValueError, match="not an internal node"):
+            tree.add_leaf(2, parent_id=1)
+
+    def test_root_property(self):
+        tree = fast_tree()
+        with pytest.raises(ValueError, match="no root"):
+            _ = tree.root
+        root = tree.add_internal(0)
+        assert tree.root is root
+
+
+class TestStreamProcessing:
+    def build_two_level(self) -> TreeNetwork:
+        """root(0) <- internal(1), internal(2); two leaves under each."""
+        tree = fast_tree()
+        tree.add_internal(0)
+        tree.add_internal(1, parent_id=0)
+        tree.add_internal(2, parent_id=0)
+        tree.add_leaf(10, parent_id=1)
+        tree.add_leaf(11, parent_id=1)
+        tree.add_leaf(20, parent_id=2)
+        tree.add_leaf(21, parent_id=2)
+        return tree
+
+    def feed_leaf(self, tree: TreeNetwork, leaf_id: int, center: float,
+                  n: int, seed: int) -> None:
+        points, _ = mixture_at(center).sample(n, np.random.default_rng(seed))
+        for row in points:
+            tree.feed(leaf_id, row)
+
+    def test_summaries_propagate_to_the_root(self):
+        tree = self.build_two_level()
+        self.feed_leaf(tree, 10, 0.0, 250, 1)
+        self.feed_leaf(tree, 20, 40.0, 250, 2)
+        mixture = tree.global_mixture()
+        means = np.stack([c.mean for c in mixture.components])
+        assert means[:, 0].min() < 10.0
+        assert means[:, 0].max() > 30.0
+
+    def test_internal_nodes_upload_only_on_change(self):
+        tree = self.build_two_level()
+        self.feed_leaf(tree, 10, 0.0, 250, 1)
+        internal = tree.internals[1]  # node 1
+        uploads_after_first = internal.messages_up
+        assert uploads_after_first >= 1
+        # A stable continuation generates no new leaf messages, hence no
+        # new uploads.
+        self.feed_leaf(tree, 10, 0.0, 500, 3)
+        assert internal.messages_up == uploads_after_first
+
+    def test_uplink_bytes_accounted_per_level(self):
+        tree = self.build_two_level()
+        self.feed_leaf(tree, 10, 0.0, 250, 1)
+        assert tree.total_uplink_bytes() > 0
+        leaf_bytes = sum(
+            leaf.site.stats.bytes_sent for leaf in tree.leaves
+        )
+        assert tree.total_uplink_bytes() >= leaf_bytes
+
+    def test_unknown_leaf_rejected(self):
+        tree = self.build_two_level()
+        with pytest.raises(KeyError, match="unknown leaf"):
+            tree.feed(99, np.zeros(2))
+
+
+class TestUploadThreshold:
+    def test_high_threshold_suppresses_uploads(self):
+        tree = fast_tree()
+        tree.add_internal(0)
+        # An effectively infinite threshold: the gateway absorbs child
+        # updates but never bothers the root after its first upload.
+        gateway = tree.add_internal(1, parent_id=0, upload_threshold=1e12)
+        tree.add_leaf(10, parent_id=1)
+        tree.add_leaf(11, parent_id=1)
+        points_a, _ = mixture_at(0.0).sample(250, np.random.default_rng(1))
+        for row in points_a:
+            tree.feed(10, row)
+        first_uploads = gateway.messages_up
+        points_b, _ = mixture_at(60.0).sample(250, np.random.default_rng(2))
+        for row in points_b:
+            tree.feed(11, row)
+        # The structural change (component count) always uploads; after
+        # that, the huge threshold suppresses parameter-level changes.
+        assert gateway.messages_up <= first_uploads + 1
+
+    def test_zero_threshold_uploads_every_change(self):
+        tree = fast_tree()
+        tree.add_internal(0)
+        gateway = tree.add_internal(1, parent_id=0, upload_threshold=0.0)
+        tree.add_leaf(10, parent_id=1)
+        points, _ = mixture_at(0.0).sample(250, np.random.default_rng(3))
+        for row in points:
+            tree.feed(10, row)
+        assert gateway.messages_up >= 1

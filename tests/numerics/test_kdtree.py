@@ -1,0 +1,84 @@
+"""Tests for the from-scratch KD-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.kdtree import KDTree
+
+
+def brute_force(points: np.ndarray, query: np.ndarray, k: int) -> list[int]:
+    distances = np.linalg.norm(points - query[None, :], axis=1)
+    return list(np.argsort(distances, kind="stable")[:k])
+
+
+class TestKDTree:
+    def test_single_point(self):
+        tree = KDTree(np.array([[1.0, 2.0]]), ["a"])
+        results = tree.nearest(np.array([0.0, 0.0]), k=3)
+        assert len(results) == 1
+        assert results[0][1] == "a"
+
+    def test_nearest_matches_brute_force(self, rng):
+        points = rng.normal(size=(200, 3))
+        tree = KDTree(points, list(range(200)))
+        for _ in range(25):
+            query = rng.normal(size=3) * 2.0
+            expected = set(brute_force(points, query, 5))
+            got = {payload for _, payload in tree.nearest(query, k=5)}
+            assert got == expected
+
+    def test_distances_sorted_and_correct(self, rng):
+        points = rng.normal(size=(50, 2))
+        tree = KDTree(points, list(range(50)))
+        query = np.zeros(2)
+        results = tree.nearest(query, k=10)
+        distances = [d for d, _ in results]
+        assert distances == sorted(distances)
+        for distance, payload in results:
+            assert distance == pytest.approx(
+                float(np.linalg.norm(points[payload] - query))
+            )
+
+    def test_k_larger_than_tree(self, rng):
+        points = rng.normal(size=(4, 2))
+        tree = KDTree(points, list(range(4)))
+        assert len(tree.nearest(np.zeros(2), k=10)) == 4
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        tree = KDTree(points, list(range(10)))
+        results = tree.nearest(np.zeros(2), k=3)
+        assert len(results) == 3
+        assert all(d == 0.0 for d, _ in results)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="payload"):
+            KDTree(np.zeros((2, 2)), ["only-one"])
+        with pytest.raises(ValueError, match="zero points"):
+            KDTree(np.zeros((0, 2)), [])
+        tree = KDTree(np.zeros((1, 2)), ["a"])
+        with pytest.raises(ValueError, match="k must"):
+            tree.nearest(np.zeros(2), k=0)
+        with pytest.raises(ValueError, match="dimension"):
+            tree.nearest(np.zeros(3), k=1)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, 2))
+        tree = KDTree(points, list(range(n)))
+        query = rng.normal(size=2) * 3.0
+        expected_distances = sorted(
+            np.linalg.norm(points - query[None, :], axis=1)
+        )[: min(k, n)]
+        got_distances = [d for d, _ in tree.nearest(query, k=k)]
+        assert np.allclose(got_distances, expected_distances)

@@ -1,0 +1,152 @@
+"""Property-based tests for the wire format and missing-data marginals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.gaussian import Gaussian
+from repro.core.missing import (
+    average_marginal_log_likelihood,
+    marginal_log_pdf,
+)
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import (
+    DeletionMessage,
+    ModelUpdateMessage,
+    WeightUpdateMessage,
+)
+from repro.core.serde import decode_message, encode_message
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def wire_mixtures(draw):
+    """Random encodable mixtures (uniform covariance mode)."""
+    dim = draw(st.integers(min_value=1, max_value=5))
+    k = draw(st.integers(min_value=1, max_value=4))
+    diagonal = draw(st.booleans())
+    weights = draw(
+        arrays(
+            np.float64,
+            (k,),
+            elements=st.floats(min_value=0.05, max_value=1.0),
+        )
+    )
+    components = []
+    for _ in range(k):
+        mean = draw(arrays(np.float64, (dim,), elements=finite_floats))
+        variances = draw(
+            arrays(
+                np.float64,
+                (dim,),
+                elements=st.floats(min_value=0.1, max_value=20.0),
+            )
+        )
+        components.append(Gaussian(mean, np.diag(variances), diagonal=diagonal))
+    return GaussianMixture(weights, tuple(components))
+
+
+@st.composite
+def model_updates(draw):
+    return ModelUpdateMessage(
+        site_id=draw(st.integers(min_value=0, max_value=10_000)),
+        model_id=draw(st.integers(min_value=0, max_value=10_000)),
+        time=draw(st.integers(min_value=0, max_value=10**12)),
+        mixture=draw(wire_mixtures()),
+        count=draw(st.integers(min_value=1, max_value=10**9)),
+        reference_likelihood=draw(finite_floats),
+    )
+
+
+class TestSerdeProperties:
+    @given(model_updates())
+    @settings(max_examples=60, deadline=None)
+    def test_model_update_round_trip(self, message):
+        decoded = decode_message(encode_message(message))
+        # Weights are renormalised on mixture construction, which can
+        # shift the last bit when the stored sum is not exactly 1.0;
+        # everything else round-trips exactly.
+        assert decoded.site_id == message.site_id
+        assert decoded.model_id == message.model_id
+        assert decoded.time == message.time
+        assert decoded.count == message.count
+        assert decoded.reference_likelihood == message.reference_likelihood
+        assert decoded.mixture.components == message.mixture.components
+        assert np.allclose(
+            decoded.mixture.weights, message.mixture.weights, rtol=1e-15
+        )
+
+    @given(model_updates())
+    @settings(max_examples=60, deadline=None)
+    def test_encoded_size_is_exactly_accounted(self, message):
+        assert len(encode_message(message)) == message.payload_bytes()
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.booleans(),
+    )
+    def test_counter_messages_round_trip(
+        self, site_id, model_id, delta, is_deletion
+    ):
+        cls = DeletionMessage if is_deletion else WeightUpdateMessage
+        message = cls(
+            site_id=site_id, model_id=model_id, time=0, count_delta=delta
+        )
+        assert decode_message(encode_message(message)) == message
+
+
+class TestMarginalProperties:
+    @given(wire_mixtures(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_complete_records_match_plain_likelihood(self, mixture, seed):
+        data, _ = mixture.sample(20, np.random.default_rng(seed))
+        assert average_marginal_log_likelihood(
+            mixture, data
+        ) == pytest.approx(mixture.average_log_likelihood(data), abs=1e-9)
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_marginalisation_consistency(self, dim, seed):
+        """The marginal of a NaN-masked record equals the density of the
+        explicitly marginalised Gaussian."""
+        rng = np.random.default_rng(seed)
+        mean = rng.normal(size=dim)
+        raw = rng.normal(size=(dim, dim))
+        cov = raw @ raw.T + np.eye(dim)
+        gaussian = Gaussian(mean, cov)
+        record = rng.normal(size=dim)
+        masked = record.copy()
+        missing = rng.random(dim) < 0.5
+        if missing.all():
+            missing[0] = False
+        masked[missing] = np.nan
+        observed = ~missing
+        via_nan = marginal_log_pdf(gaussian, masked[None, :])[0]
+        explicit = Gaussian(
+            mean[observed], cov[np.ix_(observed, observed)]
+        ).log_pdf(record[observed][None, :])[0]
+        assert via_nan == pytest.approx(explicit, abs=1e-9)
+
+    @given(wire_mixtures(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_masking_never_creates_nan_likelihoods(self, mixture, seed):
+        rng = np.random.default_rng(seed)
+        data, _ = mixture.sample(15, rng)
+        mask = rng.random(data.shape) < 0.3
+        full_rows = mask.all(axis=1)
+        mask[full_rows, 0] = False
+        data[mask] = np.nan
+        value = average_marginal_log_likelihood(mixture, data)
+        assert np.isfinite(value)

@@ -1,0 +1,98 @@
+"""Tests for the star network channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import WeightUpdateMessage
+from repro.simulation.collector import TimeSeriesCollector
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import NetworkChannel, StarNetwork
+
+
+def message(site_id: int = 0) -> WeightUpdateMessage:
+    return WeightUpdateMessage(
+        site_id=site_id, model_id=0, time=0, count_delta=1
+    )
+
+
+class TestChannel:
+    def test_delivery_after_latency(self):
+        engine = SimulationEngine()
+        received = []
+        channel = NetworkChannel(engine, received.append, latency=0.25)
+        arrival = channel.send(message())
+        assert arrival == pytest.approx(0.25)
+        engine.run()
+        assert len(received) == 1
+        assert engine.now == pytest.approx(0.25)
+
+    def test_bandwidth_adds_transmission_time(self):
+        engine = SimulationEngine()
+        received = []
+        channel = NetworkChannel(
+            engine, received.append, latency=0.0, bandwidth=10.0
+        )
+        payload = message().payload_bytes()
+        arrival = channel.send(message())
+        assert arrival == pytest.approx(payload / 10.0)
+
+    def test_transmissions_serialise_on_the_link(self):
+        engine = SimulationEngine()
+        channel = NetworkChannel(
+            engine, lambda m: None, latency=0.0, bandwidth=10.0
+        )
+        payload = message().payload_bytes()
+        first = channel.send(message())
+        second = channel.send(message())
+        assert second == pytest.approx(first + payload / 10.0)
+
+    def test_stats_and_collector_metered(self):
+        engine = SimulationEngine()
+        collector = TimeSeriesCollector(interval=1.0)
+        channel = NetworkChannel(
+            engine, lambda m: None, latency=0.0, collector=collector
+        )
+        channel.send(message())
+        channel.send(message())
+        assert channel.stats.messages == 2
+        assert channel.stats.bytes == 2 * message().payload_bytes()
+        assert collector.total == channel.stats.bytes
+
+    def test_invalid_parameters_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError, match="latency"):
+            NetworkChannel(engine, lambda m: None, latency=-1.0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            NetworkChannel(engine, lambda m: None, bandwidth=0.0)
+
+
+class TestStarNetwork:
+    def test_channels_created_lazily_and_cached(self):
+        engine = SimulationEngine()
+        network = StarNetwork(engine, lambda m: None)
+        a = network.channel_for(0)
+        b = network.channel_for(0)
+        c = network.channel_for(1)
+        assert a is b
+        assert a is not c
+
+    def test_totals_aggregate_channels(self):
+        engine = SimulationEngine()
+        network = StarNetwork(engine, lambda m: None, latency=0.0)
+        network.channel_for(0).send(message(0))
+        network.channel_for(1).send(message(1))
+        engine.run()
+        assert network.total_messages == 2
+        assert network.total_bytes == 2 * message().payload_bytes()
+
+    def test_shared_cost_collector(self):
+        engine = SimulationEngine()
+        network = StarNetwork(
+            engine, lambda m: None, latency=0.0, sample_interval=1.0
+        )
+        network.channel_for(0).send(message(0))
+        network.channel_for(1).send(message(1))
+        engine.run()
+        network.finalize()
+        assert network.cost.total == network.total_bytes

@@ -1,0 +1,103 @@
+"""Tests for the stream site process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.site import StreamSiteProcess
+
+
+def records(n: int):
+    return iter(np.zeros((n, 2)))
+
+
+class TestStreamSiteProcess:
+    def test_delivers_all_records(self):
+        engine = SimulationEngine()
+        consumed = []
+        process = StreamSiteProcess(
+            engine, records(250), consumed.append, rate=100.0, batch=50
+        )
+        process.start()
+        engine.run()
+        assert len(consumed) == 250
+        assert process.delivered == 250
+        assert process.exhausted
+
+    def test_virtual_time_matches_rate(self):
+        engine = SimulationEngine()
+        process = StreamSiteProcess(
+            engine, records(1000), lambda r: None, rate=100.0, batch=100
+        )
+        process.start()
+        engine.run()
+        # 1000 records at 100/s in 100-record batches: the last batch is
+        # scheduled at 9 s (ten ticks, first at t=0).
+        assert engine.now == pytest.approx(10.0)
+
+    def test_max_records_cap(self):
+        engine = SimulationEngine()
+        consumed = []
+        process = StreamSiteProcess(
+            engine,
+            records(1000),
+            consumed.append,
+            rate=100.0,
+            batch=10,
+            max_records=35,
+        )
+        process.start()
+        engine.run()
+        assert len(consumed) == 35
+
+    def test_start_delay(self):
+        engine = SimulationEngine()
+        seen_times = []
+        process = StreamSiteProcess(
+            engine,
+            records(1),
+            lambda r: seen_times.append(engine.now),
+            rate=10.0,
+            batch=1,
+        )
+        process.start(delay=2.0)
+        engine.run()
+        assert seen_times[0] == pytest.approx(2.0)
+
+    def test_invalid_parameters_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError, match="rate"):
+            StreamSiteProcess(engine, records(1), lambda r: None, rate=0.0)
+        with pytest.raises(ValueError, match="batch"):
+            StreamSiteProcess(engine, records(1), lambda r: None, batch=0)
+        with pytest.raises(ValueError, match="max_records"):
+            StreamSiteProcess(
+                engine, records(1), lambda r: None, max_records=-1
+            )
+
+    def test_two_processes_interleave_on_the_clock(self):
+        engine = SimulationEngine()
+        log = []
+        fast = StreamSiteProcess(
+            engine,
+            records(4),
+            lambda r: log.append(("fast", engine.now)),
+            rate=4.0,
+            batch=1,
+        )
+        slow = StreamSiteProcess(
+            engine,
+            records(2),
+            lambda r: log.append(("slow", engine.now)),
+            rate=1.0,
+            batch=1,
+        )
+        fast.start()
+        slow.start()
+        engine.run()
+        fast_times = [t for name, t in log if name == "fast"]
+        slow_times = [t for name, t in log if name == "slow"]
+        assert fast_times == pytest.approx([0.0, 0.25, 0.5, 0.75])
+        assert slow_times == pytest.approx([0.0, 1.0])

@@ -1,0 +1,151 @@
+"""Tests for the unreliable-link model and loss tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coordinator import Coordinator, CoordinatorConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import ModelUpdateMessage, WeightUpdateMessage
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import NetworkChannel
+
+
+def weight_message(n: int = 0) -> WeightUpdateMessage:
+    return WeightUpdateMessage(site_id=0, model_id=n, time=n, count_delta=1)
+
+
+def model_message(model_id: int = 0) -> ModelUpdateMessage:
+    mixture = GaussianMixture.single(Gaussian.spherical(np.zeros(2), 1.0))
+    return ModelUpdateMessage(
+        site_id=0,
+        model_id=model_id,
+        time=0,
+        mixture=mixture,
+        count=100,
+        reference_likelihood=-1.0,
+    )
+
+
+class TestLossyChannel:
+    def test_drop_rate_zero_delivers_everything(self):
+        engine = SimulationEngine()
+        received = []
+        channel = NetworkChannel(
+            engine, received.append, latency=0.0, drop_rate=0.0
+        )
+        for i in range(50):
+            channel.send(weight_message(i))
+        engine.run()
+        assert len(received) == 50
+        assert channel.stats.dropped == 0
+
+    def test_drops_happen_at_the_configured_rate(self):
+        engine = SimulationEngine()
+        received = []
+        channel = NetworkChannel(
+            engine,
+            received.append,
+            latency=0.0,
+            drop_rate=0.3,
+            rng=np.random.default_rng(1),
+        )
+        for i in range(1000):
+            channel.send(weight_message(i))
+        engine.run()
+        assert channel.stats.dropped == pytest.approx(300, abs=60)
+        assert len(received) == 1000 - channel.stats.dropped
+
+    def test_sender_pays_for_dropped_messages(self):
+        engine = SimulationEngine()
+        channel = NetworkChannel(
+            engine,
+            lambda m: None,
+            latency=0.0,
+            drop_rate=0.99,
+            rng=np.random.default_rng(2),
+        )
+        for i in range(100):
+            channel.send(weight_message(i))
+        # Byte accounting reflects attempted sends (section 5.3 costs).
+        assert channel.stats.bytes == 100 * weight_message().payload_bytes()
+
+    def test_duplicates_deliver_twice(self):
+        engine = SimulationEngine()
+        received = []
+        channel = NetworkChannel(
+            engine,
+            received.append,
+            latency=0.01,
+            duplicate_rate=0.5,
+            rng=np.random.default_rng(3),
+        )
+        for i in range(200):
+            channel.send(weight_message(i))
+        engine.run()
+        assert len(received) == 200 + channel.stats.duplicated
+        assert channel.stats.duplicated == pytest.approx(100, abs=30)
+
+    def test_invalid_rates_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError, match="drop_rate"):
+            NetworkChannel(engine, lambda m: None, drop_rate=1.0)
+        with pytest.raises(ValueError, match="duplicate_rate"):
+            NetworkChannel(engine, lambda m: None, duplicate_rate=-0.1)
+
+
+class TestCoordinatorLossTolerance:
+    def test_strict_mode_raises_on_orphan_weight_update(self):
+        coordinator = Coordinator(CoordinatorConfig(tolerate_loss=False))
+        with pytest.raises(KeyError):
+            coordinator.handle_message(weight_message())
+
+    def test_tolerant_mode_counts_orphans(self):
+        coordinator = Coordinator(CoordinatorConfig(tolerate_loss=True))
+        coordinator.handle_message(weight_message())
+        assert coordinator.stats.orphan_updates == 1
+
+    def test_duplicate_model_updates_are_idempotent(self):
+        coordinator = Coordinator(
+            CoordinatorConfig(max_components=4, merge_method="moment")
+        )
+        message = model_message()
+        coordinator.handle_message(message)
+        first_components = len(coordinator.full_mixture().components)
+        first_weight = sum(c.weight for c in coordinator.clusters)
+        coordinator.handle_message(message)  # duplicate delivery
+        assert len(coordinator.full_mixture().components) == first_components
+        assert sum(c.weight for c in coordinator.clusters) == pytest.approx(
+            first_weight
+        )
+
+    def test_survives_lossy_end_to_end(self):
+        """A lossy star network with a tolerant coordinator: no crash,
+        and the coordinator holds whatever made it through."""
+        engine = SimulationEngine()
+        coordinator = Coordinator(
+            CoordinatorConfig(
+                max_components=4, merge_method="moment", tolerate_loss=True
+            )
+        )
+        channel = NetworkChannel(
+            engine,
+            coordinator.handle_message,
+            latency=0.0,
+            drop_rate=0.4,
+            rng=np.random.default_rng(4),
+        )
+        for model_id in range(10):
+            channel.send(model_message(model_id))
+            channel.send(
+                WeightUpdateMessage(
+                    site_id=0, model_id=model_id, time=0, count_delta=50
+                )
+            )
+        engine.run()
+        delivered_models = coordinator.stats.model_updates
+        assert delivered_models >= 1
+        assert coordinator.stats.orphan_updates >= 1
+        assert coordinator.n_components <= 4

@@ -1,0 +1,78 @@
+"""Tests for the gradually drifting stream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.base import take
+from repro.streams.drift import DriftConfig, DriftingGaussianStream
+
+
+class TestDriftConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="drift_per_record"):
+            DriftConfig(drift_per_record=-0.1)
+        with pytest.raises(ValueError, match="step"):
+            DriftConfig(step=0)
+
+
+class TestDriftingStream:
+    def test_records_have_configured_dimension(self):
+        stream = DriftingGaussianStream(
+            DriftConfig(dim=3, n_components=2), np.random.default_rng(0)
+        )
+        assert take(stream, 10).shape == (10, 3)
+
+    def test_zero_drift_is_stationary(self):
+        stream = DriftingGaussianStream(
+            DriftConfig(dim=2, n_components=2, drift_per_record=0.0),
+            np.random.default_rng(1),
+        )
+        early = stream.mixture_at(0)
+        late = stream.mixture_at(100_000)
+        assert early == late
+
+    def test_means_travel_at_the_configured_speed(self):
+        config = DriftConfig(dim=2, n_components=3, drift_per_record=0.01)
+        stream = DriftingGaussianStream(config, np.random.default_rng(2))
+        start = stream.mixture_at(0)
+        end = stream.mixture_at(1000)
+        for a, b in zip(start.components, end.components):
+            travelled = float(np.linalg.norm(b.mean - a.mean))
+            assert travelled == pytest.approx(10.0, rel=1e-9)
+
+    def test_covariances_and_weights_stay_fixed(self):
+        stream = DriftingGaussianStream(
+            DriftConfig(dim=2, n_components=2, drift_per_record=0.05),
+            np.random.default_rng(3),
+        )
+        start = stream.mixture_at(0)
+        end = stream.mixture_at(5000)
+        assert np.allclose(start.weights, end.weights)
+        for a, b in zip(start.components, end.components):
+            assert np.allclose(a.covariance, b.covariance)
+
+    def test_generated_records_track_the_drifting_truth(self):
+        config = DriftConfig(
+            dim=2, n_components=2, drift_per_record=0.01, step=50
+        )
+        stream = DriftingGaussianStream(config, np.random.default_rng(4))
+        take(stream, 5000)  # advance the stream
+        block = take(stream, 500)
+        current = stream.mixture_at(5250)
+        initial = stream.mixture_at(0)
+        assert current.average_log_likelihood(
+            block
+        ) > initial.average_log_likelihood(block)
+
+    def test_negative_index_rejected(self):
+        stream = DriftingGaussianStream(rng=np.random.default_rng(5))
+        with pytest.raises(ValueError, match="non-negative"):
+            stream.mixture_at(-1)
+
+    def test_reproducible_under_seed(self):
+        config = DriftConfig(dim=2, n_components=2)
+        a = take(DriftingGaussianStream(config, np.random.default_rng(6)), 300)
+        b = take(DriftingGaussianStream(config, np.random.default_rng(6)), 300)
+        assert np.array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Tests for the noise injection wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.base import take
+from repro.streams.noise import NoiseConfig, NoisyStream
+
+
+def clean_stream(n: int, dim: int = 2):
+    return iter(np.zeros((n, dim)))
+
+
+class TestNoiseConfig:
+    def test_paper_default_fraction(self):
+        assert NoiseConfig().fraction == 0.05
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(fraction=1.5)
+        with pytest.raises(ValueError):
+            NoiseConfig(kind="gamma")
+        with pytest.raises(ValueError):
+            NoiseConfig(low=1.0, high=0.0)
+        with pytest.raises(ValueError):
+            NoiseConfig(attribute_fraction=0.0)
+
+
+class TestNoisyStream:
+    def test_zero_fraction_passes_records_through(self):
+        stream = NoisyStream(
+            clean_stream(100), NoiseConfig(fraction=0.0),
+            rng=np.random.default_rng(0),
+        )
+        block = take(stream, 100)
+        assert np.allclose(block, 0.0)
+        assert stream.corrupted == 0
+
+    def test_corruption_rate_approximately_matches(self):
+        stream = NoisyStream(
+            clean_stream(10_000), NoiseConfig(fraction=0.05),
+            rng=np.random.default_rng(1),
+        )
+        take(stream, 10_000)
+        assert stream.corrupted == pytest.approx(500, abs=80)
+
+    def test_outlier_noise_replaces_whole_record(self):
+        stream = NoisyStream(
+            clean_stream(200), NoiseConfig(fraction=1.0, kind="outlier"),
+            rng=np.random.default_rng(2),
+        )
+        block = take(stream, 200)
+        # Every record corrupted: none should remain at the origin.
+        assert np.all(np.any(block != 0.0, axis=1))
+        assert np.all(block >= -15.0) and np.all(block <= 15.0)
+
+    def test_attribute_noise_corrupts_subset_of_attributes(self):
+        config = NoiseConfig(
+            fraction=1.0, kind="attribute", attribute_fraction=0.5
+        )
+        stream = NoisyStream(
+            iter(np.zeros((100, 4))), config, rng=np.random.default_rng(3)
+        )
+        block = take(stream, 100)
+        corrupted_per_record = np.sum(block != 0.0, axis=1)
+        assert np.all(corrupted_per_record == 2)  # half of four attrs
+
+    def test_source_record_not_mutated(self):
+        source = np.zeros((10, 2))
+        stream = NoisyStream(
+            iter(source), NoiseConfig(fraction=1.0),
+            rng=np.random.default_rng(4),
+        )
+        take(stream, 10)
+        assert np.allclose(source, 0.0)
+
+    def test_fraction_one_attribute_noise_hits_at_least_one(self):
+        config = NoiseConfig(
+            fraction=1.0, kind="attribute", attribute_fraction=0.01
+        )
+        stream = NoisyStream(
+            iter(np.zeros((50, 3))), config, rng=np.random.default_rng(5)
+        )
+        block = take(stream, 50)
+        assert np.all(np.sum(block != 0.0, axis=1) >= 1)

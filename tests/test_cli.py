@@ -1,0 +1,110 @@
+"""Tests for the cludistream command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.sites == 4
+        assert args.stream == "synthetic"
+        assert not args.simulate
+
+
+class TestChunkSize:
+    def test_prints_paper_default(self, capsys):
+        status = main(
+            ["chunk-size", "-d", "4", "--epsilon", "0.02", "--delta", "0.01"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "M = 1567" in out
+        assert "M/2" in out
+
+
+class TestRun:
+    def test_synthetic_run(self, capsys):
+        status = main(
+            [
+                "run",
+                "--sites", "2",
+                "--records", "1200",
+                "--chunk", "400",
+                "--clusters", "3",
+                "--seed", "1",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "processed 2400 records" in out
+        assert "site 0:" in out
+        assert "coordinator:" in out
+
+    def test_netflow_simulated_run(self, capsys):
+        status = main(
+            [
+                "run",
+                "--sites", "2",
+                "--records", "1000",
+                "--chunk", "500",
+                "--clusters", "3",
+                "--stream", "netflow",
+                "--simulate",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "virtual seconds" in out
+
+
+class TestCompareComm:
+    def test_reports_savings(self, capsys):
+        status = main(
+            [
+                "compare-comm",
+                "--sites", "2",
+                "--records", "2000",
+                "--chunk", "500",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "x savings" in out
+        assert "CluDistream (B)" in out
+
+
+class TestRunVariants:
+    def test_netflow_direct_run(self, capsys):
+        from repro.cli import main
+
+        status = main(
+            [
+                "run",
+                "--sites", "1",
+                "--records", "1000",
+                "--chunk", "500",
+                "--clusters", "3",
+                "--stream", "netflow",
+            ]
+        )
+        assert status == 0
+        assert "coordinator:" in capsys.readouterr().out
+
+    def test_chunk_size_rejects_bad_epsilon(self):
+        from repro.cli import main
+
+        with pytest.raises(ValueError):
+            main(["chunk-size", "--epsilon", "0"])

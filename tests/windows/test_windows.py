@@ -1,0 +1,170 @@
+"""Tests for landmark, horizon and sliding window semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMConfig
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import DeletionMessage
+from repro.core.remote import RemoteSite, RemoteSiteConfig
+from repro.windows.horizon import horizon_mixture, horizon_model_spans
+from repro.windows.landmark import landmark_mixture
+from repro.windows.sliding import SlidingWindowManager
+
+
+def make_site(seed: int = 5) -> RemoteSite:
+    config = RemoteSiteConfig(
+        dim=2,
+        epsilon=0.3,
+        delta=0.05,
+        em=EMConfig(n_components=2, n_init=1, max_iter=30, tol=1e-3),
+        chunk_override=300,
+    )
+    return RemoteSite(0, config, rng=np.random.default_rng(seed))
+
+
+def mixture_at(center: float) -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.5, 0.5]),
+        (
+            Gaussian.spherical(np.array([center, 0.0]), 0.3),
+            Gaussian.spherical(np.array([center, 5.0]), 0.3),
+        ),
+    )
+
+
+def feed(site: RemoteSite, center: float, chunks: int, seed: int) -> None:
+    points, _ = mixture_at(center).sample(
+        site.chunk * chunks, np.random.default_rng(seed)
+    )
+    site.process_stream(points)
+
+
+class TestLandmark:
+    def test_single_model_landmark_is_that_model(self):
+        site = make_site()
+        feed(site, 0.0, 2, 1)
+        landmark = landmark_mixture(site)
+        assert landmark == site.current_model.mixture
+
+    def test_landmark_spans_all_distributions(self):
+        site = make_site()
+        feed(site, 0.0, 2, 1)
+        feed(site, 40.0, 1, 2)
+        landmark = landmark_mixture(site)
+        means = np.stack([c.mean for c in landmark.components])
+        assert means[:, 0].min() < 5.0
+        assert means[:, 0].max() > 35.0
+
+    def test_landmark_weights_track_record_counts(self):
+        site = make_site()
+        feed(site, 0.0, 3, 1)  # 3 chunks on distribution A
+        feed(site, 40.0, 1, 2)  # 1 chunk on distribution B
+        landmark = landmark_mixture(site)
+        mass_near_a = sum(
+            w
+            for w, c in landmark
+            if c.mean[0] < 20.0
+        )
+        assert mass_near_a == pytest.approx(0.75, abs=0.05)
+
+    def test_landmark_requires_a_model(self):
+        with pytest.raises(ValueError, match="no trained models"):
+            landmark_mixture(make_site())
+
+
+class TestHorizon:
+    def test_horizon_covering_only_current_model(self):
+        site = make_site()
+        feed(site, 0.0, 2, 1)
+        feed(site, 40.0, 1, 2)
+        recent = horizon_mixture(site, site.chunk)
+        means = np.stack([c.mean for c in recent.components])
+        assert np.all(means[:, 0] > 20.0)  # only distribution B
+
+    def test_horizon_spanning_both_models_weights_by_overlap(self):
+        site = make_site()
+        feed(site, 0.0, 2, 1)
+        feed(site, 40.0, 2, 2)
+        spans = horizon_model_spans(site, site.chunk * 3)
+        assert len(spans) == 2
+        assert spans[0][1] == site.chunk  # one chunk of the old model
+        assert spans[1][1] == site.chunk * 2  # two of the new
+
+    def test_horizon_larger_than_history_is_fine(self):
+        site = make_site()
+        feed(site, 0.0, 1, 1)
+        mixture = horizon_mixture(site, 10**6)
+        assert mixture.dim == 2
+
+    def test_horizon_before_first_model_raises(self):
+        site = make_site()
+        with pytest.raises(ValueError, match="no model"):
+            horizon_mixture(site, 100)
+
+    def test_invalid_horizon_rejected(self):
+        site = make_site()
+        with pytest.raises(ValueError, match="horizon"):
+            horizon_model_spans(site, 0)
+
+
+class TestSlidingWindow:
+    def test_window_expires_old_spans(self):
+        site = make_site()
+        manager = SlidingWindowManager(site, window=site.chunk * 2)
+        points, _ = mixture_at(0.0).sample(
+            site.chunk * 4, np.random.default_rng(1)
+        )
+        messages = []
+        for row in points:
+            messages.extend(manager.process_record(row))
+        deletions = [m for m in messages if isinstance(m, DeletionMessage)]
+        assert len(deletions) == 2  # chunks 1 and 2 expired
+        assert manager.records_in_window == site.chunk * 2
+
+    def test_expired_model_weight_reduced(self):
+        site = make_site()
+        manager = SlidingWindowManager(site, window=site.chunk * 2)
+        points, _ = mixture_at(0.0).sample(
+            site.chunk * 4, np.random.default_rng(1)
+        )
+        for row in points:
+            manager.process_record(row)
+        # 4 chunks seen, 2 expired: the single model holds 2 chunks.
+        assert site.current_model.count == site.chunk * 2
+
+    def test_fully_expired_archived_model_disappears(self):
+        site = make_site()
+        manager = SlidingWindowManager(site, window=site.chunk * 2)
+        # One chunk of A, then three chunks of B: A's span leaves the
+        # window entirely.
+        points_a, _ = mixture_at(0.0).sample(
+            site.chunk, np.random.default_rng(1)
+        )
+        points_b, _ = mixture_at(40.0).sample(
+            site.chunk * 3, np.random.default_rng(2)
+        )
+        for row in points_a:
+            manager.process_record(row)
+        old_id = site.current_model.model_id
+        for row in points_b:
+            manager.process_record(row)
+        assert site.find_model(old_id) is None
+
+    def test_window_must_hold_a_chunk(self):
+        site = make_site()
+        with pytest.raises(ValueError, match="at least one chunk"):
+            SlidingWindowManager(site, window=10)
+
+    def test_window_never_overflows(self):
+        site = make_site()
+        manager = SlidingWindowManager(site, window=site.chunk * 3)
+        points, _ = mixture_at(0.0).sample(
+            site.chunk * 7, np.random.default_rng(3)
+        )
+        for row in points:
+            manager.process_record(row)
+            assert manager.records_in_window <= site.chunk * 3
