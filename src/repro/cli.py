@@ -11,7 +11,12 @@ Three subcommands cover the common workflows without writing code:
   communication comparison against periodic SEM reporting;
 * ``cludistream report -o report.md`` -- run a compact reproduction
   (communication + quality + parameter math) and write a Markdown
-  summary.
+  summary;
+* ``cludistream serve --expected-sites 2`` / ``cludistream site
+  --site-id 0 --port PORT`` -- a real multi-process deployment: the
+  coordinator listens on a TCP socket and remote-site processes stream
+  synopses to it over the fault-tolerant transport
+  (:mod:`repro.transport`).
 
 All commands accept ``--seed`` for reproducibility.  Exit status is 0
 on success; argument errors exit with argparse's usual status 2.
@@ -86,6 +91,48 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sites", type=int, default=2)
     report.add_argument("--records", type=int, default=4000, help="per site")
     report.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the coordinator as a TCP server (multi-process mode)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--expected-sites", type=int, default=2,
+        help="exit once this many sites report completion",
+    )
+    serve.add_argument("--clusters", type=int, default=5, help="global cap")
+    serve.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="give up after this many seconds",
+    )
+    serve.add_argument(
+        "--stale-after", type=float, default=30.0,
+        help="flag sites silent for this long as stale",
+    )
+
+    site = sub.add_parser(
+        "site",
+        help="run one remote site against a TCP coordinator",
+    )
+    site.add_argument("--host", default="127.0.0.1")
+    site.add_argument("--port", type=int, required=True)
+    site.add_argument("--site-id", type=int, default=0)
+    site.add_argument("--records", type=int, default=2000)
+    site.add_argument(
+        "--stream", choices=("synthetic", "netflow"), default="synthetic"
+    )
+    site.add_argument("--clusters", type=int, default=3, help="K")
+    site.add_argument("--dim", type=int, default=4)
+    site.add_argument("--epsilon", type=float, default=0.05)
+    site.add_argument("--delta", type=float, default=0.05)
+    site.add_argument("--chunk", type=int, default=500)
+    site.add_argument("--p-new", type=float, default=0.1, help="P_d")
+    site.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -359,6 +406,123 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.coordinator import Coordinator, CoordinatorConfig
+    from repro.transport.reliability import ReliabilityConfig
+    from repro.transport.tcp import CoordinatorServer
+
+    async def _run() -> int:
+        coordinator = Coordinator(
+            CoordinatorConfig(max_components=args.clusters)
+        )
+        server = CoordinatorServer(
+            coordinator,
+            expected_sites=args.expected_sites,
+            config=ReliabilityConfig(stale_after=args.stale_after),
+        )
+        await server.start(args.host, args.port)
+        print(f"listening on {args.host}:{server.port}", flush=True)
+        completed = await server.wait_done(timeout=args.timeout)
+        stale = server.stale_sites()
+        await server.close()
+        stats = server.receiver.stats
+        print(
+            f"coordinator: clusters={coordinator.n_components} "
+            f"messages={coordinator.stats.messages_received} "
+            f"payload_bytes={coordinator.stats.bytes_received} "
+            f"merges={coordinator.stats.merges} "
+            f"splits={coordinator.stats.splits}"
+        )
+        print(
+            f"delivery: delivered={stats.delivered} "
+            f"dupes_suppressed={stats.duplicates_suppressed} "
+            f"acks={stats.acks_sent} "
+            f"wire_bytes={stats.wire_bytes_received}"
+        )
+        if stale:
+            print(f"stale sites: {sorted(stale)}")
+        if not completed:
+            print("timed out waiting for sites", flush=True)
+            return 1
+        for weight, component in sorted(
+            coordinator.global_mixture(), key=lambda pair: pair[0], reverse=True
+        ):
+            print(f"  w={weight:.3f}  mean={np.round(component.mean, 2)}")
+        print("all sites completed", flush=True)
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _cmd_site(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.em import EMConfig
+    from repro.core.remote import RemoteSiteConfig
+    from repro.streams.base import take
+    from repro.transport.tcp import run_site_client
+
+    if args.stream == "netflow":
+        from repro.streams.netflow import NetflowConfig, NetflowStreamGenerator
+
+        dim = 6
+        generator = NetflowStreamGenerator(
+            NetflowConfig(p_switch=args.p_new),
+            rng=np.random.default_rng(args.seed + 100 + args.site_id),
+        )
+    else:
+        from repro.streams.synthetic import (
+            EvolvingGaussianStream,
+            EvolvingStreamConfig,
+        )
+
+        dim = args.dim
+        generator = EvolvingGaussianStream(
+            EvolvingStreamConfig(
+                dim=dim,
+                n_components=args.clusters,
+                p_new_distribution=args.p_new,
+            ),
+            rng=np.random.default_rng(args.seed + 100 + args.site_id),
+        )
+    records = take(generator, args.records)
+    config = RemoteSiteConfig(
+        dim=dim,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        em=EMConfig(n_components=args.clusters, n_init=1, max_iter=40),
+        chunk_override=args.chunk,
+    )
+    try:
+        _, report = asyncio.run(
+            run_site_client(
+                args.site_id,
+                records,
+                args.host,
+                args.port,
+                site_config=config,
+                seed=args.seed,
+            )
+        )
+    except OSError as error:
+        print(
+            f"site {args.site_id}: cannot reach coordinator at "
+            f"{args.host}:{args.port} ({error})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"site {args.site_id}: records={report.records} "
+        f"models={report.models} messages={report.messages_sent} "
+        f"payload_bytes={report.payload_bytes} "
+        f"wire_bytes={report.wire_bytes} "
+        f"retransmissions={report.retransmissions}"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
@@ -368,6 +532,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "compare-comm": _cmd_compare_comm,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "site": _cmd_site,
     }
     try:
         return handlers[args.command](args)

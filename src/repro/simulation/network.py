@@ -169,6 +169,7 @@ class StarNetwork:
         self._seed = seed
         self.cost = TimeSeriesCollector(interval=sample_interval)
         self._channels: dict[int, NetworkChannel] = {}
+        self._finalized_at: float | None = None
 
     def channel_for(self, site_id: int) -> NetworkChannel:
         """The (lazily created) uplink channel of ``site_id``."""
@@ -196,5 +197,15 @@ class StarNetwork:
         return sum(channel.stats.messages for channel in self._channels.values())
 
     def finalize(self) -> None:
-        """Flush the cost collector up to the current clock."""
-        self.cost.finalize(self._engine.now)
+        """Flush the cost collector up to the current clock.
+
+        Idempotent: calling it again (at the same or an earlier clock
+        value) changes nothing -- samples, ``total_bytes`` and
+        ``total_messages`` all stay consistent, so report code may
+        finalize defensively without corrupting the series.
+        """
+        now = self._engine.now
+        if self._finalized_at is not None and now <= self._finalized_at:
+            return
+        self.cost.finalize(now)
+        self._finalized_at = now

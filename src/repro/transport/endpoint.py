@@ -1,0 +1,252 @@
+"""Endpoints: plugging the transport stack into sites and coordinator.
+
+A :class:`SiteEndpoint` is the thin object a
+:class:`~repro.core.remote.RemoteSite` talks to: its :meth:`send` is
+shaped exactly like the site's ``emit`` hook, serialises the message
+through :mod:`repro.core.serde` and hands the bytes to a
+:class:`~repro.transport.reliability.ReliableSender`.
+
+A :class:`CoordinatorEndpoint` is the receiving half: datagrams come in
+from the transport, the
+:class:`~repro.transport.reliability.ReliableReceiver` dedupes/orders
+them, and surviving payloads are decoded back into protocol messages
+and applied via ``Coordinator.handle_message``.  It also turns the
+heartbeat stream into staleness information and can *evict* a dead
+site's synopses using the paper's own section 7 deletion protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.coordinator import Coordinator
+from repro.core.protocol import DeletionMessage, Message
+from repro.core.serde import decode_message, encode_message
+from repro.transport.base import DatagramTransport
+from repro.transport.clock import Clock, ManualClock
+from repro.transport.reliability import (
+    ReliabilityConfig,
+    ReliableReceiver,
+    ReliableSender,
+)
+
+__all__ = [
+    "CoordinatorEndpoint",
+    "SiteEndpoint",
+    "TransportEndpoint",
+    "connect_system",
+    "drain",
+]
+
+
+class TransportEndpoint(ABC):
+    """What a message producer needs from a transport: ``send``."""
+
+    @abstractmethod
+    def send(self, message: Message) -> None:
+        """Ship one protocol message towards the coordinator."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release timers and transport bindings."""
+
+
+class SiteEndpoint(TransportEndpoint):
+    """Site-side endpoint: serde + reliable sender over a transport.
+
+    Use ``site._emit = endpoint.send`` (or pass ``emit=endpoint.send``
+    at construction) to route a :class:`~repro.core.remote.RemoteSite`'s
+    messages through the transport.
+
+    Parameters
+    ----------
+    site_id:
+        The site this endpoint speaks for.
+    transport:
+        Any :class:`~repro.transport.base.DatagramTransport`.
+    clock:
+        Timer service shared with the transport.
+    config:
+        Reliability tuning.
+    rng:
+        Randomness for retransmission jitter.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        transport: DatagramTransport,
+        clock: Clock,
+        config: ReliabilityConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.site_id = site_id
+        self._transport = transport
+        self.sender = ReliableSender(
+            site_id=site_id,
+            transmit=lambda data: transport.send_to_coordinator(site_id, data),
+            clock=clock,
+            config=config,
+            rng=rng,
+        )
+        transport.bind_site(site_id, self.sender.handle_datagram)
+
+    def send(self, message: Message) -> None:
+        if message.site_id != self.site_id:
+            raise ValueError(
+                f"endpoint of site {self.site_id} cannot send a message "
+                f"from site {message.site_id}"
+            )
+        self.sender.send_payload(encode_message(message))
+
+    def outstanding(self) -> int:
+        """Messages sent but not yet acknowledged."""
+        return self.sender.outstanding()
+
+    def finish(self) -> None:
+        """Announce end of stream (best-effort DONE)."""
+        self.sender.send_done()
+
+    def close(self) -> None:
+        self.sender.close()
+        self._transport.unbind_site(self.site_id)
+
+
+class CoordinatorEndpoint:
+    """Coordinator-side endpoint: reliable receiver + serde + staleness.
+
+    Parameters
+    ----------
+    coordinator:
+        The coordinator consuming delivered messages.
+    transport:
+        The datagram backend to bind to.
+    clock:
+        Clock used for liveness timestamps.
+    config:
+        Reliability tuning (``stale_after`` in particular).
+    """
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        transport: DatagramTransport,
+        clock: Clock,
+        config: ReliabilityConfig | None = None,
+    ) -> None:
+        self.coordinator = coordinator
+        self._transport = transport
+        self._clock = clock
+        self.receiver = ReliableReceiver(
+            deliver=self._deliver,
+            send_ack=transport.send_to_site,
+            clock=clock,
+            config=config,
+        )
+        transport.bind_coordinator(self.receiver.handle_datagram)
+        #: Sites evicted by :meth:`evict_stale` (they may come back).
+        self.evicted: set[int] = set()
+
+    def _deliver(self, site_id: int, payload: bytes) -> None:
+        self.coordinator.handle_message(decode_message(payload))
+        # A site that talks again after an eviction is alive after all.
+        self.evicted.discard(site_id)
+
+    # ------------------------------------------------------------------
+    # Staleness
+    # ------------------------------------------------------------------
+    def stale_sites(self, stale_after: float | None = None) -> tuple[int, ...]:
+        """Sites silent beyond the staleness timeout (and not DONE)."""
+        return self.receiver.stale_sites(stale_after)
+
+    def evict_stale(self, stale_after: float | None = None) -> tuple[int, ...]:
+        """Remove every stale site's synopses from the global model.
+
+        Reuses the paper's sliding-window deletion protocol: for each
+        registered model of a stale site, a synthetic
+        :class:`~repro.core.protocol.DeletionMessage` carrying the
+        model's full remaining weight is applied, which drops the model
+        and its leaves.  Returns the evicted site ids.  If the site
+        resumes talking, its next model update simply re-registers it.
+        """
+        stale = self.stale_sites(stale_after)
+        for site_id in stale:
+            for (owner, model_id), (_, count) in list(
+                self.coordinator.site_models.items()
+            ):
+                if owner != site_id or count <= 0:
+                    continue
+                self.coordinator.handle_message(
+                    DeletionMessage(
+                        site_id=owner,
+                        model_id=model_id,
+                        time=0,
+                        count_delta=count,
+                    )
+                )
+            self.evicted.add(site_id)
+        return stale
+
+    def close(self) -> None:
+        self._transport.bind_coordinator(lambda data: None)
+
+
+# ----------------------------------------------------------------------
+# Convenience wiring
+# ----------------------------------------------------------------------
+def connect_system(
+    sites,
+    coordinator: Coordinator,
+    transport: DatagramTransport,
+    clock: Clock,
+    config: ReliabilityConfig | None = None,
+    seed: int = 0,
+) -> tuple[list[SiteEndpoint], CoordinatorEndpoint]:
+    """Wire ``sites`` and ``coordinator`` over one transport.
+
+    Installs a :class:`SiteEndpoint` as each site's ``emit`` hook and
+    binds a :class:`CoordinatorEndpoint`; returns both so callers can
+    inspect stats, drain outboxes and close everything down.
+    """
+    coordinator_endpoint = CoordinatorEndpoint(
+        coordinator, transport, clock, config
+    )
+    endpoints: list[SiteEndpoint] = []
+    for site in sites:
+        endpoint = SiteEndpoint(
+            site.site_id,
+            transport,
+            clock,
+            config,
+            rng=np.random.default_rng(seed + 70_000 + site.site_id),
+        )
+        site._emit = endpoint.send
+        endpoints.append(endpoint)
+    return endpoints, coordinator_endpoint
+
+
+def drain(
+    clock: ManualClock,
+    endpoints,
+    step: float = 0.25,
+    limit: float = 600.0,
+) -> float:
+    """Advance ``clock`` until every endpoint's outbox is empty.
+
+    Retransmission timers and delayed deliveries fire as the clock
+    moves; with unlimited retry attempts this terminates for any fault
+    pattern short of a permanent partition.  Returns the clock time
+    spent; raises ``RuntimeError`` if ``limit`` seconds pass without the
+    outboxes draining (a genuinely dead link).
+    """
+    spent = 0.0
+    while any(endpoint.outstanding() for endpoint in endpoints):
+        if spent >= limit:
+            raise RuntimeError(
+                f"transport failed to drain within {limit} clock seconds"
+            )
+        clock.advance(step)
+        spent += step
+    return spent

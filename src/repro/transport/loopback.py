@@ -1,0 +1,26 @@
+"""In-process loopback backend: perfect, synchronous delivery.
+
+Delivers every datagram immediately, inline, in send order -- exactly
+the semantics the reproduction had when messages were Python objects
+handed straight to ``Coordinator.handle_message``.  With the reliability
+layer on top, acks come back before ``send`` returns, so outboxes drain
+instantly and no retransmission timer ever fires: a loopback run is
+bit-for-bit the deterministic baseline the lossy runs are compared
+against.
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import DatagramTransport
+
+__all__ = ["LoopbackTransport"]
+
+
+class LoopbackTransport(DatagramTransport):
+    """Synchronous in-process delivery; never drops, never reorders."""
+
+    def _transmit_to_coordinator(self, site_id: int, data: bytes) -> None:
+        self._deliver_to_coordinator(data)
+
+    def _transmit_to_site(self, site_id: int, data: bytes) -> None:
+        self._deliver_to_site(site_id, data)

@@ -1,0 +1,174 @@
+"""Adversarial fault injection over any datagram backend.
+
+:class:`LossyTransport` wraps another :class:`DatagramTransport` and,
+per datagram and per direction, independently drops, duplicates, delays
+or reorders it -- plus whole-link partition windows during which nothing
+gets through in either direction.  All randomness comes from one seeded
+generator, so a fault pattern is exactly reproducible.
+
+Reordering is implemented as an extra hold-back delay on the selected
+datagram: later datagrams with smaller delays overtake it once the clock
+advances, which is how reordering arises on real networks too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.transport.base import DatagramTransport
+from repro.transport.clock import Clock
+
+__all__ = ["FaultConfig", "FaultStats", "LossyTransport"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-datagram fault probabilities and delay model.
+
+    Parameters
+    ----------
+    drop_rate / duplicate_rate / reorder_rate:
+        Independent per-datagram probabilities.  A duplicated datagram
+        is offered twice (each copy delayed independently); a reordered
+        one is held back by ``reorder_delay`` on top of its base delay.
+    delay / delay_jitter:
+        Base propagation delay plus a uniform ``[0, delay_jitter)``
+        addition, in clock seconds.  ``delay == 0`` with no jitter
+        delivers synchronously (loopback semantics).
+    reorder_delay:
+        Hold-back applied to reordered datagrams.
+    partitions:
+        ``(start, end)`` clock windows during which *every* datagram is
+        dropped -- the link is partitioned.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    delay: float = 0.0
+    delay_jitter: float = 0.0
+    reorder_delay: float = 0.5
+    partitions: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must lie in [0, 1)")
+        if self.delay < 0.0 or self.delay_jitter < 0.0 or self.reorder_delay < 0.0:
+            raise ValueError("delays must be non-negative")
+        for start, end in self.partitions:
+            if end <= start:
+                raise ValueError("partition windows must have end > start")
+
+    def partitioned_at(self, time: float) -> bool:
+        """``True`` while ``time`` falls inside a partition window."""
+        return any(start <= time < end for start, end in self.partitions)
+
+
+@dataclass
+class FaultStats:
+    """What the adversary actually did."""
+
+    offered: int = 0
+    dropped: int = 0
+    partition_drops: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    delayed: int = 0
+
+
+class LossyTransport(DatagramTransport):
+    """Wrap ``inner`` with seeded fault injection on both directions.
+
+    Parameters
+    ----------
+    inner:
+        The backend actually carrying surviving datagrams.  Bindings
+        registered on this wrapper are installed on ``inner``.
+    clock:
+        Timer service used for delayed deliveries.
+    uplink_faults / downlink_faults:
+        Fault models per direction; ``downlink_faults`` defaults to the
+        uplink model (a symmetric bad link).
+    rng / seed:
+        Randomness; pass ``rng`` to share a generator, else ``seed``.
+    """
+
+    def __init__(
+        self,
+        inner: DatagramTransport,
+        clock: Clock,
+        uplink_faults: FaultConfig,
+        downlink_faults: FaultConfig | None = None,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self._inner = inner
+        self._clock = clock
+        self._uplink_faults = uplink_faults
+        self._downlink_faults = (
+            downlink_faults if downlink_faults is not None else uplink_faults
+        )
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self.faults = FaultStats()
+
+    # Bindings go straight to the inner backend, which performs the
+    # actual deliveries.
+    def bind_coordinator(self, callback) -> None:
+        self._inner.bind_coordinator(callback)
+
+    def bind_site(self, site_id: int, callback) -> None:
+        self._inner.bind_site(site_id, callback)
+
+    def unbind_site(self, site_id: int) -> None:
+        self._inner.unbind_site(site_id)
+
+    def _transmit_to_coordinator(self, site_id: int, data: bytes) -> None:
+        self._inject(
+            self._uplink_faults,
+            lambda: self._inner.send_to_coordinator(site_id, data),
+        )
+
+    def _transmit_to_site(self, site_id: int, data: bytes) -> None:
+        self._inject(
+            self._downlink_faults,
+            lambda: self._inner.send_to_site(site_id, data),
+        )
+
+    def _inject(self, faults: FaultConfig, forward) -> None:
+        self.faults.offered += 1
+        if faults.partitioned_at(self._clock.now):
+            self.faults.partition_drops += 1
+            return
+        if faults.drop_rate > 0.0 and self._rng.random() < faults.drop_rate:
+            self.faults.dropped += 1
+            return
+        copies = 1
+        if (
+            faults.duplicate_rate > 0.0
+            and self._rng.random() < faults.duplicate_rate
+        ):
+            copies = 2
+            self.faults.duplicated += 1
+        for _ in range(copies):
+            delay = faults.delay
+            if faults.delay_jitter > 0.0:
+                delay += float(self._rng.random()) * faults.delay_jitter
+            if (
+                faults.reorder_rate > 0.0
+                and self._rng.random() < faults.reorder_rate
+            ):
+                delay += faults.reorder_delay
+                self.faults.reordered += 1
+            if delay > 0.0:
+                self.faults.delayed += 1
+                self._clock.call_later(delay, forward)
+            else:
+                forward()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -1,0 +1,439 @@
+"""Exactly-once, in-order delivery over a misbehaving datagram service.
+
+The layer is classic positive-ack ARQ, specialised to the star
+topology:
+
+* **sender (site side)** -- every payload gets the site's next monotone
+  sequence number and sits in an outbox until a cumulative ack covers
+  it; unacked entries retransmit on a timer with exponential backoff and
+  multiplicative jitter (so ``r`` sites recovering from the same
+  partition do not thundering-herd the coordinator).  An optional
+  heartbeat timer keeps proving liveness while the site is silent
+  (a *stable* site sends no synopses -- exactly when the coordinator
+  most needs to distinguish "stable" from "dead").
+* **receiver (coordinator side)** -- per-site cursor of the next
+  expected sequence number plus a bounded reorder buffer.  Duplicates
+  (retransmissions, duplicated datagrams) are suppressed; gaps are
+  buffered and flushed in order; every datagram is answered with a
+  cumulative ack, so lost acks heal on the next retransmission.
+
+Together: each payload is delivered to the application **exactly once,
+in per-site send order**, provided the link is not partitioned forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.transport.clock import Clock, TimerHandle
+from repro.transport.framing import (
+    KIND_ACK,
+    KIND_DATA,
+    KIND_DONE,
+    KIND_HEARTBEAT,
+    Envelope,
+    decode_envelope,
+    encode_envelope,
+)
+
+__all__ = [
+    "ReceiverStats",
+    "ReliabilityConfig",
+    "ReliableReceiver",
+    "ReliableSender",
+    "SenderStats",
+]
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Tuning of the ARQ machinery.
+
+    Parameters
+    ----------
+    initial_timeout:
+        Retransmission timeout of the first attempt, in clock seconds.
+    backoff:
+        Multiplier applied per failed attempt (exponential backoff).
+    max_timeout:
+        Ceiling on the per-attempt timeout.
+    jitter:
+        Uniform multiplicative jitter: each timeout is scaled by
+        ``1 + U[0, jitter)``.
+    max_attempts:
+        Give up (and count a failure) after this many transmissions of
+        one payload; ``None`` retries forever -- the right default for
+        a system whose correctness proof assumes eventual delivery.
+    heartbeat_interval:
+        Period of site liveness beacons; ``None`` disables heartbeats.
+    stale_after:
+        A site is considered stale when nothing (data, heartbeat, done)
+        has been heard from it for this many seconds.
+    reorder_limit:
+        Receiver-side cap on buffered out-of-order payloads per site;
+        datagrams beyond the cap are dropped (the sender's
+        retransmission recovers them once the gap heals).
+    """
+
+    initial_timeout: float = 0.5
+    backoff: float = 2.0
+    max_timeout: float = 10.0
+    jitter: float = 0.1
+    max_attempts: int | None = None
+    heartbeat_interval: float | None = 5.0
+    stale_after: float = 30.0
+    reorder_limit: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.initial_timeout <= 0.0:
+            raise ValueError("initial_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be at least 1")
+        if self.max_timeout < self.initial_timeout:
+            raise ValueError("max_timeout must be at least initial_timeout")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.stale_after <= 0.0:
+            raise ValueError("stale_after must be positive")
+        if self.reorder_limit < 1:
+            raise ValueError("reorder_limit must be at least 1")
+
+
+# ----------------------------------------------------------------------
+# Sender
+# ----------------------------------------------------------------------
+@dataclass
+class SenderStats:
+    """Site-side delivery counters."""
+
+    payloads_sent: int = 0
+    payload_bytes: int = 0
+    wire_datagrams: int = 0
+    wire_bytes: int = 0
+    retransmissions: int = 0
+    acked: int = 0
+    expired: int = 0
+    heartbeats_sent: int = 0
+
+
+@dataclass
+class _OutboxEntry:
+    frame: bytes
+    attempts: int = 1
+    timer: TimerHandle | None = None
+
+
+class ReliableSender:
+    """The site side of the ARQ: outbox, retransmission, heartbeats.
+
+    Parameters
+    ----------
+    site_id:
+        Originating site (stamped into every envelope).
+    transmit:
+        Callback putting one encoded envelope on the wire (e.g.
+        ``lambda data: transport.send_to_coordinator(site_id, data)``).
+    clock:
+        Timer service.
+    config:
+        ARQ tuning.
+    rng:
+        Randomness for timeout jitter.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        transmit: Callable[[bytes], None],
+        clock: Clock,
+        config: ReliabilityConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.site_id = site_id
+        self._transmit = transmit
+        self._clock = clock
+        self.config = config or ReliabilityConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(site_id)
+        self._next_seq = 1
+        self._outbox: dict[int, _OutboxEntry] = {}
+        self._heartbeat_timer: TimerHandle | None = None
+        self._closed = False
+        self.stats = SenderStats()
+        if self.config.heartbeat_interval is not None:
+            self._arm_heartbeat()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def outstanding(self) -> int:
+        """Payloads sent but not yet covered by a cumulative ack."""
+        return len(self._outbox)
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number assigned so far (0 before any send)."""
+        return self._next_seq - 1
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_payload(self, payload: bytes) -> int:
+        """Enqueue one application payload; returns its sequence number."""
+        if self._closed:
+            raise RuntimeError("sender is closed")
+        seq = self._next_seq
+        self._next_seq += 1
+        frame = encode_envelope(
+            Envelope(kind=KIND_DATA, site_id=self.site_id, seq=seq, payload=payload)
+        )
+        entry = _OutboxEntry(frame=frame)
+        self._outbox[seq] = entry
+        self.stats.payloads_sent += 1
+        self.stats.payload_bytes += len(payload)
+        self._put_on_wire(frame)
+        entry.timer = self._clock.call_later(
+            self._timeout_for(entry.attempts), lambda: self._retransmit(seq)
+        )
+        return seq
+
+    def send_done(self) -> None:
+        """Announce that this site's stream has ended (best effort)."""
+        self._put_on_wire(
+            encode_envelope(
+                Envelope(kind=KIND_DONE, site_id=self.site_id, seq=self.last_seq)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving (the ack path)
+    # ------------------------------------------------------------------
+    def handle_datagram(self, data: bytes) -> None:
+        """Process one downlink datagram (normally an ack)."""
+        self.handle_envelope(decode_envelope(data))
+
+    def handle_envelope(self, envelope: Envelope) -> None:
+        if envelope.kind != KIND_ACK:
+            return
+        for seq in [s for s in self._outbox if s <= envelope.seq]:
+            entry = self._outbox.pop(seq)
+            if entry.timer is not None:
+                entry.timer.cancel()
+            self.stats.acked += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _retransmit(self, seq: int) -> None:
+        entry = self._outbox.get(seq)
+        if entry is None or self._closed:
+            return
+        limit = self.config.max_attempts
+        if limit is not None and entry.attempts >= limit:
+            del self._outbox[seq]
+            self.stats.expired += 1
+            return
+        entry.attempts += 1
+        self.stats.retransmissions += 1
+        self._put_on_wire(entry.frame)
+        entry.timer = self._clock.call_later(
+            self._timeout_for(entry.attempts), lambda: self._retransmit(seq)
+        )
+
+    def _timeout_for(self, attempts: int) -> float:
+        timeout = self.config.initial_timeout * (
+            self.config.backoff ** (attempts - 1)
+        )
+        timeout = min(timeout, self.config.max_timeout)
+        if self.config.jitter > 0.0:
+            timeout *= 1.0 + float(self._rng.random()) * self.config.jitter
+        return timeout
+
+    def _arm_heartbeat(self) -> None:
+        interval = self.config.heartbeat_interval
+        assert interval is not None
+        self._heartbeat_timer = self._clock.call_later(interval, self._beat)
+
+    def _beat(self) -> None:
+        if self._closed:
+            return
+        self.stats.heartbeats_sent += 1
+        self._put_on_wire(
+            encode_envelope(
+                Envelope(
+                    kind=KIND_HEARTBEAT, site_id=self.site_id, seq=self.last_seq
+                )
+            )
+        )
+        self._arm_heartbeat()
+
+    def _put_on_wire(self, frame: bytes) -> None:
+        self.stats.wire_datagrams += 1
+        self.stats.wire_bytes += len(frame)
+        self._transmit(frame)
+
+    def close(self) -> None:
+        """Cancel all timers; the sender cannot be used afterwards."""
+        self._closed = True
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        for entry in self._outbox.values():
+            if entry.timer is not None:
+                entry.timer.cancel()
+
+
+# ----------------------------------------------------------------------
+# Receiver
+# ----------------------------------------------------------------------
+@dataclass
+class ReceiverStats:
+    """Coordinator-side delivery counters."""
+
+    datagrams_received: int = 0
+    wire_bytes_received: int = 0
+    delivered: int = 0
+    duplicates_suppressed: int = 0
+    buffered_out_of_order: int = 0
+    reorder_overflow_dropped: int = 0
+    acks_sent: int = 0
+    ack_wire_bytes: int = 0
+    heartbeats_received: int = 0
+
+
+@dataclass
+class _SiteCursor:
+    expected: int = 1
+    buffer: dict[int, bytes] = field(default_factory=dict)
+    last_seen: float = float("-inf")
+    done_at_seq: int | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.done_at_seq is not None and self.expected > self.done_at_seq
+
+
+class ReliableReceiver:
+    """The coordinator side: dedupe, reorder, ack, liveness tracking.
+
+    Parameters
+    ----------
+    deliver:
+        Callback receiving ``(site_id, payload)`` exactly once per
+        payload, in per-site sequence order.
+    send_ack:
+        Callback putting one encoded ack envelope on the downlink of a
+        site: ``send_ack(site_id, data)``.
+    clock:
+        Clock used to timestamp liveness.
+    config:
+        ARQ tuning (``stale_after``, ``reorder_limit``).
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[int, bytes], None],
+        send_ack: Callable[[int, bytes], None],
+        clock: Clock,
+        config: ReliabilityConfig | None = None,
+    ) -> None:
+        self._deliver = deliver
+        self._send_ack = send_ack
+        self._clock = clock
+        self.config = config or ReliabilityConfig()
+        self._cursors: dict[int, _SiteCursor] = {}
+        self.stats = ReceiverStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def known_sites(self) -> tuple[int, ...]:
+        """Sites ever heard from, in first-contact order."""
+        return tuple(self._cursors)
+
+    def last_seen(self, site_id: int) -> float:
+        """Clock time of the last datagram from ``site_id`` (-inf if never)."""
+        cursor = self._cursors.get(site_id)
+        return cursor.last_seen if cursor is not None else float("-inf")
+
+    def stale_sites(self, stale_after: float | None = None) -> tuple[int, ...]:
+        """Sites silent for longer than ``stale_after`` (config default).
+
+        A site that announced completion (DONE) is never stale -- silence
+        is its expected end state, not a failure.
+        """
+        timeout = stale_after if stale_after is not None else self.config.stale_after
+        now = self._clock.now
+        return tuple(
+            site_id
+            for site_id, cursor in self._cursors.items()
+            if not cursor.done and now - cursor.last_seen > timeout
+        )
+
+    def site_done(self, site_id: int) -> bool:
+        """``True`` once ``site_id`` sent DONE and all its data arrived."""
+        cursor = self._cursors.get(site_id)
+        return cursor is not None and cursor.done
+
+    def all_done(self, expected_sites: int) -> bool:
+        """``True`` once ``expected_sites`` distinct sites completed."""
+        return sum(1 for c in self._cursors.values() if c.done) >= expected_sites
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def handle_datagram(self, data: bytes) -> None:
+        """Process one uplink datagram."""
+        self.handle_envelope(decode_envelope(data))
+
+    def handle_envelope(self, envelope: Envelope) -> None:
+        self.stats.datagrams_received += 1
+        self.stats.wire_bytes_received += envelope.wire_bytes()
+        cursor = self._cursors.setdefault(envelope.site_id, _SiteCursor())
+        cursor.last_seen = self._clock.now
+
+        if envelope.kind == KIND_DATA:
+            self._on_data(envelope, cursor)
+        elif envelope.kind == KIND_HEARTBEAT:
+            self.stats.heartbeats_received += 1
+            # Re-ack so a site whose acks were all lost can still drain.
+            self._ack(envelope.site_id, cursor)
+        elif envelope.kind == KIND_DONE:
+            cursor.done_at_seq = envelope.seq
+            self._ack(envelope.site_id, cursor)
+        # ACK envelopes never arrive on the uplink; ignore if they do.
+
+    def _on_data(self, envelope: Envelope, cursor: _SiteCursor) -> None:
+        seq = envelope.seq
+        if seq < cursor.expected or seq in cursor.buffer:
+            self.stats.duplicates_suppressed += 1
+        elif seq == cursor.expected:
+            self._deliver(envelope.site_id, envelope.payload)
+            self.stats.delivered += 1
+            cursor.expected += 1
+            while cursor.expected in cursor.buffer:
+                payload = cursor.buffer.pop(cursor.expected)
+                self._deliver(envelope.site_id, payload)
+                self.stats.delivered += 1
+                cursor.expected += 1
+        elif len(cursor.buffer) >= self.config.reorder_limit:
+            self.stats.reorder_overflow_dropped += 1
+        else:
+            cursor.buffer[seq] = envelope.payload
+            self.stats.buffered_out_of_order += 1
+        self._ack(envelope.site_id, cursor)
+
+    def _ack(self, site_id: int, cursor: _SiteCursor) -> None:
+        frame = encode_envelope(
+            Envelope(kind=KIND_ACK, site_id=site_id, seq=cursor.expected - 1)
+        )
+        self.stats.acks_sent += 1
+        self.stats.ack_wire_bytes += len(frame)
+        self._send_ack(site_id, frame)

@@ -28,7 +28,12 @@ finite_floats = st.floats(
 
 @st.composite
 def wire_mixtures(draw):
-    """Random encodable mixtures (uniform covariance mode)."""
+    """Random encodable mixtures (uniform covariance mode).
+
+    Diagonal components carry a diagonal matrix; full components carry a
+    genuinely dense SPD covariance (``A Aᵀ`` plus a diagonal ridge), so
+    the off-diagonal wire path is actually exercised.
+    """
     dim = draw(st.integers(min_value=1, max_value=5))
     k = draw(st.integers(min_value=1, max_value=4))
     diagonal = draw(st.booleans())
@@ -49,7 +54,23 @@ def wire_mixtures(draw):
                 elements=st.floats(min_value=0.1, max_value=20.0),
             )
         )
-        components.append(Gaussian(mean, np.diag(variances), diagonal=diagonal))
+        if diagonal:
+            covariance = np.diag(variances)
+        else:
+            factor = draw(
+                arrays(
+                    np.float64,
+                    (dim, dim),
+                    elements=st.floats(
+                        min_value=-3.0,
+                        max_value=3.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                )
+            )
+            covariance = factor @ factor.T + np.diag(variances)
+        components.append(Gaussian(mean, covariance, diagonal=diagonal))
     return GaussianMixture(weights, tuple(components))
 
 

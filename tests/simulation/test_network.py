@@ -96,3 +96,43 @@ class TestStarNetwork:
         engine.run()
         network.finalize()
         assert network.cost.total == network.total_bytes
+
+    def test_finalize_is_idempotent(self):
+        """Regression: a second finalize() must not corrupt the series."""
+        engine = SimulationEngine()
+        network = StarNetwork(
+            engine, lambda m: None, latency=0.0, sample_interval=1.0
+        )
+        network.channel_for(0).send(message(0))
+        network.channel_for(1).send(message(1))
+        engine.run()
+        network.finalize()
+        samples = list(network.cost.samples)
+        total = network.cost.total
+        messages = network.total_messages
+        total_bytes = network.total_bytes
+
+        network.finalize()  # same clock: must be a no-op
+        assert list(network.cost.samples) == samples
+        assert network.cost.total == total
+        assert network.total_messages == messages
+        assert network.total_bytes == total_bytes
+
+    def test_finalize_after_more_traffic_extends_the_series(self):
+        engine = SimulationEngine()
+        network = StarNetwork(
+            engine, lambda m: None, latency=0.0, sample_interval=1.0
+        )
+        network.channel_for(0).send(message(0))
+        engine.run()
+        network.finalize()
+        first_total = network.cost.total
+        # More traffic later: a later finalize picks it up exactly once.
+        engine.schedule_after(
+            2.0, lambda: network.channel_for(0).send(message(0))
+        )
+        engine.run()
+        network.finalize()
+        network.finalize()
+        assert network.cost.total == 2 * message().payload_bytes()
+        assert network.cost.total > first_total

@@ -108,3 +108,89 @@ class TestRunVariants:
 
         with pytest.raises(ValueError):
             main(["chunk-size", "--epsilon", "0"])
+
+
+class TestServeSiteParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.expected_sites == 2
+
+    def test_site_requires_a_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["site"])
+        args = build_parser().parse_args(["site", "--port", "5000"])
+        assert args.site_id == 0
+        assert args.stream == "synthetic"
+
+
+class TestMultiProcessDemo:
+    """The acceptance demo: one serve process, two site processes."""
+
+    def test_serve_plus_two_sites_over_tcp(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        base = [sys.executable, "-u", "-m", "repro.cli"]
+
+        server = subprocess.Popen(
+            base
+            + [
+                "serve",
+                "--port", "0",
+                "--expected-sites", "2",
+                "--clusters", "2",
+                "--timeout", "120",
+            ],
+            cwd=repo,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        sites: list[subprocess.Popen] = []
+        try:
+            banner = server.stdout.readline().strip()
+            assert banner.startswith("listening on 127.0.0.1:"), banner
+            port = banner.rsplit(":", 1)[1]
+
+            for site_id in range(2):
+                sites.append(
+                    subprocess.Popen(
+                        base
+                        + [
+                            "site",
+                            "--port", port,
+                            "--site-id", str(site_id),
+                            "--records", "600",
+                            "--chunk", "200",
+                            "--clusters", "2",
+                            "--dim", "2",
+                        ],
+                        cwd=repo,
+                        env=env,
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.STDOUT,
+                        text=True,
+                    )
+                )
+            site_outputs = [site.communicate(timeout=120)[0] for site in sites]
+            server_output, _ = server.communicate(timeout=120)
+        finally:
+            for process in sites + [server]:
+                if process.poll() is None:
+                    process.kill()
+                    process.wait()
+
+        for site, output in zip(sites, site_outputs):
+            assert site.returncode == 0, output
+            assert "records=600" in output
+        assert server.returncode == 0, server_output
+        assert "all sites completed" in server_output
+        assert "coordinator:" in server_output

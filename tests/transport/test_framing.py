@@ -1,0 +1,96 @@
+"""Tests for the TPT1 envelope format and stream re-framing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import WeightUpdateMessage
+from repro.core.serde import encode_message
+from repro.transport.framing import (
+    ENVELOPE_BYTES,
+    KIND_ACK,
+    KIND_DATA,
+    KIND_DONE,
+    KIND_HEARTBEAT,
+    Envelope,
+    StreamDecoder,
+    decode_envelope,
+    encode_envelope,
+)
+
+
+def data_envelope(seq: int = 1, site_id: int = 3) -> Envelope:
+    payload = encode_message(
+        WeightUpdateMessage(site_id=site_id, model_id=0, time=7, count_delta=5)
+    )
+    return Envelope(kind=KIND_DATA, site_id=site_id, seq=seq, payload=payload)
+
+
+class TestEnvelope:
+    def test_data_round_trip(self):
+        envelope = data_envelope()
+        assert decode_envelope(encode_envelope(envelope)) == envelope
+
+    @pytest.mark.parametrize("kind", [KIND_ACK, KIND_HEARTBEAT, KIND_DONE])
+    def test_control_round_trip(self, kind):
+        envelope = Envelope(kind=kind, site_id=12, seq=99)
+        assert decode_envelope(encode_envelope(envelope)) == envelope
+
+    def test_wire_bytes_matches_encoding(self):
+        envelope = data_envelope()
+        assert len(encode_envelope(envelope)) == envelope.wire_bytes()
+        assert envelope.wire_bytes() == ENVELOPE_BYTES + len(envelope.payload)
+
+    def test_control_envelopes_reject_payloads(self):
+        with pytest.raises(ValueError, match="control"):
+            encode_envelope(Envelope(kind=KIND_ACK, site_id=0, seq=1, payload=b"x"))
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_envelope(data_envelope()))
+        frame[:4] = b"NOPE"
+        with pytest.raises(ValueError, match="magic"):
+            decode_envelope(bytes(frame))
+
+    def test_truncated_datagram_rejected(self):
+        frame = encode_envelope(data_envelope())
+        with pytest.raises(ValueError):
+            decode_envelope(frame[:-1])
+        with pytest.raises(ValueError):
+            decode_envelope(frame[: ENVELOPE_BYTES - 1])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            encode_envelope(Envelope(kind=99, site_id=0, seq=0))
+
+
+class TestStreamDecoder:
+    def test_reassembles_byte_by_byte(self):
+        envelopes = [data_envelope(seq=i) for i in range(1, 4)]
+        stream = b"".join(encode_envelope(e) for e in envelopes)
+        decoder = StreamDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == envelopes
+        assert decoder.pending_bytes == 0
+
+    def test_mixed_kinds_in_one_chunk(self):
+        envelopes = [
+            data_envelope(seq=1),
+            Envelope(kind=KIND_ACK, site_id=3, seq=1),
+            Envelope(kind=KIND_HEARTBEAT, site_id=3, seq=1),
+        ]
+        stream = b"".join(encode_envelope(e) for e in envelopes)
+        assert StreamDecoder().feed(stream) == envelopes
+
+    def test_partial_envelope_stays_buffered(self):
+        frame = encode_envelope(data_envelope())
+        decoder = StreamDecoder()
+        assert decoder.feed(frame[:-5]) == []
+        assert decoder.pending_bytes == len(frame) - 5
+        assert len(decoder.feed(frame[-5:])) == 1
+
+    def test_corrupt_stream_raises(self):
+        decoder = StreamDecoder()
+        with pytest.raises(ValueError, match="magic"):
+            decoder.feed(b"garbage-garbage-garbage-garbage")

@@ -1,0 +1,98 @@
+"""End-to-end tests for the asyncio TCP transport (single process)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core.coordinator import Coordinator
+from repro.core.em import EMConfig
+from repro.core.remote import RemoteSiteConfig
+from repro.streams.base import take
+from repro.streams.synthetic import EvolvingGaussianStream, EvolvingStreamConfig
+from repro.transport.reliability import ReliabilityConfig
+from repro.transport.tcp import CoordinatorServer, run_site_client
+
+
+def site_records(site_id: int, n: int = 400, dim: int = 2) -> np.ndarray:
+    generator = EvolvingGaussianStream(
+        EvolvingStreamConfig(dim=dim, n_components=2, p_new_distribution=0.4),
+        rng=np.random.default_rng(100 + site_id),
+    )
+    return take(generator, n)
+
+
+def site_config(dim: int = 2) -> RemoteSiteConfig:
+    return RemoteSiteConfig(
+        dim=dim,
+        epsilon=0.05,
+        delta=0.05,
+        em=EMConfig(n_components=2, n_init=1, max_iter=30),
+        chunk_override=100,
+    )
+
+
+def fast_reliability() -> ReliabilityConfig:
+    return ReliabilityConfig(
+        initial_timeout=0.5, jitter=0.0, heartbeat_interval=None
+    )
+
+
+class TestTcpEndToEnd:
+    def test_two_sites_stream_to_one_server(self):
+        async def scenario():
+            coordinator = Coordinator()
+            server = CoordinatorServer(
+                coordinator, expected_sites=2, config=fast_reliability()
+            )
+            await server.start()
+            port = server.port
+            assert port > 0
+
+            results = await asyncio.gather(
+                run_site_client(
+                    0,
+                    site_records(0),
+                    "127.0.0.1",
+                    port,
+                    site_config(),
+                    config=fast_reliability(),
+                ),
+                run_site_client(
+                    1,
+                    site_records(1),
+                    "127.0.0.1",
+                    port,
+                    site_config(),
+                    config=fast_reliability(),
+                ),
+            )
+            done = await server.wait_done(timeout=30.0)
+            await server.close()
+            return coordinator, server, results, done
+
+        coordinator, server, results, done = asyncio.run(scenario())
+        assert done, "server never saw both DONE markers"
+        owners = {site for site, _ in coordinator.site_models}
+        assert owners == {0, 1}
+        for site_id, (site, report) in enumerate(results):
+            assert report.records == 400
+            assert report.messages_sent > 0
+            assert report.wire_bytes > report.payload_bytes
+            assert site.site_id == site_id
+        # Every site message was applied exactly once.
+        delivered = server.receiver.stats.delivered
+        assert delivered == sum(r.messages_sent for _, r in results)
+        assert server.receiver.all_done(2)
+        assert server.stale_sites() == ()
+
+    def test_wait_done_times_out_with_no_sites(self):
+        async def scenario():
+            server = CoordinatorServer(Coordinator(), expected_sites=1)
+            await server.start()
+            done = await server.wait_done(timeout=0.05)
+            await server.close()
+            return done
+
+        assert asyncio.run(scenario()) is False
