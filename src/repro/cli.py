@@ -16,15 +16,21 @@ Three subcommands cover the common workflows without writing code:
   --site-id 0 --port PORT`` -- a real multi-process deployment: the
   coordinator listens on a TCP socket and remote-site processes stream
   synopses to it over the fault-tolerant transport
-  (:mod:`repro.transport`).
+  (:mod:`repro.transport`);
+* ``cludistream stats trace.jsonl`` -- summarise a structured trace
+  written by ``--trace-file`` into per-site and system-wide counts.
 
-All commands accept ``--seed`` for reproducibility.  Exit status is 0
-on success; argument errors exit with argparse's usual status 2.
+All commands accept ``--seed`` for reproducibility, and the global
+``--log-level`` / ``--trace-file`` flags turn on structured tracing
+(every chunk test, EM fit, merge/split decision and transport action as
+one JSONL event).  Exit status is 0 on success; argument errors exit
+with argparse's usual status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -32,12 +38,28 @@ import numpy as np
 
 __all__ = ["build_parser", "main"]
 
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``cludistream`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="cludistream",
         description="CluDistream: distributed data stream clustering (ICDE 2007).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default="warning",
+        help="python logging level; 'debug' also mirrors trace events "
+        "to the 'repro.obs' logger",
+    )
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL trace events to PATH "
+        "(summarise later with 'cludistream stats PATH')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -133,7 +155,41 @@ def build_parser() -> argparse.ArgumentParser:
     site.add_argument("--chunk", type=int, default=500)
     site.add_argument("--p-new", type=float, default=0.1, help="P_d")
     site.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarise a JSONL trace written with --trace-file",
+    )
+    stats.add_argument("trace", help="path of the trace file")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
     return parser
+
+
+def _build_observer(args: argparse.Namespace):
+    """Observer from the global flags, or ``None`` when tracing is off.
+
+    ``--trace-file`` installs a JSONL sink; ``--log-level debug``
+    additionally mirrors every event to the ``repro.obs`` logger.
+    """
+    from repro.obs import (
+        JsonlTraceSink,
+        LoggingTraceSink,
+        MultiSink,
+        Observer,
+    )
+
+    sinks = []
+    if args.trace_file:
+        sinks.append(JsonlTraceSink(args.trace_file))
+    if args.log_level == "debug":
+        sinks.append(LoggingTraceSink())
+    if not sinks:
+        return None
+    return Observer(sink=sinks[0] if len(sinks) == 1 else MultiSink(sinks))
 
 
 def _cmd_chunk_size(args: argparse.Namespace) -> int:
@@ -195,7 +251,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ),
         coordinator=CoordinatorConfig(max_components=2 * args.clusters),
     )
-    system = CluDistream(config, seed=args.seed)
+    observer = _build_observer(args)
+    system = CluDistream(config, seed=args.seed, observer=observer)
     streams = _make_streams(args, dim)
 
     if args.simulate:
@@ -231,6 +288,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mixture, key=lambda pair: pair[0], reverse=True
     ):
         print(f"  w={weight:.3f}  mean={np.round(component.mean, 2)}")
+    if observer is not None:
+        observer.close()
+        if args.trace_file:
+            print(f"trace written to {args.trace_file}")
     return 0
 
 
@@ -413,14 +474,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.transport.reliability import ReliabilityConfig
     from repro.transport.tcp import CoordinatorServer
 
+    observer = _build_observer(args)
+
     async def _run() -> int:
         coordinator = Coordinator(
-            CoordinatorConfig(max_components=args.clusters)
+            CoordinatorConfig(max_components=args.clusters),
+            observer=observer,
         )
         server = CoordinatorServer(
             coordinator,
             expected_sites=args.expected_sites,
             config=ReliabilityConfig(stale_after=args.stale_after),
+            observer=observer,
         )
         await server.start(args.host, args.port)
         print(f"listening on {args.host}:{server.port}", flush=True)
@@ -453,7 +518,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("all sites completed", flush=True)
         return 0
 
-    return asyncio.run(_run())
+    try:
+        return asyncio.run(_run())
+    finally:
+        if observer is not None:
+            observer.close()
 
 
 def _cmd_site(args: argparse.Namespace) -> int:
@@ -495,6 +564,7 @@ def _cmd_site(args: argparse.Namespace) -> int:
         em=EMConfig(n_components=args.clusters, n_init=1, max_iter=40),
         chunk_override=args.chunk,
     )
+    observer = _build_observer(args)
     try:
         _, report = asyncio.run(
             run_site_client(
@@ -504,6 +574,7 @@ def _cmd_site(args: argparse.Namespace) -> int:
                 args.port,
                 site_config=config,
                 seed=args.seed,
+                observer=observer,
             )
         )
     except OSError as error:
@@ -513,6 +584,9 @@ def _cmd_site(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    finally:
+        if observer is not None:
+            observer.close()
     print(
         f"site {args.site_id}: records={report.records} "
         f"models={report.models} messages={report.messages_sent} "
@@ -523,10 +597,37 @@ def _cmd_site(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.obs import format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace)
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"{args.trace}: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        record = dataclasses.asdict(summary)
+        record["sites"] = {
+            str(site_id): dataclasses.asdict(site)
+            for site_id, site in summary.sites.items()
+        }
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary), end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    logging.basicConfig(level=getattr(logging, args.log_level.upper()))
     handlers = {
         "chunk-size": _cmd_chunk_size,
         "run": _cmd_run,
@@ -534,6 +635,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "serve": _cmd_serve,
         "site": _cmd_site,
+        "stats": _cmd_stats,
     }
     try:
         return handlers[args.command](args)

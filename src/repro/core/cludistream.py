@@ -34,6 +34,7 @@ from repro.core.coordinator import Coordinator, CoordinatorConfig
 from repro.core.mixture import GaussianMixture
 from repro.core.protocol import Message
 from repro.core.remote import RemoteSite, RemoteSiteConfig
+from repro.obs.observer import Observer, ensure_observer
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.network import StarNetwork
 from repro.simulation.site import StreamSiteProcess
@@ -114,21 +115,32 @@ class CluDistream:
     seed:
         Base seed; site ``i`` uses ``seed + i`` so runs are reproducible
         and sites are independent.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`, shared by the
+        coordinator and every site (and forwarded to the transport stack
+        in :meth:`run_over_transport`).  ``None`` keeps the system
+        completely uninstrumented.
     """
 
     def __init__(
-        self, config: CluDistreamConfig | None = None, seed: int = 0
+        self,
+        config: CluDistreamConfig | None = None,
+        seed: int = 0,
+        observer: Observer | None = None,
     ) -> None:
         self.config = config or CluDistreamConfig()
+        self.observer = ensure_observer(observer)
         self.coordinator = Coordinator(
             self.config.coordinator,
             rng=np.random.default_rng(seed + 10_000),
+            observer=self.observer,
         )
         self.sites: list[RemoteSite] = [
             RemoteSite(
                 site_id=i,
                 config=self.config.site,
                 rng=np.random.default_rng(seed + i),
+                observer=self.observer,
             )
             for i in range(self.config.n_sites)
         ]
@@ -212,7 +224,7 @@ class CluDistream:
         -------
         SimulationReport
         """
-        engine = SimulationEngine()
+        engine = SimulationEngine(observer=self.observer)
         network = StarNetwork(
             engine,
             deliver=self.coordinator.handle_message,
@@ -303,6 +315,7 @@ class CluDistream:
             clock,
             config=reliability,
             seed=seed,
+            observer=self.observer,
         )
         try:
             iterators: dict[int, Iterator[np.ndarray]] = {

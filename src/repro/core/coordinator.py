@@ -43,6 +43,7 @@ from repro.core.protocol import (
     ModelUpdateMessage,
     WeightUpdateMessage,
 )
+from repro.obs.observer import Observer, ensure_observer
 
 __all__ = [
     "Coordinator",
@@ -194,15 +195,22 @@ class Coordinator:
         components, simplex merge fit).
     rng:
         Randomness for the Monte-Carlo accuracy-loss estimates.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` receiving
+        ``coord.*`` trace events (message handling, Algorithm 2
+        merge/split decisions with their ``M_merge`` scores) and the
+        ``profile.merge_fit`` simplex timer.
     """
 
     def __init__(
         self,
         config: CoordinatorConfig | None = None,
         rng: np.random.Generator | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.config = config or CoordinatorConfig()
         self._rng = rng if rng is not None else np.random.default_rng(7)
+        self._obs = ensure_observer(observer)
         #: ``(site_id, model_id) -> (mixture, count)`` as last reported.
         self._site_models: dict[tuple[int, int], tuple[GaussianMixture, int]] = {}
         self._clusters: dict[int, GlobalCluster] = {}
@@ -300,6 +308,15 @@ class Coordinator:
     def _on_model_update(self, message: ModelUpdateMessage) -> None:
         """Register a new site model and insert its component leaves."""
         self.stats.model_updates += 1
+        if self._obs.enabled:
+            self._obs.inc("coord.model_updates", site=message.site_id)
+            self._obs.event(
+                "coord.model_update",
+                site=message.site_id,
+                model=message.model_id,
+                components=message.mixture.n_components,
+                count=message.count,
+            )
         key = (message.site_id, message.model_id)
         self._remove_leaves(key)
         self._site_models[key] = (message.mixture, message.count)
@@ -321,6 +338,15 @@ class Coordinator:
         """Scale the leaves of a model whose counter moved."""
         self.stats.weight_updates += 1
         key = (message.site_id, message.model_id)
+        if self._obs.enabled:
+            self._obs.inc("coord.weight_updates", site=message.site_id)
+            self._obs.event(
+                "coord.weight_update",
+                site=message.site_id,
+                model=message.model_id,
+                count_delta=message.count_delta,
+                orphan=key not in self._site_models,
+            )
         if key not in self._site_models:
             if self.config.tolerate_loss:
                 self.stats.orphan_updates += 1
@@ -341,6 +367,14 @@ class Coordinator:
     def _on_deletion(self, message: DeletionMessage) -> None:
         """Sliding-window deletion: negative weight for an expired model."""
         self.stats.deletions += 1
+        if self._obs.enabled:
+            self._obs.inc("coord.deletions", site=message.site_id)
+            self._obs.event(
+                "coord.deletion",
+                site=message.site_id,
+                model=message.model_id,
+                count_delta=message.count_delta,
+            )
         key = (message.site_id, message.model_id)
         if key not in self._site_models:
             return  # already expired
@@ -383,6 +417,16 @@ class Coordinator:
                     cluster.leaves.remove(leaf)
                     split_leaves.append(leaf)
                     self.stats.splits += 1
+                    if self._obs.enabled:
+                        self._obs.inc("coord.splits")
+                        self._obs.event(
+                            "coord.split",
+                            site=leaf.site_id,
+                            model=leaf.model_id,
+                            component=leaf.component_index,
+                            cluster=cluster.cluster_id,
+                            m_split=float(score),
+                        )
             if cluster.leaves:
                 cluster.refresh_father()
             else:
@@ -538,15 +582,17 @@ class Coordinator:
         """Merge two clusters; the father is fitted per §5.2.1."""
         cluster_a = self._clusters.pop(id_a)
         cluster_b = self._clusters.pop(id_b)
-        fit = fit_merged_component(
-            cluster_a.weight,
-            cluster_a.father,
-            cluster_b.weight,
-            cluster_b.father,
-            n_samples=self.config.merge_samples,
-            rng=self._rng,
-            method=self.config.merge_method,
-        )
+        with self._obs.timer("profile.merge_fit"):
+            fit = fit_merged_component(
+                cluster_a.weight,
+                cluster_a.father,
+                cluster_b.weight,
+                cluster_b.father,
+                n_samples=self.config.merge_samples,
+                rng=self._rng,
+                method=self.config.merge_method,
+                observer=self._obs,
+            )
         merged = GlobalCluster(cluster_id=next(self._cluster_ids))
         merged.leaves = cluster_a.leaves + cluster_b.leaves
         merged.father = fit.component
@@ -555,6 +601,17 @@ class Coordinator:
             leaf.remerge_score = 1.0 / distance if distance > 0.0 else np.inf
         self._clusters[merged.cluster_id] = merged
         self.stats.merges += 1
+        if self._obs.enabled:
+            self._obs.inc("coord.merges")
+            self._obs.event(
+                "coord.merge",
+                a=id_a,
+                b=id_b,
+                merged=merged.cluster_id,
+                m_merge=float(m_merge(cluster_a.father, cluster_b.father)),
+                accuracy_loss=float(fit.loss),
+                leaves=len(merged.leaves),
+            )
 
     def __repr__(self) -> str:
         return (

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.gaussian import Gaussian
 from repro.core.mixture import GaussianMixture
+from repro.obs.observer import Observer, ensure_observer
 
 __all__ = ["EMConfig", "EMResult", "fit_em", "kmeans_plus_plus_centers"]
 
@@ -232,6 +233,7 @@ def fit_em(
     config: EMConfig | None = None,
     rng: np.random.Generator | None = None,
     initial: GaussianMixture | None = None,
+    observer: Observer | None = None,
 ) -> EMResult:
     """Fit a Gaussian mixture to ``data`` with the classical EM algorithm.
 
@@ -250,6 +252,11 @@ def fit_em(
         extra candidate alongside ``n_init`` cold restarts -- remote
         sites warm-start from the current model when clustering a new
         chunk whose distribution only drifted slightly.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`: the whole fit is
+        timed into the ``profile.em_fit`` histogram and the winning
+        restart's iteration count and log-likelihood trajectory are
+        emitted as one ``em.fit`` trace event.
 
     Returns
     -------
@@ -270,12 +277,29 @@ def fit_em(
     if not np.all(np.isfinite(data)):
         raise ValueError("data contains non-finite records")
 
-    candidates = [_run_single(data, config, rng) for _ in range(config.n_init)]
-    if initial is not None:
-        if initial.dim != data.shape[1]:
-            raise ValueError("warm-start mixture dimension mismatch")
-        candidates.append(_refine(data, initial, config, rng))
-    return max(candidates, key=lambda result: result.log_likelihood)
+    obs = ensure_observer(observer)
+    with obs.timer("profile.em_fit"):
+        candidates = [
+            _run_single(data, config, rng) for _ in range(config.n_init)
+        ]
+        if initial is not None:
+            if initial.dim != data.shape[1]:
+                raise ValueError("warm-start mixture dimension mismatch")
+            candidates.append(_refine(data, initial, config, rng))
+        best = max(candidates, key=lambda result: result.log_likelihood)
+    if obs.enabled:
+        obs.inc("em.fits")
+        obs.inc("em.iterations", best.n_iter)
+        obs.event(
+            "em.fit",
+            records=int(data.shape[0]),
+            n_components=best.mixture.n_components,
+            n_iter=best.n_iter,
+            converged=best.converged,
+            log_likelihood=best.log_likelihood,
+            history=list(best.history),
+        )
+    return best
 
 
 def _refine(

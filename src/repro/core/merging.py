@@ -42,6 +42,7 @@ from repro.core.gaussian import Gaussian
 from repro.core.mixture import GaussianMixture
 from repro.numerics.integrate import monte_carlo_l1
 from repro.numerics.simplex import nelder_mead
+from repro.obs.observer import Observer, ensure_observer
 
 __all__ = [
     "MergeFit",
@@ -262,6 +263,7 @@ def fit_merged_component(
     max_iter: int = 120,
     rng: np.random.Generator | None = None,
     method: str = "simplex",
+    observer: Observer | None = None,
 ) -> MergeFit:
     """Fit the father component of a merge by minimising ``l(x)``.
 
@@ -281,6 +283,11 @@ def fit_merged_component(
     method:
         ``"simplex"`` (the paper's downhill simplex fit) or
         ``"moment"`` (the exact moment-matching ablation, no search).
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`: the simplex
+        search is timed into the ``profile.simplex`` histogram and its
+        iteration count lands in the ``merge.simplex_iterations``
+        counter.
 
     Returns
     -------
@@ -288,6 +295,7 @@ def fit_merged_component(
     """
     if method not in ("simplex", "moment"):
         raise ValueError(f"unknown merge fit method {method!r}")
+    obs = ensure_observer(observer)
     rng = rng if rng is not None else np.random.default_rng(0)
     total = weight_i + weight_j
     moment = comp_i.merge_moments(comp_j, weight_i, weight_j)
@@ -325,13 +333,16 @@ def fit_merged_component(
             return np.inf
         return loss_of(candidate)
 
-    result = nelder_mead(
-        objective,
-        _pack_parameters(moment),
-        max_iter=max_iter,
-        xtol=1e-5,
-        ftol=1e-7,
-    )
+    with obs.timer("profile.simplex"):
+        result = nelder_mead(
+            objective,
+            _pack_parameters(moment),
+            max_iter=max_iter,
+            xtol=1e-5,
+            ftol=1e-7,
+        )
+    if obs.enabled:
+        obs.inc("merge.simplex_iterations", result.iterations)
     fitted = _unpack_parameters(result.x, dim)
     fitted_loss = loss_of(fitted)
     if fitted_loss > moment_loss:

@@ -43,6 +43,7 @@ from repro.core.testing import (
     fit_test,
     log_density_spread,
 )
+from repro.obs.observer import Observer, ensure_observer
 
 __all__ = ["ModelEntry", "RemoteSite", "RemoteSiteConfig", "SiteStatistics"]
 
@@ -184,14 +185,19 @@ class SiteStatistics:
     """Cost counters backing Theorems 3-4 and the scalability figures.
 
     ``n_tests`` counts fit-test evaluations (cost ``λC`` each in the
-    paper's model); ``n_clusterings`` counts EM runs (cost ``C``).
+    paper's model); ``n_clusterings`` counts EM runs (cost ``C``);
+    ``n_tests_passed`` counts the evaluations whose chunk fitted, so
+    ``n_tests - n_tests_passed`` is the fail count; ``n_archived``
+    counts current-model retirements into the model list.
     """
 
     records_seen: int = 0
     chunks_processed: int = 0
     n_tests: int = 0
+    n_tests_passed: int = 0
     n_clusterings: int = 0
     n_reactivations: int = 0
+    n_archived: int = 0
     messages_sent: int = 0
     bytes_sent: int = 0
 
@@ -218,6 +224,12 @@ class RemoteSite:
         plugs the network channel in here.  Messages are also returned
         by :meth:`process_record` / :meth:`process_chunk` so the site is
         usable without any simulation harness.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` receiving the
+        site's trace events (``site.chunk_test``, ``site.cluster``,
+        ``site.reactivate``, ``site.archive``, ``site.expire``) and
+        metrics.  Defaults to the disabled observer, which keeps
+        behaviour byte-identical.
     """
 
     def __init__(
@@ -226,11 +238,13 @@ class RemoteSite:
         config: RemoteSiteConfig | None = None,
         rng: np.random.Generator | None = None,
         emit: Callable[[Message], None] | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.site_id = site_id
         self.config = config or RemoteSiteConfig()
         self._rng = rng if rng is not None else np.random.default_rng(site_id)
         self._emit = emit
+        self._obs = ensure_observer(observer)
         self._buffer: list[np.ndarray] = []
         self._current: ModelEntry | None = None
         self._archive: list[ModelEntry] = []
@@ -369,6 +383,14 @@ class RemoteSite:
         entry.count -= expired_records
         if entry.count <= 0 and entry is not self._current:
             self._archive = [e for e in self._archive if e is not entry]
+        if self._obs.enabled:
+            self._obs.event(
+                "site.expire",
+                site=self.site_id,
+                model=model_id,
+                expired=expired_records,
+                remaining=max(entry.count, 0),
+            )
         message = DeletionMessage(
             site_id=self.site_id,
             model_id=model_id,
@@ -388,19 +410,13 @@ class RemoteSite:
                 f"{self.config.dim}"
             )
         self.stats.chunks_processed += 1
+        self._obs.inc("site.chunks", site=self.site_id)
 
         if self._current is None:
             return self._cluster_chunk(chunk, warm=None)
 
         # Test 1: the current model (section 5.1.2).
-        self.stats.n_tests += 1
-        result = fit_test(
-            self._current.mixture,
-            chunk,
-            self._current.reference_likelihood,
-            self._threshold(self._current, chunk.shape[0]),
-            self.config.variant,
-        )
+        result = self._fit_test(self._current, chunk, target="current")
         if result.fits:
             self._current.count += chunk.shape[0]
             return []
@@ -438,7 +454,13 @@ class RemoteSite:
                 train, self.config.auto_k, self.config.em, self._rng
             ).best
         else:
-            result = fit_em(train, self.config.em, self._rng, initial=warm)
+            result = fit_em(
+                train,
+                self.config.em,
+                self._rng,
+                initial=warm,
+                observer=self._obs,
+            )
         self.stats.n_clusterings += 1
         reference = average_log_likelihood(
             result.mixture, validation, self.config.variant
@@ -455,6 +477,17 @@ class RemoteSite:
             trained_at=self._position,
         )
         self._current_started_at = self._position - chunk.shape[0]
+        if self._obs.enabled:
+            self._obs.inc("site.clusterings", site=self.site_id)
+            self._obs.event(
+                "site.cluster",
+                site=self.site_id,
+                model=self._current.model_id,
+                records=int(chunk.shape[0]),
+                log_likelihood=result.log_likelihood,
+                n_iter=result.n_iter,
+                converged=result.converged,
+            )
         message = ModelUpdateMessage(
             site_id=self.site_id,
             model_id=self._current.model_id,
@@ -475,14 +508,7 @@ class RemoteSite:
         if budget <= 0 or not self._archive:
             return None
         for entry in reversed(self._archive[-budget:]):
-            self.stats.n_tests += 1
-            result = fit_test(
-                entry.mixture,
-                chunk,
-                entry.reference_likelihood,
-                self._threshold(entry, chunk.shape[0]),
-                self.config.variant,
-            )
+            result = self._fit_test(entry, chunk, target="archive")
             if not result.fits:
                 continue
             # The archived model explains the chunk: swap it back in.
@@ -492,6 +518,14 @@ class RemoteSite:
             self._current = entry
             self._current_started_at = self._position - chunk.shape[0]
             self.stats.n_reactivations += 1
+            if self._obs.enabled:
+                self._obs.inc("site.reactivations", site=self.site_id)
+                self._obs.event(
+                    "site.reactivate",
+                    site=self.site_id,
+                    model=entry.model_id,
+                    count_delta=int(chunk.shape[0]),
+                )
             message = WeightUpdateMessage(
                 site_id=self.site_id,
                 model_id=entry.model_id,
@@ -509,14 +543,57 @@ class RemoteSite:
         """
         assert self._current is not None
         end = self._position - failing_chunk_len
-        if end > self._current_started_at:
+        span_recorded = end > self._current_started_at
+        if span_recorded:
             self.events.append(
                 start=self._current_started_at,
                 end=end,
                 model_id=self._current.model_id,
             )
         self._archive.append(self._current)
+        self.stats.n_archived += 1
+        if self._obs.enabled:
+            self._obs.inc("site.archives", site=self.site_id)
+            self._obs.event(
+                "site.archive",
+                site=self.site_id,
+                model=self._current.model_id,
+                start=self._current_started_at,
+                end=end,
+                span_recorded=span_recorded,
+            )
         self._current = None
+
+    def _fit_test(self, entry: ModelEntry, chunk: np.ndarray, target: str):
+        """One counted, traced ``J_fit`` evaluation against ``entry``."""
+        self.stats.n_tests += 1
+        result = fit_test(
+            entry.mixture,
+            chunk,
+            entry.reference_likelihood,
+            self._threshold(entry, chunk.shape[0]),
+            self.config.variant,
+        )
+        if result.fits:
+            self.stats.n_tests_passed += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.inc(
+                "site.chunk_tests",
+                site=self.site_id,
+                result="pass" if result.fits else "fail",
+            )
+            obs.event(
+                "site.chunk_test",
+                site=self.site_id,
+                model=entry.model_id,
+                target=target,
+                passed=result.fits,
+                j_fit=result.j_fit,
+                threshold=result.epsilon,
+                chunk=int(chunk.shape[0]),
+            )
+        return result
 
     def _threshold(self, entry: ModelEntry, chunk_len: int) -> float:
         """Effective fit-test tolerance for one model/chunk pair."""
@@ -557,6 +634,17 @@ class RemoteSite:
     def _send(self, messages: list[Message]) -> list[Message]:
         for message in messages:
             self.stats.register_message(message)
+            if self._obs.enabled:
+                self._obs.inc(
+                    "site.messages",
+                    site=self.site_id,
+                    kind=type(message).__name__,
+                )
+                self._obs.inc(
+                    "site.payload_bytes",
+                    message.payload_bytes(),
+                    site=self.site_id,
+                )
             if self._emit is not None:
                 self._emit(message)
         return messages

@@ -153,8 +153,14 @@ class DeliveryReport:
         Downlink bytes spent on acknowledgements.
     retransmissions / duplicates_suppressed / out_of_order_buffered:
         What the reliability layer had to do to deliver exactly once.
+    max_reorder_depth:
+        High-water mark of any single site's reorder buffer -- how far
+        out of order the link actually got.
     heartbeats:
         Liveness beacons sent by sites.
+    expired:
+        Payloads abandoned after ``max_attempts`` transmissions (always
+        zero with the default retry-forever configuration).
     """
 
     messages_sent: int
@@ -165,7 +171,9 @@ class DeliveryReport:
     retransmissions: int
     duplicates_suppressed: int
     out_of_order_buffered: int
+    max_reorder_depth: int
     heartbeats: int
+    expired: int
 
     @property
     def overhead_ratio(self) -> float:
@@ -201,7 +209,9 @@ def delivery_report(site_endpoints, coordinator_endpoint) -> DeliveryReport:
         retransmissions=sum(s.retransmissions for s in senders),
         duplicates_suppressed=receiver.duplicates_suppressed,
         out_of_order_buffered=receiver.buffered_out_of_order,
+        max_reorder_depth=receiver.max_reorder_depth,
         heartbeats=sum(s.heartbeats_sent for s in senders),
+        expired=sum(s.expired for s in senders),
     )
 
 

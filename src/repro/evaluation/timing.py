@@ -15,7 +15,15 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["ThroughputResult", "measure_throughput"]
+from repro.obs.observer import Observer, ensure_observer
+
+__all__ = ["MIN_MEASURABLE_SECONDS", "ThroughputResult", "measure_throughput"]
+
+#: Floor applied to measured durations.  ``time.perf_counter`` resolves
+#: far finer than this, so a run at the floor was genuinely too small to
+#: time -- it is clamped (and flagged) rather than reported as zero,
+#: keeping every derived rate finite and benchmark JSON serialisable.
+MIN_MEASURABLE_SECONDS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -27,18 +35,22 @@ class ThroughputResult:
     records:
         Records processed.
     seconds:
-        Wall-clock time spent inside the consumer.
+        Wall-clock time spent inside the consumer, floored at
+        :data:`MIN_MEASURABLE_SECONDS`.
+    clamped:
+        ``True`` when the raw measurement fell below the floor -- the
+        run was too short to time; scale up ``max_records`` before
+        trusting the rate.
     """
 
     records: int
     seconds: float
+    clamped: bool = False
 
     @property
     def records_per_second(self) -> float:
-        """Throughput; ``inf`` for (unrealistically) instant runs."""
-        if self.seconds <= 0.0:
-            return float("inf")
-        return self.records / self.seconds
+        """Throughput; always finite (sub-resolution runs are clamped)."""
+        return self.records / max(self.seconds, MIN_MEASURABLE_SECONDS)
 
     @property
     def seconds_per_1k_updates(self) -> float:
@@ -53,6 +65,7 @@ def measure_throughput(
     records: Iterable[np.ndarray],
     max_records: int,
     warmup: int = 0,
+    observer: Observer | None = None,
 ) -> ThroughputResult:
     """Time ``consume`` over ``max_records`` records of a stream.
 
@@ -68,6 +81,10 @@ def measure_throughput(
     warmup:
         Records fed (and not timed) before measurement starts, letting
         the model get past its cold-start clustering.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`: the timed batch
+        lands in the ``profile.throughput_run`` histogram and one
+        ``bench.throughput`` trace event.
 
     Notes
     -----
@@ -96,4 +113,20 @@ def measure_throughput(
     for record in batch:
         consume(record)
     elapsed = time.perf_counter() - start
-    return ThroughputResult(records=len(batch), seconds=elapsed)
+    clamped = elapsed < MIN_MEASURABLE_SECONDS
+    result = ThroughputResult(
+        records=len(batch),
+        seconds=max(elapsed, MIN_MEASURABLE_SECONDS),
+        clamped=clamped,
+    )
+    obs = ensure_observer(observer)
+    if obs.enabled:
+        obs.observe("profile.throughput_run", result.seconds)
+        obs.event(
+            "bench.throughput",
+            records=result.records,
+            seconds=result.seconds,
+            records_per_second=result.records_per_second,
+            clamped=result.clamped,
+        )
+    return result

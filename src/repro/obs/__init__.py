@@ -1,0 +1,80 @@
+"""``repro.obs`` -- zero-dependency observability for CluDistream.
+
+The reproduction's behaviour is event driven: chunk tests pass or fail
+(Theorem 2), models get archived, synopses ship only on change, the
+coordinator merges and splits.  This package makes every one of those
+events observable without changing any of them:
+
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of labelled
+  counters, gauges and streaming histograms (cheap no-op when
+  disabled);
+* :mod:`repro.obs.trace` -- typed :class:`TraceEvent` records with
+  JSONL, ring-buffer, logging and fan-out sinks;
+* :mod:`repro.obs.observer` -- the :class:`Observer` facade threaded
+  (optionally) through sites, coordinator, transport and simulation;
+  :data:`NULL_OBSERVER` is the default and keeps all behaviour and
+  output byte-identical to an uninstrumented run;
+* :mod:`repro.obs.export` -- Prometheus-style text dump and JSON
+  snapshot of a registry;
+* :mod:`repro.obs.stats` -- trace summarisation behind the
+  ``cludistream stats`` subcommand.
+
+See DESIGN.md ("Observability") for the mapping from paper mechanism to
+trace event type.
+"""
+
+from repro.obs.export import json_snapshot, to_json, to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.observer import NULL_OBSERVER, Observer, ensure_observer
+from repro.obs.stats import (
+    RunSummary,
+    SiteSummary,
+    format_summary,
+    summarize_events,
+    summarize_trace,
+)
+from repro.obs.trace import (
+    JsonlTraceSink,
+    LoggingTraceSink,
+    MultiSink,
+    NullTraceSink,
+    RingBufferSink,
+    TraceEvent,
+    TraceSink,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceSink",
+    "LoggingTraceSink",
+    "MetricsRegistry",
+    "MultiSink",
+    "NULL_OBSERVER",
+    "NULL_REGISTRY",
+    "NullTraceSink",
+    "Observer",
+    "RingBufferSink",
+    "RunSummary",
+    "SiteSummary",
+    "TraceEvent",
+    "TraceSink",
+    "ensure_observer",
+    "format_summary",
+    "json_snapshot",
+    "read_trace",
+    "summarize_events",
+    "summarize_trace",
+    "to_json",
+    "to_prometheus",
+]

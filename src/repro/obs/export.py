@@ -1,0 +1,98 @@
+"""Registry exporters: Prometheus text format and JSON snapshots.
+
+Neither exporter needs any third-party client library -- the text dump
+follows the Prometheus exposition format closely enough for a scrape
+endpoint or a ``textfile`` collector, and the JSON snapshot is the
+machine-readable twin used by benchmarks and the CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Mapping
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["json_snapshot", "to_json", "to_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a dotted metric name for the exposition format."""
+    sanitised = _NAME_RE.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prom_labels(labels: Mapping[str, str] | tuple) -> str:
+    pairs = dict(labels)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(pairs.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix; histograms expand into
+    ``_bucket{le=...}``, ``_sum`` and ``_count`` series.
+    """
+    lines: list[str] = []
+    for kind, name, labels, metric in registry.collect():
+        prom = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(
+                f"{prom}_total{_prom_labels(labels)} {_prom_value(metric.value)}"
+            )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom}{_prom_labels(labels)} {_prom_value(metric.value)}")
+        else:
+            assert isinstance(metric, Histogram)
+            lines.append(f"# TYPE {prom} histogram")
+            base_labels = dict(labels)
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.bucket_counts):
+                cumulative += count
+                bucket_labels = dict(base_labels)
+                bucket_labels["le"] = _prom_value(bound)
+                lines.append(
+                    f"{prom}_bucket{_prom_labels(bucket_labels)} {cumulative}"
+                )
+            bucket_labels = dict(base_labels)
+            bucket_labels["le"] = "+Inf"
+            lines.append(
+                f"{prom}_bucket{_prom_labels(bucket_labels)} {metric.count}"
+            )
+            lines.append(
+                f"{prom}_sum{_prom_labels(labels)} {_prom_value(metric.total)}"
+            )
+            lines.append(f"{prom}_count{_prom_labels(labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_snapshot(registry: MetricsRegistry) -> dict:
+    """JSON-safe dict of the registry (alias of ``registry.snapshot``)."""
+    return registry.snapshot()
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """Serialise the registry snapshot to a JSON string."""
+    return json.dumps(json_snapshot(registry), indent=indent, sort_keys=True)

@@ -1,0 +1,220 @@
+"""Trace analysis: tail a JSONL trace into a human-readable run summary.
+
+This is the consumer half of the tracing layer: given the typed events
+emitted during a run (from a file, a ring buffer, or any iterable), it
+reconstructs the counts the paper's figures are built from -- per-site
+chunk-test pass/fail, EM runs, reactivations, model archives,
+coordinator merge/split decisions, and everything the transport had to
+do (sends, retransmissions, heartbeats, duplicate suppressions).
+
+The ``cludistream stats`` CLI subcommand is a thin wrapper over
+:func:`summarize_trace` + :func:`format_summary`; the integration suite
+uses the same functions to assert that a trace reconstructs exactly the
+state the live objects report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.trace import TraceEvent, read_trace
+
+__all__ = [
+    "RunSummary",
+    "SiteSummary",
+    "format_summary",
+    "summarize_events",
+    "summarize_trace",
+]
+
+
+@dataclass
+class SiteSummary:
+    """Per-site event counts reconstructed from a trace."""
+
+    chunk_tests_passed: int = 0
+    chunk_tests_failed: int = 0
+    clusterings: int = 0
+    reactivations: int = 0
+    archives: int = 0
+    expirations: int = 0
+
+    @property
+    def chunk_tests(self) -> int:
+        return self.chunk_tests_passed + self.chunk_tests_failed
+
+
+@dataclass
+class RunSummary:
+    """Everything a trace says about one run.
+
+    ``sites`` maps site id to its :class:`SiteSummary`; the remaining
+    attributes are system-wide totals.
+    """
+
+    events: int = 0
+    sites: dict[int, SiteSummary] = field(default_factory=dict)
+    # EM / profiling
+    em_fits: int = 0
+    em_iterations: int = 0
+    # Coordinator
+    model_updates: int = 0
+    weight_updates: int = 0
+    deletions: int = 0
+    merges: int = 0
+    splits: int = 0
+    evictions: int = 0
+    # Transport
+    sends: int = 0
+    retransmissions: int = 0
+    heartbeats: int = 0
+    delivered: int = 0
+    duplicates_suppressed: int = 0
+    send_expirations: int = 0
+    # Fault injection
+    fault_drops: int = 0
+    fault_duplicates: int = 0
+    fault_reorders: int = 0
+    fault_partition_drops: int = 0
+
+    def site(self, site_id: int) -> SiteSummary:
+        if site_id not in self.sites:
+            self.sites[site_id] = SiteSummary()
+        return self.sites[site_id]
+
+    @property
+    def total_archives(self) -> int:
+        return sum(s.archives for s in self.sites.values())
+
+    @property
+    def total_chunk_tests(self) -> int:
+        return sum(s.chunk_tests for s in self.sites.values())
+
+
+def summarize_events(events: Iterable[TraceEvent]) -> RunSummary:
+    """Fold a stream of trace events into a :class:`RunSummary`."""
+    summary = RunSummary()
+    for event in events:
+        summary.events += 1
+        fields = event.fields
+        type_ = event.type
+        if type_ == "site.chunk_test":
+            site = summary.site(int(fields["site"]))
+            if fields.get("passed"):
+                site.chunk_tests_passed += 1
+            else:
+                site.chunk_tests_failed += 1
+        elif type_ == "site.cluster":
+            summary.site(int(fields["site"])).clusterings += 1
+        elif type_ == "site.reactivate":
+            summary.site(int(fields["site"])).reactivations += 1
+        elif type_ == "site.archive":
+            summary.site(int(fields["site"])).archives += 1
+        elif type_ == "site.expire":
+            summary.site(int(fields["site"])).expirations += 1
+        elif type_ == "em.fit":
+            summary.em_fits += 1
+            summary.em_iterations += int(fields.get("n_iter", 0))
+        elif type_ == "coord.model_update":
+            summary.model_updates += 1
+        elif type_ == "coord.weight_update":
+            summary.weight_updates += 1
+        elif type_ == "coord.deletion":
+            summary.deletions += 1
+        elif type_ == "coord.merge":
+            summary.merges += 1
+        elif type_ == "coord.split":
+            summary.splits += 1
+        elif type_ == "transport.evict":
+            summary.evictions += 1
+        elif type_ == "transport.send":
+            summary.sends += 1
+        elif type_ == "transport.retransmit":
+            summary.retransmissions += 1
+        elif type_ == "transport.heartbeat":
+            summary.heartbeats += 1
+        elif type_ == "transport.deliver":
+            summary.delivered += 1
+        elif type_ == "transport.duplicate":
+            summary.duplicates_suppressed += 1
+        elif type_ == "transport.expired":
+            summary.send_expirations += 1
+        elif type_ == "fault.drop":
+            summary.fault_drops += 1
+        elif type_ == "fault.duplicate":
+            summary.fault_duplicates += 1
+        elif type_ == "fault.reorder":
+            summary.fault_reorders += 1
+        elif type_ == "fault.partition":
+            summary.fault_partition_drops += 1
+    return summary
+
+
+def summarize_trace(source: str | Path | IO[str]) -> RunSummary:
+    """Read a JSONL trace file and summarise it."""
+    return summarize_events(read_trace(source))
+
+
+def format_summary(summary: RunSummary) -> str:
+    """Human-readable multi-section rendering of a run summary."""
+    lines: list[str] = [f"trace events: {summary.events}"]
+
+    if summary.sites:
+        lines.append("")
+        lines.append("sites:")
+        header = (
+            f"  {'site':>6}  {'tests':>6}  {'pass':>6}  {'fail':>6}  "
+            f"{'em runs':>8}  {'reactivated':>11}  {'archived':>8}"
+        )
+        lines.append(header)
+        for site_id in sorted(summary.sites):
+            site = summary.sites[site_id]
+            lines.append(
+                f"  {site_id:>6}  {site.chunk_tests:>6}  "
+                f"{site.chunk_tests_passed:>6}  {site.chunk_tests_failed:>6}  "
+                f"{site.clusterings:>8}  {site.reactivations:>11}  "
+                f"{site.archives:>8}"
+            )
+
+    if summary.em_fits:
+        lines.append("")
+        lines.append(
+            f"em: fits={summary.em_fits} "
+            f"iterations={summary.em_iterations} "
+            f"mean_iter={summary.em_iterations / summary.em_fits:.1f}"
+        )
+
+    lines.append("")
+    lines.append(
+        "coordinator: "
+        f"model_updates={summary.model_updates} "
+        f"weight_updates={summary.weight_updates} "
+        f"deletions={summary.deletions} "
+        f"merges={summary.merges} splits={summary.splits} "
+        f"evictions={summary.evictions}"
+    )
+    lines.append(
+        "transport: "
+        f"sends={summary.sends} "
+        f"retransmissions={summary.retransmissions} "
+        f"delivered={summary.delivered} "
+        f"duplicates_suppressed={summary.duplicates_suppressed} "
+        f"heartbeats={summary.heartbeats} "
+        f"expired={summary.send_expirations}"
+    )
+    if (
+        summary.fault_drops
+        or summary.fault_duplicates
+        or summary.fault_reorders
+        or summary.fault_partition_drops
+    ):
+        lines.append(
+            "faults: "
+            f"drops={summary.fault_drops} "
+            f"duplicates={summary.fault_duplicates} "
+            f"reorders={summary.fault_reorders} "
+            f"partition_drops={summary.fault_partition_drops}"
+        )
+    return "\n".join(lines) + "\n"

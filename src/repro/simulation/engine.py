@@ -21,6 +21,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.observer import Observer, ensure_observer
+
 __all__ = ["ScheduledEvent", "SimulationEngine"]
 
 Callback = Callable[[], None]
@@ -58,13 +60,18 @@ class SimulationEngine:
     2
     >>> fired
     [1.0, 2.0]
+
+    An optional :class:`~repro.obs.observer.Observer` records each
+    :meth:`run` as a ``sim.run`` trace event (events fired, final
+    virtual time) and times it into the ``profile.sim_run`` histogram.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Observer | None = None) -> None:
         self._queue: list[ScheduledEvent] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._running = False
+        self._obs = ensure_observer(observer)
 
     @property
     def now(self) -> float:
@@ -138,21 +145,26 @@ class SimulationEngine:
         self._running = True
         fired = 0
         try:
-            while self._queue and fired < max_events:
-                head = self._queue[0]
-                if head.is_cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
-                    break
-                self.step()
-                fired += 1
-            if fired >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded max_events={max_events}"
-                )
-            if until is not None and self._now < until:
-                self._now = until
+            with self._obs.timer("profile.sim_run"):
+                while self._queue and fired < max_events:
+                    head = self._queue[0]
+                    if head.is_cancelled:
+                        heapq.heappop(self._queue)
+                        continue
+                    if until is not None and head.time > until:
+                        break
+                    self.step()
+                    fired += 1
+                if fired >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events}"
+                    )
+                if until is not None and self._now < until:
+                    self._now = until
         finally:
             self._running = False
+        if self._obs.enabled:
+            self._obs.inc("sim.events_fired", fired)
+            self._obs.gauge_set("sim.virtual_time", self._now)
+            self._obs.event("sim.run", fired=fired, now=self._now)
         return fired

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.coordinator import Coordinator
 from repro.core.protocol import DeletionMessage, Message
 from repro.core.serde import decode_message, encode_message
+from repro.obs.observer import Observer, ensure_observer
 from repro.transport.base import DatagramTransport
 from repro.transport.clock import Clock, ManualClock
 from repro.transport.reliability import (
@@ -72,6 +73,10 @@ class SiteEndpoint(TransportEndpoint):
         Reliability tuning.
     rng:
         Randomness for retransmission jitter.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; serialisation is
+        timed into the ``profile.serde_encode`` histogram and forwarded
+        to the :class:`~repro.transport.reliability.ReliableSender`.
     """
 
     def __init__(
@@ -81,15 +86,18 @@ class SiteEndpoint(TransportEndpoint):
         clock: Clock,
         config: ReliabilityConfig | None = None,
         rng: np.random.Generator | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.site_id = site_id
         self._transport = transport
+        self._obs = ensure_observer(observer)
         self.sender = ReliableSender(
             site_id=site_id,
             transmit=lambda data: transport.send_to_coordinator(site_id, data),
             clock=clock,
             config=config,
             rng=rng,
+            observer=self._obs,
         )
         transport.bind_site(site_id, self.sender.handle_datagram)
 
@@ -99,7 +107,9 @@ class SiteEndpoint(TransportEndpoint):
                 f"endpoint of site {self.site_id} cannot send a message "
                 f"from site {message.site_id}"
             )
-        self.sender.send_payload(encode_message(message))
+        with self._obs.timer("profile.serde_encode"):
+            payload = encode_message(message)
+        self.sender.send_payload(payload)
 
     def outstanding(self) -> int:
         """Messages sent but not yet acknowledged."""
@@ -127,6 +137,11 @@ class CoordinatorEndpoint:
         Clock used for liveness timestamps.
     config:
         Reliability tuning (``stale_after`` in particular).
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; deserialisation
+        is timed into ``profile.serde_decode`` and forwarded to the
+        :class:`~repro.transport.reliability.ReliableReceiver`.
+        Evictions emit ``transport.evict`` trace events.
     """
 
     def __init__(
@@ -135,22 +150,27 @@ class CoordinatorEndpoint:
         transport: DatagramTransport,
         clock: Clock,
         config: ReliabilityConfig | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.coordinator = coordinator
         self._transport = transport
         self._clock = clock
+        self._obs = ensure_observer(observer)
         self.receiver = ReliableReceiver(
             deliver=self._deliver,
             send_ack=transport.send_to_site,
             clock=clock,
             config=config,
+            observer=self._obs,
         )
         transport.bind_coordinator(self.receiver.handle_datagram)
         #: Sites evicted by :meth:`evict_stale` (they may come back).
         self.evicted: set[int] = set()
 
     def _deliver(self, site_id: int, payload: bytes) -> None:
-        self.coordinator.handle_message(decode_message(payload))
+        with self._obs.timer("profile.serde_decode"):
+            message = decode_message(payload)
+        self.coordinator.handle_message(message)
         # A site that talks again after an eviction is alive after all.
         self.evicted.discard(site_id)
 
@@ -172,7 +192,9 @@ class CoordinatorEndpoint:
         resumes talking, its next model update simply re-registers it.
         """
         stale = self.stale_sites(stale_after)
+        obs = self._obs
         for site_id in stale:
+            evicted_models = 0
             for (owner, model_id), (_, count) in list(
                 self.coordinator.site_models.items()
             ):
@@ -186,7 +208,16 @@ class CoordinatorEndpoint:
                         count_delta=count,
                     )
                 )
+                evicted_models += 1
             self.evicted.add(site_id)
+            if obs.enabled:
+                obs.inc("transport.evictions")
+                obs.event(
+                    "transport.evict",
+                    site=site_id,
+                    models=evicted_models,
+                    last_seen=self.receiver.last_seen(site_id),
+                )
         return stale
 
     def close(self) -> None:
@@ -203,15 +234,18 @@ def connect_system(
     clock: Clock,
     config: ReliabilityConfig | None = None,
     seed: int = 0,
+    observer: Observer | None = None,
 ) -> tuple[list[SiteEndpoint], CoordinatorEndpoint]:
     """Wire ``sites`` and ``coordinator`` over one transport.
 
     Installs a :class:`SiteEndpoint` as each site's ``emit`` hook and
     binds a :class:`CoordinatorEndpoint`; returns both so callers can
-    inspect stats, drain outboxes and close everything down.
+    inspect stats, drain outboxes and close everything down.  The
+    optional ``observer`` is shared by every endpoint.
     """
+    observer = ensure_observer(observer)
     coordinator_endpoint = CoordinatorEndpoint(
-        coordinator, transport, clock, config
+        coordinator, transport, clock, config, observer=observer
     )
     endpoints: list[SiteEndpoint] = []
     for site in sites:
@@ -221,6 +255,7 @@ def connect_system(
             clock,
             config,
             rng=np.random.default_rng(seed + 70_000 + site.site_id),
+            observer=observer,
         )
         site._emit = endpoint.send
         endpoints.append(endpoint)

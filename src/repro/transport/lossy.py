@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.observer import Observer, ensure_observer
 from repro.transport.base import DatagramTransport
 from repro.transport.clock import Clock
 
@@ -95,6 +96,13 @@ class LossyTransport(DatagramTransport):
         uplink model (a symmetric bad link).
     rng / seed:
         Randomness; pass ``rng`` to share a generator, else ``seed``.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`; every injected
+        fault emits a ``fault.drop`` / ``fault.partition`` /
+        ``fault.duplicate`` / ``fault.reorder`` trace event labelled
+        with the link direction.  Fault decisions never consult the
+        observer, so the injected schedule for a given seed is identical
+        with tracing on or off.
     """
 
     def __init__(
@@ -105,6 +113,7 @@ class LossyTransport(DatagramTransport):
         downlink_faults: FaultConfig | None = None,
         rng: np.random.Generator | None = None,
         seed: int = 0,
+        observer: Observer | None = None,
     ) -> None:
         super().__init__()
         self._inner = inner
@@ -114,6 +123,7 @@ class LossyTransport(DatagramTransport):
             downlink_faults if downlink_faults is not None else uplink_faults
         )
         self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._obs = ensure_observer(observer)
         self.faults = FaultStats()
 
     # Bindings go straight to the inner backend, which performs the
@@ -131,21 +141,30 @@ class LossyTransport(DatagramTransport):
         self._inject(
             self._uplink_faults,
             lambda: self._inner.send_to_coordinator(site_id, data),
+            direction="uplink",
         )
 
     def _transmit_to_site(self, site_id: int, data: bytes) -> None:
         self._inject(
             self._downlink_faults,
             lambda: self._inner.send_to_site(site_id, data),
+            direction="downlink",
         )
 
-    def _inject(self, faults: FaultConfig, forward) -> None:
+    def _inject(self, faults: FaultConfig, forward, direction: str) -> None:
+        obs = self._obs
         self.faults.offered += 1
         if faults.partitioned_at(self._clock.now):
             self.faults.partition_drops += 1
+            if obs.enabled:
+                obs.inc("fault.partition_drops", direction=direction)
+                obs.event("fault.partition", direction=direction)
             return
         if faults.drop_rate > 0.0 and self._rng.random() < faults.drop_rate:
             self.faults.dropped += 1
+            if obs.enabled:
+                obs.inc("fault.drops", direction=direction)
+                obs.event("fault.drop", direction=direction)
             return
         copies = 1
         if (
@@ -154,6 +173,9 @@ class LossyTransport(DatagramTransport):
         ):
             copies = 2
             self.faults.duplicated += 1
+            if obs.enabled:
+                obs.inc("fault.duplicates", direction=direction)
+                obs.event("fault.duplicate", direction=direction)
         for _ in range(copies):
             delay = faults.delay
             if faults.delay_jitter > 0.0:
@@ -164,6 +186,11 @@ class LossyTransport(DatagramTransport):
             ):
                 delay += faults.reorder_delay
                 self.faults.reordered += 1
+                if obs.enabled:
+                    obs.inc("fault.reorders", direction=direction)
+                    obs.event(
+                        "fault.reorder", delay=delay, direction=direction
+                    )
             if delay > 0.0:
                 self.faults.delayed += 1
                 self._clock.call_later(delay, forward)

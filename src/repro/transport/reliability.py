@@ -29,6 +29,7 @@ from typing import Callable
 import numpy as np
 
 from repro.transport.clock import Clock, TimerHandle
+from repro.obs.observer import Observer, ensure_observer
 from repro.transport.framing import (
     KIND_ACK,
     KIND_DATA,
@@ -146,6 +147,10 @@ class ReliableSender:
         ARQ tuning.
     rng:
         Randomness for timeout jitter.
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` emitting
+        ``transport.send`` / ``transport.retransmit`` /
+        ``transport.heartbeat`` / ``transport.expired`` trace events.
     """
 
     def __init__(
@@ -155,11 +160,13 @@ class ReliableSender:
         clock: Clock,
         config: ReliabilityConfig | None = None,
         rng: np.random.Generator | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.site_id = site_id
         self._transmit = transmit
         self._clock = clock
         self.config = config or ReliabilityConfig()
+        self._obs = ensure_observer(observer)
         self._rng = rng if rng is not None else np.random.default_rng(site_id)
         self._next_seq = 1
         self._outbox: dict[int, _OutboxEntry] = {}
@@ -197,6 +204,19 @@ class ReliableSender:
         self._outbox[seq] = entry
         self.stats.payloads_sent += 1
         self.stats.payload_bytes += len(payload)
+        obs = self._obs
+        if obs.enabled:
+            obs.inc("transport.sends", site=self.site_id)
+            obs.gauge_max(
+                "transport.outbox_depth", len(self._outbox), site=self.site_id
+            )
+            obs.event(
+                "transport.send",
+                site=self.site_id,
+                seq=seq,
+                payload_bytes=len(payload),
+                outstanding=len(self._outbox),
+            )
         self._put_on_wire(frame)
         entry.timer = self._clock.call_later(
             self._timeout_for(entry.attempts), lambda: self._retransmit(seq)
@@ -234,13 +254,30 @@ class ReliableSender:
         entry = self._outbox.get(seq)
         if entry is None or self._closed:
             return
+        obs = self._obs
         limit = self.config.max_attempts
         if limit is not None and entry.attempts >= limit:
             del self._outbox[seq]
             self.stats.expired += 1
+            if obs.enabled:
+                obs.inc("transport.expired", site=self.site_id)
+                obs.event(
+                    "transport.expired",
+                    site=self.site_id,
+                    seq=seq,
+                    attempts=entry.attempts,
+                )
             return
         entry.attempts += 1
         self.stats.retransmissions += 1
+        if obs.enabled:
+            obs.inc("transport.retransmissions", site=self.site_id)
+            obs.event(
+                "transport.retransmit",
+                site=self.site_id,
+                seq=seq,
+                attempt=entry.attempts,
+            )
         self._put_on_wire(entry.frame)
         entry.timer = self._clock.call_later(
             self._timeout_for(entry.attempts), lambda: self._retransmit(seq)
@@ -264,6 +301,12 @@ class ReliableSender:
         if self._closed:
             return
         self.stats.heartbeats_sent += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.inc("transport.heartbeats", site=self.site_id)
+            obs.event(
+                "transport.heartbeat", site=self.site_id, seq=self.last_seq
+            )
         self._put_on_wire(
             encode_envelope(
                 Envelope(
@@ -302,6 +345,9 @@ class ReceiverStats:
     duplicates_suppressed: int = 0
     buffered_out_of_order: int = 0
     reorder_overflow_dropped: int = 0
+    #: High-water mark of any single site's reorder buffer -- how far
+    #: out of order the link actually got, not just how often.
+    max_reorder_depth: int = 0
     acks_sent: int = 0
     ack_wire_bytes: int = 0
     heartbeats_received: int = 0
@@ -334,6 +380,10 @@ class ReliableReceiver:
         Clock used to timestamp liveness.
     config:
         ARQ tuning (``stale_after``, ``reorder_limit``).
+    observer:
+        Optional :class:`~repro.obs.observer.Observer` emitting
+        ``transport.deliver`` / ``transport.duplicate`` trace events and
+        tracking the reorder-buffer high-water gauge.
     """
 
     def __init__(
@@ -342,11 +392,13 @@ class ReliableReceiver:
         send_ack: Callable[[int, bytes], None],
         clock: Clock,
         config: ReliabilityConfig | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self._deliver = deliver
         self._send_ack = send_ack
         self._clock = clock
         self.config = config or ReliabilityConfig()
+        self._obs = ensure_observer(observer)
         self._cursors: dict[int, _SiteCursor] = {}
         self.stats = ReceiverStats()
 
@@ -412,22 +464,51 @@ class ReliableReceiver:
 
     def _on_data(self, envelope: Envelope, cursor: _SiteCursor) -> None:
         seq = envelope.seq
+        obs = self._obs
         if seq < cursor.expected or seq in cursor.buffer:
             self.stats.duplicates_suppressed += 1
+            if obs.enabled:
+                obs.inc("transport.duplicates_suppressed", site=envelope.site_id)
+                obs.event(
+                    "transport.duplicate", site=envelope.site_id, seq=seq
+                )
         elif seq == cursor.expected:
             self._deliver(envelope.site_id, envelope.payload)
             self.stats.delivered += 1
+            if obs.enabled:
+                obs.inc("transport.delivered", site=envelope.site_id)
+                obs.event(
+                    "transport.deliver",
+                    site=envelope.site_id,
+                    seq=seq,
+                    flushed=len(cursor.buffer),
+                )
             cursor.expected += 1
             while cursor.expected in cursor.buffer:
                 payload = cursor.buffer.pop(cursor.expected)
                 self._deliver(envelope.site_id, payload)
                 self.stats.delivered += 1
+                if obs.enabled:
+                    obs.inc("transport.delivered", site=envelope.site_id)
+                    obs.event(
+                        "transport.deliver",
+                        site=envelope.site_id,
+                        seq=cursor.expected,
+                        flushed=len(cursor.buffer),
+                    )
                 cursor.expected += 1
         elif len(cursor.buffer) >= self.config.reorder_limit:
             self.stats.reorder_overflow_dropped += 1
         else:
             cursor.buffer[seq] = envelope.payload
             self.stats.buffered_out_of_order += 1
+            depth = len(cursor.buffer)
+            if depth > self.stats.max_reorder_depth:
+                self.stats.max_reorder_depth = depth
+            if obs.enabled:
+                obs.gauge_max(
+                    "transport.reorder_depth", depth, site=envelope.site_id
+                )
         self._ack(envelope.site_id, cursor)
 
     def _ack(self, site_id: int, cursor: _SiteCursor) -> None:

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.coordinator import Coordinator
 from repro.core.remote import RemoteSite, RemoteSiteConfig
 from repro.core.serde import decode_message, encode_message
+from repro.obs.observer import Observer, ensure_observer
 from repro.transport.clock import AsyncioClock
 from repro.transport.framing import StreamDecoder
 from repro.transport.reliability import (
@@ -51,6 +52,9 @@ class CoordinatorServer:
         :meth:`wait_done` returns; ``None`` serves forever.
     config:
         Reliability tuning (heartbeat staleness etc.).
+    observer:
+        Optional :class:`~repro.obs.observer.Observer`, forwarded to the
+        :class:`~repro.transport.reliability.ReliableReceiver`.
     """
 
     def __init__(
@@ -58,10 +62,12 @@ class CoordinatorServer:
         coordinator: Coordinator,
         expected_sites: int | None = None,
         config: ReliabilityConfig | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.coordinator = coordinator
         self.expected_sites = expected_sites
         self.config = config or ReliabilityConfig()
+        self._obs = ensure_observer(observer)
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._server: asyncio.base_events.Server | None = None
         self._done = asyncio.Event()
@@ -76,6 +82,7 @@ class CoordinatorServer:
             send_ack=self._send_ack,
             clock=AsyncioClock(loop),
             config=self.config,
+            observer=self._obs,
         )
         self._server = await asyncio.start_server(self._handle, host, port)
 
@@ -174,14 +181,17 @@ async def run_site_client(
     seed: int = 0,
     yield_every: int = 64,
     drain_timeout: float = 60.0,
+    observer: Observer | None = None,
 ) -> tuple[RemoteSite, SiteRunReport]:
     """Run one remote site against a TCP coordinator.
 
     Streams ``records`` through a :class:`~repro.core.remote.RemoteSite`
     whose emitted synopses travel over the socket with full reliability
     semantics; returns once every message is acknowledged and DONE has
-    been sent.
+    been sent.  The optional ``observer`` instruments both the site and
+    its reliable sender.
     """
+    observer = ensure_observer(observer)
     loop = asyncio.get_running_loop()
     reader, writer = await asyncio.open_connection(host, port)
     sender = ReliableSender(
@@ -190,12 +200,14 @@ async def run_site_client(
         clock=AsyncioClock(loop),
         config=config,
         rng=np.random.default_rng(seed + 70_000 + site_id),
+        observer=observer,
     )
     site = RemoteSite(
         site_id,
         site_config,
         rng=np.random.default_rng(seed + site_id),
         emit=lambda message: sender.send_payload(encode_message(message)),
+        observer=observer,
     )
 
     async def pump_acks() -> None:

@@ -1,0 +1,118 @@
+"""Satellites: finite throughput figures and the extended DeliveryReport.
+
+``records_per_second`` used to divide by a raw ``time.time`` delta,
+which collapses to zero on fast machines and poisons benchmark JSON
+with ``inf``.  The result now clamps to ``MIN_MEASURABLE_SECONDS`` and
+flags the clamp.  ``DeliveryReport`` additionally surfaces the ARQ
+internals (max reorder-buffer depth, expired payloads) so lossy-run
+reports expose what the reliability layer actually did.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from types import SimpleNamespace
+
+from repro.evaluation.comm import DeliveryReport, delivery_report
+from repro.evaluation.timing import (
+    MIN_MEASURABLE_SECONDS,
+    ThroughputResult,
+    measure_throughput,
+)
+from repro.obs import Observer
+from repro.transport.reliability import ReceiverStats, SenderStats
+
+
+class TestThroughputClamp:
+    def test_zero_elapsed_stays_finite(self):
+        result = ThroughputResult(records=1000, seconds=0.0)
+        assert math.isfinite(result.records_per_second)
+        assert result.records_per_second == 1000 / MIN_MEASURABLE_SECONDS
+
+    def test_sub_resolution_timing_is_flagged(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.evaluation.timing.time.perf_counter", lambda: 5.0
+        )
+        result = measure_throughput(
+            lambda r: None, iter(range(50)), max_records=50
+        )
+        assert result.clamped
+        assert result.seconds == MIN_MEASURABLE_SECONDS
+        assert math.isfinite(result.records_per_second)
+
+    def test_normal_timing_is_not_flagged(self):
+        result = measure_throughput(
+            lambda r: sum(range(200)), iter(range(100)), max_records=100
+        )
+        assert not result.clamped
+        assert result.seconds >= MIN_MEASURABLE_SECONDS
+
+    def test_benchmark_json_never_non_finite(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.evaluation.timing.time.perf_counter", lambda: 5.0
+        )
+        observer = Observer(time_source=lambda: 0.0)
+        result = measure_throughput(
+            lambda r: None,
+            iter(range(20)),
+            max_records=20,
+            observer=observer,
+        )
+        (event,) = [
+            e for e in observer.sink.events if e.type == "bench.throughput"
+        ]
+        # allow_nan=False raises on inf/nan: the payload must be finite.
+        encoded = json.dumps(event.fields, allow_nan=False)
+        decoded = json.loads(encoded)
+        assert decoded["clamped"] is True
+        assert decoded["records_per_second"] == result.records_per_second
+
+
+class TestDeliveryReportInternals:
+    def make_endpoints(self):
+        sender_a = SenderStats(
+            payloads_sent=10,
+            payload_bytes=1000,
+            wire_bytes=1200,
+            retransmissions=3,
+            heartbeats_sent=2,
+            expired=1,
+        )
+        sender_b = SenderStats(
+            payloads_sent=5,
+            payload_bytes=500,
+            wire_bytes=600,
+            retransmissions=1,
+            heartbeats_sent=0,
+            expired=0,
+        )
+        receiver = ReceiverStats(
+            delivered=14,
+            duplicates_suppressed=2,
+            buffered_out_of_order=4,
+            max_reorder_depth=3,
+        )
+        endpoints = [
+            SimpleNamespace(sender=SimpleNamespace(stats=sender_a)),
+            SimpleNamespace(sender=SimpleNamespace(stats=sender_b)),
+        ]
+        coordinator = SimpleNamespace(receiver=SimpleNamespace(stats=receiver))
+        return endpoints, coordinator
+
+    def test_arq_internals_are_aggregated(self):
+        endpoints, coordinator = self.make_endpoints()
+        report = delivery_report(endpoints, coordinator)
+        assert report.retransmissions == 4
+        assert report.duplicates_suppressed == 2
+        assert report.out_of_order_buffered == 4
+        assert report.max_reorder_depth == 3
+        assert report.heartbeats == 2
+        assert report.expired == 1
+
+    def test_report_is_a_plain_value_object(self):
+        endpoints, coordinator = self.make_endpoints()
+        report = delivery_report(endpoints, coordinator)
+        assert isinstance(report, DeliveryReport)
+        clone = delivery_report(endpoints, coordinator)
+        assert report == clone

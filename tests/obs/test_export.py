@@ -1,0 +1,60 @@
+"""Unit tests for the Prometheus and JSON exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("site.chunk_tests", site=0, result="pass").inc(3)
+    registry.gauge("transport.outbox_depth", site=1).set(4)
+    histogram = registry.histogram("profile.em_fit", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+class TestPrometheus:
+    def test_counter_rendering(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE site_chunk_tests_total counter" in text
+        assert 'site_chunk_tests_total{result="pass",site="0"} 3.0' in text
+
+    def test_gauge_rendering(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE transport_outbox_depth gauge" in text
+        assert 'transport_outbox_depth{site="1"} 4.0' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(populated_registry())
+        assert 'profile_em_fit_bucket{le="0.1"} 1' in text
+        assert 'profile_em_fit_bucket{le="1.0"} 2' in text
+        assert 'profile_em_fit_bucket{le="+Inf"} 3' in text
+        assert "profile_em_fit_count 3" in text
+        assert "profile_em_fit_sum 5.55" in text
+
+    def test_dotted_names_are_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b-c/d").inc()
+        text = to_prometheus(registry)
+        assert "a_b_c_d_total 1.0" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_round_trips_through_json(self):
+        text = to_json(populated_registry())
+        snapshot = json.loads(text)
+        assert snapshot["counters"][0]["name"] == "site.chunk_tests"
+        assert snapshot["counters"][0]["labels"] == {
+            "result": "pass",
+            "site": "0",
+        }
+        assert snapshot["histograms"][0]["count"] == 3

@@ -1,0 +1,88 @@
+"""Unit tests for the Observer facade and its disabled twin."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import NULL_OBSERVER, Observer, ensure_observer
+from repro.obs.trace import RingBufferSink
+
+
+class TestObserver:
+    def test_events_get_monotone_sequence_numbers(self):
+        observer = Observer(time_source=lambda: 0.0)
+        observer.event("a")
+        observer.event("b", x=1)
+        events = observer.sink.events
+        assert [e.seq for e in events] == [1, 2]
+        assert events[1].fields == {"x": 1}
+
+    def test_time_source_is_injectable(self):
+        clock = iter([10.0, 20.0])
+        observer = Observer(time_source=lambda: next(clock))
+        observer.event("a")
+        observer.event("b")
+        assert [e.time for e in observer.sink.events] == [10.0, 20.0]
+
+    def test_metrics_shortcuts_hit_the_registry(self):
+        observer = Observer()
+        observer.inc("c", 2, site=1)
+        observer.gauge_set("g", 5.0)
+        observer.gauge_max("g", 3.0)  # below current value: no change
+        observer.observe("h", 0.5)
+        registry = observer.registry
+        assert registry.counter("c", site=1).value == 2.0
+        assert registry.gauge("g").value == 5.0
+        assert registry.histogram("h").count == 1
+
+    def test_timer_feeds_a_histogram(self):
+        observer = Observer()
+        with observer.timer("profile.block") as timer:
+            pass
+        assert timer.elapsed >= 0.0
+        histogram = observer.registry.histogram("profile.block")
+        assert histogram.count == 1
+        assert histogram.total == timer.elapsed
+
+    def test_default_sink_is_a_ring_buffer(self):
+        observer = Observer()
+        assert isinstance(observer.sink, RingBufferSink)
+        assert observer.enabled
+
+    def test_custom_registry_and_sink(self):
+        registry = MetricsRegistry()
+        sink = RingBufferSink()
+        observer = Observer(registry=registry, sink=sink)
+        observer.event("x")
+        observer.inc("n")
+        assert len(sink) == 1
+        assert registry.counter("n").value == 1.0
+
+
+class TestNullObserver:
+    def test_is_disabled_and_inert(self):
+        assert not NULL_OBSERVER.enabled
+        NULL_OBSERVER.event("anything", x=1)
+        NULL_OBSERVER.inc("c")
+        NULL_OBSERVER.gauge_set("g", 1.0)
+        NULL_OBSERVER.gauge_max("g", 1.0)
+        NULL_OBSERVER.observe("h", 1.0)
+        NULL_OBSERVER.flush()
+        NULL_OBSERVER.close()
+        assert len(NULL_OBSERVER.registry) == 0
+
+    def test_timer_is_a_shared_noop(self):
+        a = NULL_OBSERVER.timer("x")
+        b = NULL_OBSERVER.timer("y")
+        assert a is b
+        with a:
+            pass
+        assert a.elapsed == 0.0
+
+
+class TestEnsureObserver:
+    def test_none_becomes_the_null_observer(self):
+        assert ensure_observer(None) is NULL_OBSERVER
+
+    def test_real_observer_passes_through(self):
+        observer = Observer()
+        assert ensure_observer(observer) is observer

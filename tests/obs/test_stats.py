@@ -1,0 +1,117 @@
+"""Unit tests for trace summarisation (the `stats` subcommand core)."""
+
+from __future__ import annotations
+
+from repro.obs.stats import format_summary, summarize_events, summarize_trace
+from repro.obs.trace import JsonlTraceSink, TraceEvent
+
+
+def make_events() -> list[TraceEvent]:
+    raw = [
+        ("site.chunk_test", {"site": 0, "passed": True}),
+        ("site.chunk_test", {"site": 0, "passed": False}),
+        ("site.chunk_test", {"site": 1, "passed": True}),
+        ("site.cluster", {"site": 0, "model": 1}),
+        ("site.reactivate", {"site": 1, "model": 0}),
+        ("site.archive", {"site": 0, "model": 0}),
+        ("site.expire", {"site": 0, "model": 0}),
+        ("em.fit", {"records": 100, "n_iter": 7}),
+        ("em.fit", {"records": 100, "n_iter": 3}),
+        ("coord.model_update", {"site": 0}),
+        ("coord.weight_update", {"site": 0}),
+        ("coord.deletion", {"site": 0}),
+        ("coord.merge", {"a": 1, "b": 2}),
+        ("coord.split", {"site": 0}),
+        ("transport.evict", {"site": 1}),
+        ("transport.send", {"site": 0, "seq": 1}),
+        ("transport.retransmit", {"site": 0, "seq": 1}),
+        ("transport.heartbeat", {"site": 0}),
+        ("transport.deliver", {"site": 0, "seq": 1}),
+        ("transport.duplicate", {"site": 0, "seq": 1}),
+        ("transport.expired", {"site": 0, "seq": 9}),
+        ("fault.drop", {"direction": "uplink"}),
+        ("fault.duplicate", {"direction": "uplink"}),
+        ("fault.reorder", {"direction": "downlink"}),
+        ("fault.partition", {"direction": "uplink"}),
+    ]
+    return [
+        TraceEvent(seq=i, time=float(i), type=type_, fields=fields)
+        for i, (type_, fields) in enumerate(raw, start=1)
+    ]
+
+
+class TestSummarizeEvents:
+    def test_per_site_counts(self):
+        summary = summarize_events(make_events())
+        site0 = summary.sites[0]
+        assert site0.chunk_tests_passed == 1
+        assert site0.chunk_tests_failed == 1
+        assert site0.chunk_tests == 2
+        assert site0.clusterings == 1
+        assert site0.archives == 1
+        assert site0.expirations == 1
+        assert summary.sites[1].reactivations == 1
+        assert summary.total_chunk_tests == 3
+        assert summary.total_archives == 1
+
+    def test_system_wide_counts(self):
+        summary = summarize_events(make_events())
+        assert summary.events == 25
+        assert summary.em_fits == 2
+        assert summary.em_iterations == 10
+        assert summary.model_updates == 1
+        assert summary.weight_updates == 1
+        assert summary.deletions == 1
+        assert summary.merges == 1
+        assert summary.splits == 1
+        assert summary.evictions == 1
+        assert summary.sends == 1
+        assert summary.retransmissions == 1
+        assert summary.heartbeats == 1
+        assert summary.delivered == 1
+        assert summary.duplicates_suppressed == 1
+        assert summary.send_expirations == 1
+        assert summary.fault_drops == 1
+        assert summary.fault_duplicates == 1
+        assert summary.fault_reorders == 1
+        assert summary.fault_partition_drops == 1
+
+    def test_unknown_event_types_still_counted(self):
+        summary = summarize_events(
+            [TraceEvent(1, 0.0, "custom.thing", {"x": 1})]
+        )
+        assert summary.events == 1
+        assert summary.sites == {}
+
+    def test_empty_trace(self):
+        summary = summarize_events([])
+        assert summary.events == 0
+        assert summary.total_chunk_tests == 0
+
+
+class TestSummarizeTrace:
+    def test_reads_a_jsonl_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        for item in make_events():
+            sink.write(item)
+        sink.close()
+        summary = summarize_trace(path)
+        assert summary.events == 25
+        assert summary.sites[0].chunk_tests == 2
+
+
+class TestFormatSummary:
+    def test_renders_all_sections(self):
+        text = format_summary(summarize_events(make_events()))
+        assert "trace events: 25" in text
+        assert "sites:" in text
+        assert "em: fits=2 iterations=10 mean_iter=5.0" in text
+        assert "merges=1 splits=1" in text
+        assert "retransmissions=1" in text
+        assert "faults:" in text
+
+    def test_fault_section_omitted_when_clean(self):
+        text = format_summary(summarize_events([]))
+        assert "faults:" not in text
+        assert "sites:" not in text

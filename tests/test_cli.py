@@ -194,3 +194,84 @@ class TestMultiProcessDemo:
         assert server.returncode == 0, server_output
         assert "all sites completed" in server_output
         assert "coordinator:" in server_output
+
+
+class TestObservabilityFlags:
+    def test_global_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--trace-file", "t.jsonl", "run"]
+        )
+        assert args.log_level == "debug"
+        assert args.trace_file == "t.jsonl"
+
+    def test_log_level_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "run"])
+
+    def test_run_writes_a_parseable_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        status = main(
+            [
+                "--trace-file", str(trace),
+                "run",
+                "--sites", "2",
+                "--records", "1200",
+                "--chunk", "400",
+                "--clusters", "3",
+                "--seed", "1",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        from repro.obs import read_trace, summarize_trace
+
+        events = list(read_trace(trace))
+        assert events
+        assert any(e.type == "site.chunk_test" for e in events)
+        summary = summarize_trace(trace)
+        assert summary.em_fits > 0
+
+
+class TestStatsCommand:
+    def run_trace(self, tmp_path) -> str:
+        trace = tmp_path / "run.jsonl"
+        main(
+            [
+                "--trace-file", str(trace),
+                "run",
+                "--sites", "2",
+                "--records", "1200",
+                "--chunk", "400",
+                "--clusters", "3",
+                "--seed", "1",
+            ]
+        )
+        return str(trace)
+
+    def test_text_summary(self, tmp_path, capsys):
+        trace = self.run_trace(tmp_path)
+        capsys.readouterr()
+        status = main(["stats", trace])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "trace events:" in out
+        assert "sites:" in out
+        assert "em: fits=" in out
+
+    def test_json_summary(self, tmp_path, capsys):
+        import json as json_module
+
+        trace = self.run_trace(tmp_path)
+        capsys.readouterr()
+        status = main(["stats", trace, "--json"])
+        assert status == 0
+        record = json_module.loads(capsys.readouterr().out)
+        assert record["em_fits"] > 0
+        assert "0" in record["sites"]
+        assert record["sites"]["0"]["chunk_tests_passed"] > 0
+
+    def test_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        status = main(["stats", str(tmp_path / "absent.jsonl")])
+        assert status == 1
+        assert "absent.jsonl" in capsys.readouterr().err
