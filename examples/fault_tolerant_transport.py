@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Fault-tolerant transport: identical clustering over a hostile network.
 
-Runs the same three site streams twice through
-``CluDistream.run_over_transport``:
+Runs the same three site streams twice through the unified
+:mod:`repro.runtime` loop over a :class:`TransportChannel`:
 
 1. over the loss-free in-process loopback transport, and
 2. over a seeded lossy transport injecting 20% datagram drops, 5%
@@ -10,9 +10,14 @@ Runs the same three site streams twice through
 
 then shows that the reliability layer (sequence numbers, acks,
 retransmission with backoff, duplicate suppression) makes the
-coordinator end up in an *identical* state, and prints the delivery
-report: what reliability cost in retransmissions and bytes on the wire
-versus the paper's accounted synopsis payload.
+coordinator end up in an *identical* state, and prints the unified
+delivery accounting: what reliability cost in retransmissions and bytes
+on the wire versus the paper's accounted synopsis payload.
+
+For the simple drop/duplicate/reorder spec you can just pass
+``ChannelFaults`` to ``TransportChannel``; this script wraps the
+transport in a :class:`LossyTransport` by hand because it also wants a
+partition blackout window, which shows the two layers compose.
 
 Run:  python examples/fault_tolerant_transport.py
 """
@@ -23,6 +28,7 @@ import numpy as np
 
 from repro import CluDistream, CluDistreamConfig, EMConfig, RemoteSiteConfig
 from repro.evaluation import delivery_report
+from repro.runtime import TransportChannel
 from repro.streams import EvolvingGaussianStream, EvolvingStreamConfig
 from repro.transport import (
     FaultConfig,
@@ -87,16 +93,21 @@ def run(transport_name: str):
     else:
         lossy = LossyTransport(LoopbackTransport(), clock, FAULTS, seed=17)
         transport = lossy
-    endpoints, coordinator_endpoint = system.run_over_transport(
-        make_streams(),
-        max_records_per_site=RECORDS_PER_SITE,
-        transport=transport,
-        clock=clock,
+    channel = TransportChannel(
+        transport,
+        clock,
         reliability=ReliabilityConfig(
             initial_timeout=0.4, jitter=0.1, heartbeat_interval=None
         ),
     )
-    return system, lossy, delivery_report(endpoints, coordinator_endpoint)
+    system.runtime(channel).run(
+        make_streams(), max_records_per_site=RECORDS_PER_SITE
+    )
+    return (
+        system,
+        lossy,
+        delivery_report(channel.endpoints, channel.coordinator_endpoint),
+    )
 
 
 def main() -> None:

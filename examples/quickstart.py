@@ -2,9 +2,13 @@
 """Quickstart: cluster four distributed evolving streams with CluDistream.
 
 Builds a small distributed system (4 remote sites + 1 coordinator),
-feeds each site its own evolving synthetic Gaussian stream, and prints
-what the system learned: per-site models, event tables (the stream's
-evolution), and the coordinator's compact global mixture.
+drives each site's evolving synthetic Gaussian stream through the
+unified :mod:`repro.runtime` loop over the direct in-process channel,
+and prints what the system learned: per-site models, event tables (the
+stream's evolution), delivery accounting, and the coordinator's compact
+global mixture.  Swapping ``DirectChannel`` for ``SimulatedChannel`` or
+``TransportChannel`` changes *how* the synopses travel without touching
+anything else in this script.
 
 Run:  python examples/quickstart.py
 """
@@ -15,6 +19,7 @@ import numpy as np
 
 from repro import CluDistream, CluDistreamConfig, EMConfig, RemoteSiteConfig
 from repro.core.coordinator import CoordinatorConfig
+from repro.runtime import DirectChannel
 from repro.streams import EvolvingGaussianStream, EvolvingStreamConfig
 
 N_SITES = 4
@@ -50,7 +55,14 @@ def main() -> None:
     }
 
     print(f"Feeding {RECORDS_PER_SITE} records to each of {N_SITES} sites...")
-    system.feed_streams(streams, max_records_per_site=RECORDS_PER_SITE)
+    runtime = system.runtime(DirectChannel())
+    report = runtime.run(streams, max_records_per_site=RECORDS_PER_SITE)
+    accounting = report.accounting
+    print(
+        f"runtime: {report.records} records in {report.rounds} rounds, "
+        f"{accounting.attempted} synopsis messages "
+        f"({accounting.payload_bytes} payload bytes) uplinked"
+    )
 
     print("\n=== Per-site state ===")
     for site in system.sites:

@@ -20,6 +20,12 @@ Three subcommands cover the common workflows without writing code:
 * ``cludistream stats trace.jsonl`` -- summarise a structured trace
   written by ``--trace-file`` into per-site and system-wide counts.
 
+``run``, ``serve`` and ``site`` all take ``--checkpoint-dir`` /
+``--resume``: the run's state (sites, coordinator, stream position) is
+saved as JSON checkpoints, and a crashed or interrupted process can be
+restarted from them, converging to the same final state as an
+uninterrupted run (streams are seeded, so records replay exactly).
+
 All commands accept ``--seed`` for reproducibility, and the global
 ``--log-level`` / ``--trace-file`` flags turn on structured tracing
 (every chunk test, EM fit, merge/split decision and transport action as
@@ -91,6 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run on the discrete-event engine (reports virtual time)",
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write a runtime checkpoint (sites + coordinator + stream "
+        "position) to DIR when the run completes",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also checkpoint every N stream rounds (requires "
+        "--checkpoint-dir)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir; the "
+        "seeded streams are replayed and already-consumed records "
+        "skipped",
+    )
 
     comm = sub.add_parser(
         "compare-comm",
@@ -136,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--stale-after", type=float, default=30.0,
         help="flag sites silent for this long as stale",
     )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="save the coordinator state to DIR/coordinator.json when "
+        "the server exits (even on timeout)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="start from the coordinator checkpoint in --checkpoint-dir",
+    )
 
     site = sub.add_parser(
         "site",
@@ -155,6 +195,18 @@ def build_parser() -> argparse.ArgumentParser:
     site.add_argument("--chunk", type=int, default=500)
     site.add_argument("--p-new", type=float, default=0.1, help="P_d")
     site.add_argument("--seed", type=int, default=0)
+    site.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="save the site state to DIR/site-<id>.json after the run",
+    )
+    site.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the site from --checkpoint-dir and stream only "
+        "the records beyond its recorded position",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -251,11 +303,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ),
         coordinator=CoordinatorConfig(max_components=2 * args.clusters),
     )
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     observer = _build_observer(args)
     system = CluDistream(config, seed=args.seed, observer=observer)
     streams = _make_streams(args, dim)
+    sites = system.sites
+    coordinator = system.coordinator
 
-    if args.simulate:
+    if args.checkpoint_dir:
+        from repro.runtime import DirectChannel, Runtime, SimulatedChannel
+
+        if args.simulate:
+            channel = SimulatedChannel(
+                rate=config.rate,
+                latency=config.latency,
+                bandwidth=config.bandwidth,
+            )
+        else:
+            channel = DirectChannel()
+        if args.resume:
+            runtime = Runtime.resume(
+                args.checkpoint_dir,
+                channel,
+                observer=observer,
+                checkpoint_every=args.checkpoint_every,
+            )
+            resumed_at = runtime.rounds_completed
+            sites = runtime.sites
+            coordinator = runtime.coordinator
+        else:
+            runtime = system.runtime(
+                channel,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+            )
+            resumed_at = 0
+        report = runtime.run(streams, max_records_per_site=args.records)
+        if args.simulate:
+            print(
+                f"simulated {report.records} records in "
+                f"{report.duration:.1f} virtual seconds"
+            )
+        else:
+            print(f"processed {report.records} records")
+        if resumed_at:
+            print(f"resumed from round {resumed_at}")
+        print(f"checkpoint written to {args.checkpoint_dir}")
+    elif args.simulate:
         report = system.run_simulation(
             streams, max_records_per_site=args.records
         )
@@ -269,21 +365,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         print(f"processed {delivered} records")
 
-    for site in system.sites:
+    for site in sites:
         print(
             f"site {site.site_id}: models={len(site.all_models)} "
             f"tests={site.stats.n_tests} em_runs={site.stats.n_clusterings} "
             f"reactivations={site.stats.n_reactivations} "
             f"bytes={site.stats.bytes_sent}"
         )
-    coordinator = system.coordinator
     print(
         f"coordinator: clusters={coordinator.n_components} "
         f"messages={coordinator.stats.messages_received} "
         f"bytes={coordinator.stats.bytes_received} "
         f"merges={coordinator.stats.merges} splits={coordinator.stats.splits}"
     )
-    mixture = system.global_mixture()
+    mixture = coordinator.global_mixture()
     for weight, component in sorted(
         mixture, key=lambda pair: pair[0], reverse=True
     ):
@@ -469,18 +564,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    from pathlib import Path
 
     from repro.core.coordinator import Coordinator, CoordinatorConfig
     from repro.transport.reliability import ReliabilityConfig
     from repro.transport.tcp import CoordinatorServer
 
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     observer = _build_observer(args)
 
     async def _run() -> int:
-        coordinator = Coordinator(
-            CoordinatorConfig(max_components=args.clusters),
-            observer=observer,
-        )
+        if args.resume:
+            from repro.io.checkpoint import load_coordinator
+
+            coordinator = load_coordinator(
+                Path(args.checkpoint_dir) / "coordinator.json",
+                observer=observer,
+            )
+            print(
+                f"resumed coordinator from {args.checkpoint_dir} "
+                f"(clusters={coordinator.n_components})",
+                flush=True,
+            )
+        else:
+            coordinator = Coordinator(
+                CoordinatorConfig(max_components=args.clusters),
+                observer=observer,
+            )
         server = CoordinatorServer(
             coordinator,
             expected_sites=args.expected_sites,
@@ -492,6 +604,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         completed = await server.wait_done(timeout=args.timeout)
         stale = server.stale_sites()
         await server.close()
+        if args.checkpoint_dir:
+            from repro.io.checkpoint import save_coordinator
+
+            target = Path(args.checkpoint_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            save_coordinator(coordinator, target / "coordinator.json")
+            print(f"coordinator checkpoint written to {target}")
         stats = server.receiver.stats
         print(
             f"coordinator: clusters={coordinator.n_components} "
@@ -527,11 +646,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_site(args: argparse.Namespace) -> int:
     import asyncio
+    from pathlib import Path
 
     from repro.core.em import EMConfig
     from repro.core.remote import RemoteSiteConfig
     from repro.streams.base import take
     from repro.transport.tcp import run_site_client
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
 
     if args.stream == "netflow":
         from repro.streams.netflow import NetflowConfig, NetflowStreamGenerator
@@ -565,8 +689,23 @@ def _cmd_site(args: argparse.Namespace) -> int:
         chunk_override=args.chunk,
     )
     observer = _build_observer(args)
+    restored = None
+    if args.resume:
+        from repro.io.checkpoint import load_site
+
+        restored = load_site(
+            Path(args.checkpoint_dir) / f"site-{args.site_id}.json",
+            observer=observer,
+        )
+        # The seeded generator replays the original stream; hand the
+        # restored site only the records beyond its recorded position.
+        records = records[restored.position:]
+        print(
+            f"site {args.site_id}: resumed at position "
+            f"{restored.position} ({len(records)} records left)"
+        )
     try:
-        _, report = asyncio.run(
+        site, report = asyncio.run(
             run_site_client(
                 args.site_id,
                 records,
@@ -575,6 +714,7 @@ def _cmd_site(args: argparse.Namespace) -> int:
                 site_config=config,
                 seed=args.seed,
                 observer=observer,
+                site=restored,
             )
         )
     except OSError as error:
@@ -587,6 +727,13 @@ def _cmd_site(args: argparse.Namespace) -> int:
     finally:
         if observer is not None:
             observer.close()
+    if args.checkpoint_dir:
+        from repro.io.checkpoint import save_site
+
+        target = Path(args.checkpoint_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        save_site(site, target / f"site-{args.site_id}.json")
+        print(f"site checkpoint written to {target}")
     print(
         f"site {args.site_id}: records={report.records} "
         f"models={report.models} messages={report.messages_sent} "

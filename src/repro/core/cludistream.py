@@ -19,6 +19,14 @@ three transports:
   asyncio TCP sockets via ``repro.transport.tcp`` and the ``serve`` /
   ``site`` CLI subcommands.
 
+All three entry points are thin façades over one
+:class:`~repro.runtime.Runtime` driving a pluggable
+:class:`~repro.runtime.Channel` (:class:`~repro.runtime.DirectChannel`,
+:class:`~repro.runtime.SimulatedChannel`,
+:class:`~repro.runtime.TransportChannel` respectively); use
+:meth:`CluDistream.runtime` directly for fault injection, unified
+delivery accounting, or checkpoint/resume.
+
 This is the primary public entry point of the library; see
 ``examples/quickstart.py``.
 """
@@ -26,7 +34,8 @@ This is the primary public entry point of the library; see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -35,9 +44,13 @@ from repro.core.mixture import GaussianMixture
 from repro.core.protocol import Message
 from repro.core.remote import RemoteSite, RemoteSiteConfig
 from repro.obs.observer import Observer, ensure_observer
-from repro.simulation.engine import SimulationEngine
-from repro.simulation.network import StarNetwork
-from repro.simulation.site import StreamSiteProcess
+from repro.runtime import (
+    Channel,
+    DirectChannel,
+    Runtime,
+    SimulatedChannel,
+    TransportChannel,
+)
 
 __all__ = ["CluDistream", "CluDistreamConfig", "SimulationReport"]
 
@@ -144,6 +157,40 @@ class CluDistream:
             )
             for i in range(self.config.n_sites)
         ]
+        self._direct_runtime: Runtime | None = None
+
+    # ------------------------------------------------------------------
+    # The unified runtime
+    # ------------------------------------------------------------------
+    def runtime(
+        self,
+        channel: Channel | None = None,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int | None = None,
+    ) -> Runtime:
+        """A :class:`~repro.runtime.Runtime` over this system.
+
+        This is the general form of the three mode methods below: pick
+        any :class:`~repro.runtime.Channel` (with fault injection if
+        desired), get unified delivery accounting, and opt into the
+        checkpoint/resume lifecycle.  ``channel`` defaults to a fresh
+        :class:`~repro.runtime.DirectChannel`.
+        """
+        return Runtime(
+            self.sites,
+            self.coordinator,
+            channel if channel is not None else DirectChannel(),
+            observer=self.observer,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+        )
+
+    def _direct(self) -> Runtime:
+        """The cached direct-mode runtime behind :meth:`feed` (one
+        channel, so delivery accounting accumulates across calls)."""
+        if self._direct_runtime is None:
+            self._direct_runtime = self.runtime(DirectChannel())
+        return self._direct_runtime
 
     # ------------------------------------------------------------------
     # Direct (synchronous) mode
@@ -155,10 +202,7 @@ class CluDistream:
         Returns the messages generated (already applied at the
         coordinator).
         """
-        messages = self._site(site_id).process_record(record)
-        for message in messages:
-            self.coordinator.handle_message(message)
-        return messages
+        return self._direct().step(site_id, record)
 
     def feed_streams(
         self,
@@ -179,20 +223,10 @@ class CluDistream:
         int
             Total records delivered.
         """
-        if max_records_per_site < 1:
-            raise ValueError("max_records_per_site must be positive")
-        iterators: dict[int, Iterator[np.ndarray]] = {
-            site_id: iter(stream) for site_id, stream in streams.items()
-        }
-        delivered = 0
-        for _ in range(max_records_per_site):
-            for site_id, iterator in iterators.items():
-                record = next(iterator, None)
-                if record is None:
-                    continue
-                self.feed(site_id, record)
-                delivered += 1
-        return delivered
+        # A fresh Runtime each call (stream position restarts at zero)
+        # over the shared direct channel (accounting accumulates).
+        runtime = self.runtime(self._direct().channel)
+        return runtime.run(streams, max_records_per_site).records
 
     # ------------------------------------------------------------------
     # Simulated mode
@@ -224,38 +258,20 @@ class CluDistream:
         -------
         SimulationReport
         """
-        engine = SimulationEngine(observer=self.observer)
-        network = StarNetwork(
-            engine,
-            deliver=self.coordinator.handle_message,
+        channel = SimulatedChannel(
+            rate=self.config.rate,
             latency=self.config.latency,
             bandwidth=self.config.bandwidth,
             sample_interval=sample_interval,
         )
-        processes: list[StreamSiteProcess] = []
-        for site_id, stream in streams.items():
-            site = self._site(site_id)
-            channel = network.channel_for(site_id)
-            site._emit = channel.send  # plug the uplink in
-            process = StreamSiteProcess(
-                engine=engine,
-                source=iter(stream),
-                consume=site.process_record,
-                rate=self.config.rate,
-                max_records=max_records_per_site,
-            )
-            process.start()
-            processes.append(process)
-        engine.run()
-        network.finalize()
-        for site_id in streams:
-            self._site(site_id)._emit = None
+        report = self.runtime(channel).run(streams, max_records_per_site)
+        accounting = report.accounting
         return SimulationReport(
-            duration=engine.now,
-            records=sum(process.delivered for process in processes),
-            messages=network.total_messages,
-            bytes=network.total_bytes,
-            cost_series=network.cost.series(),
+            duration=report.duration,
+            records=report.records,
+            messages=accounting.attempted,
+            bytes=accounting.payload_bytes,
+            cost_series=channel.cost_series(),
         )
 
     # ------------------------------------------------------------------
@@ -303,39 +319,16 @@ class CluDistream:
             ``(site_endpoints, coordinator_endpoint)`` with all delivery
             statistics, already closed.
         """
-        from repro.transport.endpoint import connect_system, drain
-
-        if max_records_per_site < 1:
-            raise ValueError("max_records_per_site must be positive")
-        wired_sites = [self._site(site_id) for site_id in streams]
-        endpoints, coordinator_endpoint = connect_system(
-            wired_sites,
-            self.coordinator,
+        channel = TransportChannel(
             transport,
             clock,
-            config=reliability,
+            reliability=reliability,
+            drain_step=drain_step,
+            drain_limit=drain_limit,
             seed=seed,
-            observer=self.observer,
         )
-        try:
-            iterators: dict[int, Iterator[np.ndarray]] = {
-                site_id: iter(stream) for site_id, stream in streams.items()
-            }
-            for _ in range(max_records_per_site):
-                for site_id, iterator in iterators.items():
-                    record = next(iterator, None)
-                    if record is None:
-                        continue
-                    self._site(site_id).process_record(record)
-                    drain(clock, endpoints, step=drain_step, limit=drain_limit)
-            for endpoint in endpoints:
-                endpoint.finish()
-        finally:
-            for site_id in streams:
-                self._site(site_id)._emit = None
-            for endpoint in endpoints:
-                endpoint.close()
-        return endpoints, coordinator_endpoint
+        self.runtime(channel).run(streams, max_records_per_site)
+        return channel.endpoints, channel.coordinator_endpoint
 
     # ------------------------------------------------------------------
     # Results

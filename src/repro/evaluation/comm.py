@@ -11,7 +11,13 @@ baseline keeps climbing linearly forever).
 :mod:`repro.transport` stack: the paper's ``payload_bytes()`` meter
 counts *application* bytes, while a fault-tolerant link additionally
 pays for envelopes, retransmissions, acks and heartbeats --
-:class:`DeliveryReport` makes that overhead explicit.
+:class:`DeliveryReport` makes that overhead explicit.  Its counters
+follow the unified model of
+:class:`~repro.runtime.accounting.DeliveryAccounting` (``messages_sent``
+is *attempted*, ``messages_delivered`` is unique deliveries,
+``payload_bytes ≤ wire_bytes``); :attr:`DeliveryReport.accounting`
+converts a report into that shared shape so transport runs and
+runtime-channel runs meter identically.
 """
 
 from __future__ import annotations
@@ -176,16 +182,38 @@ class DeliveryReport:
     expired: int
 
     @property
+    def accounting(self):
+        """This report in the unified :class:`DeliveryAccounting` shape.
+
+        ``messages_sent`` maps to ``attempted`` (each payload is counted
+        once however many times it is retransmitted -- retransmitted
+        *bytes* land in ``wire_bytes``) and ``messages_delivered`` to
+        ``delivered``.  Link-level faults are not visible from endpoint
+        statistics, so ``dropped`` / ``duplicated`` / ``reordered`` stay
+        zero here; :meth:`repro.runtime.TransportChannel.accounting`
+        fills them in from the fault injector when one is attached.
+        """
+        from repro.runtime.accounting import DeliveryAccounting
+
+        return DeliveryAccounting(
+            attempted=self.messages_sent,
+            delivered=self.messages_delivered,
+            payload_bytes=self.payload_bytes,
+            wire_bytes=self.wire_bytes,
+            ack_bytes=self.ack_bytes,
+            retransmissions=self.retransmissions,
+            duplicates_suppressed=self.duplicates_suppressed,
+        )
+
+    @property
     def overhead_ratio(self) -> float:
         """Uplink wire bytes per application payload byte (≥ 1)."""
-        if self.payload_bytes == 0:
-            return float("inf") if self.wire_bytes else 1.0
-        return self.wire_bytes / self.payload_bytes
+        return self.accounting.overhead_ratio
 
     @property
     def delivered_exactly_once(self) -> bool:
         """Every emitted message was applied exactly once."""
-        return self.messages_sent == self.messages_delivered
+        return self.accounting.delivered_exactly_once
 
 
 def delivery_report(site_endpoints, coordinator_endpoint) -> DeliveryReport:

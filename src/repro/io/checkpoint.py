@@ -29,6 +29,7 @@ from repro.core.mixture import GaussianMixture
 from repro.core.gaussian import Gaussian
 from repro.core.remote import ModelEntry, RemoteSite, RemoteSiteConfig
 from repro.core.testing import LikelihoodVariant
+from repro.obs.observer import Observer
 
 __all__ = [
     "load_coordinator",
@@ -148,8 +149,14 @@ def snapshot_site(site: RemoteSite) -> dict:
     }
 
 
-def restore_site(payload: Mapping) -> RemoteSite:
-    """Rebuild a site from :func:`snapshot_site` output."""
+def restore_site(
+    payload: Mapping, observer: Observer | None = None
+) -> RemoteSite:
+    """Rebuild a site from :func:`snapshot_site` output.
+
+    ``observer`` re-attaches instrumentation (observers are process
+    state, never part of a checkpoint).
+    """
     if payload.get("kind") != "remote_site":
         raise ValueError("payload is not a remote-site checkpoint")
     if payload.get("format") != FORMAT_VERSION:
@@ -159,7 +166,10 @@ def restore_site(payload: Mapping) -> RemoteSite:
     raw["variant"] = LikelihoodVariant(raw["variant"])
     config = RemoteSiteConfig(**raw)
     site = RemoteSite(
-        payload["site_id"], config, rng=_rng_from_state(payload["rng"])
+        payload["site_id"],
+        config,
+        rng=_rng_from_state(payload["rng"]),
+        observer=observer,
     )
     site._buffer = [np.asarray(row, dtype=float) for row in payload["buffer"]]
     site._current = (
@@ -185,9 +195,9 @@ def save_site(site: RemoteSite, path: str | Path) -> Path:
     return path
 
 
-def load_site(path: str | Path) -> RemoteSite:
+def load_site(path: str | Path, observer: Observer | None = None) -> RemoteSite:
     """Read a site checkpoint written by :func:`save_site`."""
-    return restore_site(json.loads(Path(path).read_text()))
+    return restore_site(json.loads(Path(path).read_text()), observer=observer)
 
 
 # ----------------------------------------------------------------------
@@ -247,14 +257,22 @@ def snapshot_coordinator(coordinator: Coordinator) -> dict:
     }
 
 
-def restore_coordinator(payload: Mapping) -> Coordinator:
-    """Rebuild a coordinator from :func:`snapshot_coordinator` output."""
+def restore_coordinator(
+    payload: Mapping, observer: Observer | None = None
+) -> Coordinator:
+    """Rebuild a coordinator from :func:`snapshot_coordinator` output.
+
+    ``observer`` re-attaches instrumentation (observers are process
+    state, never part of a checkpoint).
+    """
     if payload.get("kind") != "coordinator":
         raise ValueError("payload is not a coordinator checkpoint")
     if payload.get("format") != FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint format {payload.get('format')}")
     config = CoordinatorConfig(**payload["config"])
-    coordinator = Coordinator(config, rng=_rng_from_state(payload["rng"]))
+    coordinator = Coordinator(
+        config, rng=_rng_from_state(payload["rng"]), observer=observer
+    )
     for entry in payload["site_models"]:
         key = (entry["site_id"], entry["model_id"])
         coordinator._site_models[key] = (
@@ -295,6 +313,10 @@ def save_coordinator(coordinator: Coordinator, path: str | Path) -> Path:
     return path
 
 
-def load_coordinator(path: str | Path) -> Coordinator:
+def load_coordinator(
+    path: str | Path, observer: Observer | None = None
+) -> Coordinator:
     """Read a coordinator checkpoint written by :func:`save_coordinator`."""
-    return restore_coordinator(json.loads(Path(path).read_text()))
+    return restore_coordinator(
+        json.loads(Path(path).read_text()), observer=observer
+    )

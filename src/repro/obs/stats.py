@@ -78,6 +78,11 @@ class RunSummary:
     fault_duplicates: int = 0
     fault_reorders: int = 0
     fault_partition_drops: int = 0
+    # Runtime lifecycle
+    runtime_runs: int = 0
+    runtime_records: int = 0
+    runtime_checkpoints: int = 0
+    runtime_resumes: int = 0
 
     def site(self, site_id: int) -> SiteSummary:
         if site_id not in self.sites:
@@ -149,6 +154,13 @@ def summarize_events(events: Iterable[TraceEvent]) -> RunSummary:
             summary.fault_reorders += 1
         elif type_ == "fault.partition":
             summary.fault_partition_drops += 1
+        elif type_ == "runtime.run":
+            summary.runtime_runs += 1
+            summary.runtime_records += int(fields.get("records", 0))
+        elif type_ == "runtime.checkpoint":
+            summary.runtime_checkpoints += 1
+        elif type_ == "runtime.resume":
+            summary.runtime_resumes += 1
     return summary
 
 
@@ -216,5 +228,13 @@ def format_summary(summary: RunSummary) -> str:
             f"duplicates={summary.fault_duplicates} "
             f"reorders={summary.fault_reorders} "
             f"partition_drops={summary.fault_partition_drops}"
+        )
+    if summary.runtime_runs or summary.runtime_checkpoints or summary.runtime_resumes:
+        lines.append(
+            "runtime: "
+            f"runs={summary.runtime_runs} "
+            f"records={summary.runtime_records} "
+            f"checkpoints={summary.runtime_checkpoints} "
+            f"resumes={summary.runtime_resumes}"
         )
     return "\n".join(lines) + "\n"

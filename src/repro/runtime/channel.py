@@ -1,0 +1,402 @@
+"""The pluggable ``Channel`` interface: one contract, three backends.
+
+A :class:`Channel` owns everything between a
+:class:`~repro.core.remote.RemoteSite`'s emitted messages and the
+:class:`~repro.core.coordinator.Coordinator`: wiring, delivery timing,
+fault injection and accounting.  The :class:`~repro.runtime.runtime.Runtime`
+drives all three implementations through the same five calls --
+``open``, ``submit`` (once per record), ``quiesce`` (force everything
+in flight to land, e.g. before a checkpoint), ``finish`` and ``close``
+-- so the delivery semantics live entirely behind this interface:
+
+* :class:`DirectChannel` -- synchronous in-process delivery; messages
+  reach the coordinator before ``submit`` returns;
+* :class:`SimulatedChannel` -- the discrete-event star network with
+  latency/bandwidth and the Figure 2 cost collector; ``submit``
+  advances the virtual clock to each record's arrival time;
+* :class:`TransportChannel` -- the full ARQ transport stack
+  (:mod:`repro.transport`); ``submit`` drains the reliable outboxes
+  after every record so delivery order equals emission order even
+  under seeded faults.
+
+Each backend honours the same :class:`~repro.runtime.faults.ChannelFaults`
+spec and reports the same :class:`~repro.runtime.accounting.DeliveryAccounting`
+model, which is what lets an experiment swap backends without touching
+its driver or its metering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core.coordinator import Coordinator
+from repro.core.protocol import Message
+from repro.core.remote import RemoteSite
+from repro.obs.observer import Observer, ensure_observer
+from repro.runtime.accounting import DeliveryAccounting
+from repro.runtime.faults import ChannelFaults, MessageFaultInjector
+
+__all__ = [
+    "Channel",
+    "DirectChannel",
+    "SimulatedChannel",
+    "TransportChannel",
+]
+
+
+class Channel(ABC):
+    """What the runtime needs from a delivery backend.
+
+    Lifecycle: ``open`` wires sites to the coordinator, ``submit`` is
+    called once per record, ``quiesce`` forces every in-flight message
+    to be applied (the runtime calls it before taking a checkpoint),
+    ``finish`` flushes end-of-run state (cost series, DONE markers) and
+    ``close`` releases all wiring.  ``close`` must be safe after a
+    partial run -- it is the channel's crash path.
+    """
+
+    #: Human-readable backend name (used in traces and reports).
+    name: str = "channel"
+
+    @abstractmethod
+    def open(
+        self,
+        sites: Sequence[RemoteSite],
+        coordinator: Coordinator,
+        observer: Observer | None = None,
+    ) -> None:
+        """Wire ``sites`` and ``coordinator`` to this backend."""
+
+    @abstractmethod
+    def submit(self, site: RemoteSite, record) -> list[Message]:
+        """Feed one record to ``site``; returns the messages it emitted."""
+
+    def quiesce(self) -> None:
+        """Force every in-flight message to reach the coordinator."""
+
+    def finish(self) -> None:
+        """Flush end-of-run state (after the last record)."""
+
+    def close(self) -> None:
+        """Unwire sites and release backend resources."""
+
+    @abstractmethod
+    def accounting(self) -> DeliveryAccounting:
+        """Current delivery accounting in the unified model."""
+
+    @property
+    def duration(self) -> float:
+        """Elapsed channel time in seconds (virtual where applicable)."""
+        return 0.0
+
+
+class DirectChannel(Channel):
+    """Synchronous delivery: the paper's idealised lossless uplink.
+
+    Messages produced by ``submit`` are applied at the coordinator
+    immediately (through the fault injector, if one is configured), so
+    there is never anything in flight and ``quiesce`` is trivial.
+
+    Parameters
+    ----------
+    faults:
+        Optional seeded :class:`~repro.runtime.faults.ChannelFaults`;
+        drops actually lose messages (pair with
+        ``CoordinatorConfig(tolerate_loss=True)``).
+    """
+
+    name = "direct"
+
+    def __init__(self, faults: ChannelFaults | None = None) -> None:
+        self._faults = faults
+        self._accounting = DeliveryAccounting()
+        self._injector: MessageFaultInjector | None = None
+        self._deliver = None
+
+    def open(self, sites, coordinator, observer=None):
+        observer = ensure_observer(observer)
+
+        def deliver(message: Message) -> None:
+            self._accounting.delivered += 1
+            coordinator.handle_message(message)
+
+        self._deliver = deliver
+        if self._faults is not None and self._faults.any_enabled:
+            self._injector = MessageFaultInjector(
+                self._faults, deliver, self._accounting, observer=observer
+            )
+            self._deliver = self._injector.offer
+
+    def submit(self, site, record):
+        messages = site.process_record(record)
+        accounting = self._accounting
+        for message in messages:
+            payload = message.payload_bytes()
+            accounting.attempted += 1
+            accounting.payload_bytes += payload
+            accounting.wire_bytes += payload
+            self._deliver(message)
+        return messages
+
+    def quiesce(self):
+        if self._injector is not None:
+            self._injector.flush()
+
+    def finish(self):
+        self.quiesce()
+
+    def accounting(self):
+        return replace(self._accounting)
+
+
+class SimulatedChannel(Channel):
+    """The discrete-event star network as a runtime backend.
+
+    ``submit`` advances the simulation clock to the record's arrival
+    time (record ``k`` of every site lands at ``k / rate`` virtual
+    seconds) before feeding the site, so uplink messages are metered at
+    the exact virtual second they are sent -- the Figure 2 cost series
+    falls out unchanged.  Deliveries ride the engine's event queue with
+    the configured latency/bandwidth; ``quiesce`` drains the queue,
+    which is what makes a mid-stream checkpoint consistent.
+
+    Parameters
+    ----------
+    rate:
+        Stream rate per site in records per virtual second.
+    latency / bandwidth / sample_interval:
+        Star-network link model and cost-collector grid, as in
+        :class:`~repro.simulation.network.StarNetwork`.
+    faults:
+        Optional message-level fault spec, applied at the delivery
+        boundary (the sender still pays for dropped messages, matching
+        the unified accounting model).
+    """
+
+    name = "simulated"
+
+    def __init__(
+        self,
+        rate: float = 1000.0,
+        latency: float = 0.01,
+        bandwidth: float | None = None,
+        sample_interval: float = 1.0,
+        faults: ChannelFaults | None = None,
+    ) -> None:
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        self._rate = rate
+        self._latency = latency
+        self._bandwidth = bandwidth
+        self._sample_interval = sample_interval
+        self._faults = faults
+        self._accounting = DeliveryAccounting()
+        self._injector: MessageFaultInjector | None = None
+        self._sites: list[RemoteSite] = []
+        self._counts: dict[int, int] = {}
+        self.engine = None
+        self.network = None
+
+    def open(self, sites, coordinator, observer=None):
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.network import StarNetwork
+
+        observer = ensure_observer(observer)
+
+        def deliver(message: Message) -> None:
+            self._accounting.delivered += 1
+            coordinator.handle_message(message)
+
+        sink = deliver
+        if self._faults is not None and self._faults.any_enabled:
+            self._injector = MessageFaultInjector(
+                self._faults, deliver, self._accounting, observer=observer
+            )
+            sink = self._injector.offer
+        self.engine = SimulationEngine(observer=observer)
+        self.network = StarNetwork(
+            self.engine,
+            deliver=sink,
+            latency=self._latency,
+            bandwidth=self._bandwidth,
+            sample_interval=self._sample_interval,
+        )
+        self._sites = list(sites)
+        self._counts = {site.site_id: 0 for site in sites}
+        for site in sites:
+            site._emit = self.network.channel_for(site.site_id).send
+
+    def submit(self, site, record):
+        count = self._counts[site.site_id]
+        self._counts[site.site_id] = count + 1
+        self.engine.advance(count / self._rate)
+        return site.process_record(record)
+
+    def quiesce(self):
+        self.engine.run()
+        if self._injector is not None:
+            self._injector.flush()
+
+    def finish(self):
+        self.quiesce()
+        self.network.finalize()
+
+    def close(self):
+        for site in self._sites:
+            site._emit = None
+
+    def accounting(self):
+        accounting = replace(self._accounting)
+        if self.network is not None:
+            accounting.merge(self.network.accounting())
+        return accounting
+
+    @property
+    def duration(self):
+        return self.engine.now if self.engine is not None else 0.0
+
+    def cost_series(self) -> tuple[list[float], list[float]]:
+        """The per-second cumulative communication cost (Figure 2)."""
+        return self.network.cost.series()
+
+
+class TransportChannel(Channel):
+    """The fault-tolerant ARQ transport stack as a runtime backend.
+
+    ``submit`` feeds the site and then drains the reliable outboxes (the
+    manual clock is advanced until every payload is acknowledged), so
+    delivery order equals emission order and the coordinator converges
+    to the loss-free state whatever the fault pattern -- the property
+    the transport convergence suite pins down.
+
+    Parameters
+    ----------
+    transport:
+        Any :class:`~repro.transport.base.DatagramTransport`.
+    clock:
+        The :class:`~repro.transport.clock.ManualClock` shared with the
+        transport's timers.
+    reliability:
+        Optional :class:`~repro.transport.reliability.ReliabilityConfig`.
+    drain_step / drain_limit:
+        Clock step and safety bound of each post-record drain.
+    seed:
+        Base seed for per-site retransmission jitter.
+    faults:
+        Optional :class:`~repro.runtime.faults.ChannelFaults`; the spec
+        is mapped onto a datagram-level
+        :class:`~repro.transport.lossy.LossyTransport` wrapping
+        ``transport``, and the ARQ layer heals every injected fault.
+    """
+
+    name = "transport"
+
+    def __init__(
+        self,
+        transport,
+        clock,
+        reliability=None,
+        drain_step: float = 0.25,
+        drain_limit: float = 600.0,
+        seed: int = 0,
+        faults: ChannelFaults | None = None,
+    ) -> None:
+        self._transport = transport
+        self._clock = clock
+        self._reliability = reliability
+        self._drain_step = drain_step
+        self._drain_limit = drain_limit
+        self._seed = seed
+        self._faults = faults
+        self._lossy = None
+        self._sites: list[RemoteSite] = []
+        self.endpoints = []
+        self.coordinator_endpoint = None
+
+    def open(self, sites, coordinator, observer=None):
+        from repro.transport.endpoint import connect_system
+        from repro.transport.lossy import FaultConfig, LossyTransport
+
+        observer = ensure_observer(observer)
+        transport = self._transport
+        if self._faults is not None and self._faults.any_enabled:
+            self._lossy = LossyTransport(
+                transport,
+                self._clock,
+                FaultConfig(
+                    drop_rate=self._faults.drop_rate,
+                    duplicate_rate=self._faults.duplicate_rate,
+                    reorder_rate=self._faults.reorder_rate,
+                ),
+                seed=self._faults.seed,
+                observer=observer,
+            )
+            transport = self._lossy
+        self._sites = list(sites)
+        self.endpoints, self.coordinator_endpoint = connect_system(
+            sites,
+            coordinator,
+            transport,
+            self._clock,
+            config=self._reliability,
+            seed=self._seed,
+            observer=observer,
+        )
+
+    def submit(self, site, record):
+        from repro.transport.endpoint import drain
+
+        messages = site.process_record(record)
+        drain(
+            self._clock,
+            self.endpoints,
+            step=self._drain_step,
+            limit=self._drain_limit,
+        )
+        return messages
+
+    def quiesce(self):
+        from repro.transport.endpoint import drain
+
+        drain(
+            self._clock,
+            self.endpoints,
+            step=self._drain_step,
+            limit=self._drain_limit,
+        )
+
+    def finish(self):
+        for endpoint in self.endpoints:
+            endpoint.finish()
+
+    def close(self):
+        for site in self._sites:
+            site._emit = None
+        for endpoint in self.endpoints:
+            endpoint.close()
+
+    def accounting(self):
+        accounting = DeliveryAccounting()
+        for endpoint in self.endpoints:
+            stats = endpoint.sender.stats
+            accounting.attempted += stats.payloads_sent
+            accounting.payload_bytes += stats.payload_bytes
+            accounting.wire_bytes += stats.wire_bytes
+            accounting.retransmissions += stats.retransmissions
+        if self.coordinator_endpoint is not None:
+            stats = self.coordinator_endpoint.receiver.stats
+            accounting.delivered = stats.delivered
+            accounting.ack_bytes = stats.ack_wire_bytes
+            accounting.duplicates_suppressed = stats.duplicates_suppressed
+        if self._lossy is not None:
+            faults = self._lossy.faults
+            accounting.dropped = faults.dropped + faults.partition_drops
+            accounting.duplicated = faults.duplicated
+            accounting.reordered = faults.reordered
+        return accounting
+
+    @property
+    def duration(self):
+        return self._clock.now

@@ -113,6 +113,43 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def advance(self, until: float) -> int:
+        """Fire all events due at or before ``until`` and move the clock
+        there.
+
+        The incremental sibling of :meth:`run`: it neither emits a
+        ``sim.run`` trace event nor touches the profiling histogram, so
+        a driver advancing the clock once per record (the
+        :mod:`repro.runtime` simulated channel) does not flood the
+        trace.  A target at or before the current clock is a no-op.
+
+        Returns
+        -------
+        int
+            Number of events fired.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant advance)")
+        if until <= self._now:
+            return 0
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.is_cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > until:
+                    break
+                self.step()
+                fired += 1
+            if self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return fired
+
     def step(self) -> bool:
         """Fire the next event; returns ``False`` when the queue is empty."""
         while self._queue:

@@ -11,31 +11,45 @@ communication-cost curves fall straight out of a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.core.protocol import Message
+from repro.runtime.accounting import DeliveryAccounting
 from repro.simulation.collector import TimeSeriesCollector
 from repro.simulation.engine import SimulationEngine
 
 __all__ = ["ChannelStats", "NetworkChannel", "StarNetwork"]
 
 
-@dataclass
-class ChannelStats:
-    """Per-channel traffic counters.
+class ChannelStats(DeliveryAccounting):
+    """Per-channel traffic counters, in the unified accounting model.
 
-    ``messages`` / ``bytes`` count *attempted* sends (that is what the
-    sender pays for and what the cost collector meters); ``dropped``
-    and ``duplicated`` record what the unreliable link then did.
+    A simulated link carries unframed messages, so ``wire_bytes``
+    always equals ``payload_bytes``; ``attempted`` counts *attempted*
+    sends (that is what the sender pays for and what the cost collector
+    meters); ``dropped`` and ``duplicated`` record what the unreliable
+    link then did.  ``messages`` / ``bytes`` are kept as legacy aliases
+    of ``attempted`` / ``payload_bytes``.
     """
 
-    messages: int = 0
-    bytes: int = 0
-    dropped: int = 0
-    duplicated: int = 0
+    @property
+    def messages(self) -> int:
+        return self.attempted
+
+    @messages.setter
+    def messages(self, value: int) -> None:
+        self.attempted = value
+
+    @property
+    def bytes(self) -> int:
+        return self.payload_bytes
+
+    @bytes.setter
+    def bytes(self, value: int) -> None:
+        self.payload_bytes = value
+        self.wire_bytes = value
 
 
 class NetworkChannel:
@@ -114,8 +128,9 @@ class NetworkChannel:
         transmit = payload / self.bandwidth if self.bandwidth else 0.0
         arrival = start + transmit + self.latency
         self._busy_until = start + transmit
-        self.stats.messages += 1
-        self.stats.bytes += payload
+        self.stats.attempted += 1
+        self.stats.payload_bytes += payload
+        self.stats.wire_bytes += payload
         if self._collector is not None:
             self._collector.add(now, payload)
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
@@ -195,6 +210,13 @@ class StarNetwork:
     def total_messages(self) -> int:
         """Messages sent across all channels."""
         return sum(channel.stats.messages for channel in self._channels.values())
+
+    def accounting(self) -> DeliveryAccounting:
+        """Aggregate per-channel counters into one unified accounting."""
+        total = DeliveryAccounting()
+        for channel in self._channels.values():
+            total.merge(channel.stats)
+        return total
 
     def finalize(self) -> None:
         """Flush the cost collector up to the current clock.

@@ -182,6 +182,7 @@ async def run_site_client(
     yield_every: int = 64,
     drain_timeout: float = 60.0,
     observer: Observer | None = None,
+    site: RemoteSite | None = None,
 ) -> tuple[RemoteSite, SiteRunReport]:
     """Run one remote site against a TCP coordinator.
 
@@ -190,6 +191,11 @@ async def run_site_client(
     semantics; returns once every message is acknowledged and DONE has
     been sent.  The optional ``observer`` instruments both the site and
     its reliable sender.
+
+    Pass a prebuilt ``site`` (e.g. restored with
+    :func:`repro.io.checkpoint.load_site`) to continue an interrupted
+    run; it is rewired onto this connection's sender and
+    ``site_config`` / the site rng seed are ignored.
     """
     observer = ensure_observer(observer)
     loop = asyncio.get_running_loop()
@@ -202,13 +208,22 @@ async def run_site_client(
         rng=np.random.default_rng(seed + 70_000 + site_id),
         observer=observer,
     )
-    site = RemoteSite(
-        site_id,
-        site_config,
-        rng=np.random.default_rng(seed + site_id),
-        emit=lambda message: sender.send_payload(encode_message(message)),
-        observer=observer,
-    )
+    if site is None:
+        site = RemoteSite(
+            site_id,
+            site_config,
+            rng=np.random.default_rng(seed + site_id),
+            emit=lambda message: sender.send_payload(encode_message(message)),
+            observer=observer,
+        )
+    else:
+        if site.site_id != site_id:
+            raise ValueError(
+                f"restored site has id {site.site_id}, expected {site_id}"
+            )
+        site._emit = lambda message: sender.send_payload(
+            encode_message(message)
+        )
 
     async def pump_acks() -> None:
         decoder = StreamDecoder()

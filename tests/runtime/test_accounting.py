@@ -1,0 +1,88 @@
+"""Unit tests for the unified DeliveryAccounting model."""
+
+from __future__ import annotations
+
+import math
+
+from repro.evaluation.comm import DeliveryReport
+from repro.runtime.accounting import DeliveryAccounting
+
+
+class TestDerived:
+    def test_fresh_accounting_is_clean(self):
+        accounting = DeliveryAccounting()
+        assert accounting.overhead_ratio == 1.0
+        assert accounting.delivered_exactly_once
+        assert accounting.lost == 0
+
+    def test_overhead_ratio(self):
+        accounting = DeliveryAccounting(payload_bytes=100, wire_bytes=150)
+        assert accounting.overhead_ratio == 1.5
+
+    def test_overhead_ratio_without_payload_is_infinite(self):
+        accounting = DeliveryAccounting(wire_bytes=42)
+        assert math.isinf(accounting.overhead_ratio)
+
+    def test_lost_counts_missing_deliveries(self):
+        accounting = DeliveryAccounting(attempted=10, delivered=7, dropped=3)
+        assert accounting.lost == 3
+        assert not accounting.delivered_exactly_once
+
+
+class TestMerge:
+    def test_merge_adds_every_field(self):
+        a = DeliveryAccounting(attempted=1, payload_bytes=10, wire_bytes=12)
+        b = DeliveryAccounting(attempted=2, delivered=2, ack_bytes=5)
+        result = a.merge(b)
+        assert result is a
+        assert a.attempted == 3
+        assert a.delivered == 2
+        assert a.payload_bytes == 10
+        assert a.wire_bytes == 12
+        assert a.ack_bytes == 5
+
+    def test_as_dict_round_trips(self):
+        accounting = DeliveryAccounting(attempted=4, dropped=1)
+        payload = accounting.as_dict()
+        assert payload["attempted"] == 4
+        assert payload["dropped"] == 1
+        assert DeliveryAccounting(**payload) == accounting
+
+
+class TestDeliveryReportBridge:
+    def make_report(self, **overrides) -> DeliveryReport:
+        base = dict(
+            messages_sent=10,
+            messages_delivered=10,
+            payload_bytes=1000,
+            wire_bytes=1400,
+            ack_bytes=200,
+            retransmissions=3,
+            duplicates_suppressed=2,
+            out_of_order_buffered=1,
+            max_reorder_depth=1,
+            heartbeats=0,
+            expired=0,
+        )
+        base.update(overrides)
+        return DeliveryReport(**base)
+
+    def test_accounting_maps_the_shared_fields(self):
+        accounting = self.make_report().accounting
+        assert accounting.attempted == 10
+        assert accounting.delivered == 10
+        assert accounting.payload_bytes == 1000
+        assert accounting.wire_bytes == 1400
+        assert accounting.ack_bytes == 200
+        assert accounting.retransmissions == 3
+        assert accounting.duplicates_suppressed == 2
+
+    def test_derived_properties_agree_with_the_accounting(self):
+        report = self.make_report()
+        assert report.overhead_ratio == report.accounting.overhead_ratio
+        assert (
+            report.delivered_exactly_once
+            == report.accounting.delivered_exactly_once
+        )
+        short = self.make_report(messages_delivered=9)
+        assert not short.delivered_exactly_once

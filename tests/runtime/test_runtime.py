@@ -1,0 +1,200 @@
+"""Runtime loop tests: façade equivalence, validation, lifecycle events."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cludistream import CluDistream, CluDistreamConfig
+from repro.core.coordinator import CoordinatorConfig
+from repro.core.em import EMConfig
+from repro.core.remote import RemoteSiteConfig
+from repro.io.checkpoint import snapshot_coordinator
+from repro.obs.observer import Observer
+from repro.obs.stats import summarize_events
+from repro.runtime import MANIFEST_NAME, DirectChannel, Runtime
+from repro.streams.base import take
+from repro.streams.synthetic import EvolvingGaussianStream, EvolvingStreamConfig
+
+RECORDS = 240
+CHUNK = 60
+
+
+def fast_config() -> CluDistreamConfig:
+    return CluDistreamConfig(
+        n_sites=2,
+        site=RemoteSiteConfig(
+            dim=2,
+            epsilon=0.05,
+            delta=0.05,
+            em=EMConfig(n_components=2, n_init=1, max_iter=30, tol=1e-3),
+            chunk_override=CHUNK,
+        ),
+        coordinator=CoordinatorConfig(max_components=4, merge_method="moment"),
+    )
+
+
+def make_streams():
+    return {
+        site_id: take(
+            EvolvingGaussianStream(
+                EvolvingStreamConfig(
+                    dim=2,
+                    n_components=2,
+                    segment_length=CHUNK,
+                    p_new_distribution=0.8,
+                ),
+                rng=np.random.default_rng(900 + site_id),
+            ),
+            RECORDS,
+        )
+        for site_id in range(2)
+    }
+
+
+def coordinator_bytes(system: CluDistream) -> str:
+    return json.dumps(snapshot_coordinator(system.coordinator), sort_keys=True)
+
+
+class TestRunLoop:
+    def test_run_matches_feed_streams(self):
+        via_facade = CluDistream(fast_config(), seed=0)
+        via_facade.feed_streams(make_streams(), RECORDS)
+
+        via_runtime = CluDistream(fast_config(), seed=0)
+        report = via_runtime.runtime(DirectChannel()).run(
+            make_streams(), RECORDS
+        )
+
+        assert report.records == 2 * RECORDS
+        assert report.rounds == RECORDS
+        assert coordinator_bytes(via_facade) == coordinator_bytes(via_runtime)
+
+    def test_step_feeds_one_record(self):
+        system = CluDistream(fast_config(), seed=0)
+        runtime = system.runtime(DirectChannel())
+        record = np.zeros(2)
+        assert runtime.step(0, record) == []
+        assert system.sites[0].stats.records_seen == 1
+
+    def test_unknown_site_rejected(self):
+        runtime = CluDistream(fast_config(), seed=0).runtime(DirectChannel())
+        with pytest.raises(KeyError, match="unknown site 9"):
+            runtime.step(9, np.zeros(2))
+        with pytest.raises(KeyError, match="unknown site 9"):
+            runtime.run({9: [np.zeros(2)]}, 1)
+
+    def test_invalid_limits_rejected(self):
+        system = CluDistream(fast_config(), seed=0)
+        with pytest.raises(ValueError):
+            system.runtime(DirectChannel()).run(make_streams(), 0)
+        with pytest.raises(ValueError):
+            system.runtime(DirectChannel(), checkpoint_every=0)
+
+    def test_short_streams_stop_early(self):
+        system = CluDistream(fast_config(), seed=0)
+        streams = {site_id: s[:50] for site_id, s in make_streams().items()}
+        report = system.runtime(DirectChannel()).run(streams, RECORDS)
+        assert report.records == 2 * 50
+        # Rounds still advance to the requested horizon; the exhausted
+        # iterators simply contribute nothing.
+        assert report.rounds == RECORDS
+
+
+class TestCheckpointLifecycle:
+    def test_checkpoint_requires_a_directory(self):
+        runtime = CluDistream(fast_config(), seed=0).runtime(DirectChannel())
+        with pytest.raises(ValueError, match="no checkpoint directory"):
+            runtime.checkpoint()
+
+    def test_completed_run_writes_a_final_checkpoint(self, tmp_path):
+        system = CluDistream(fast_config(), seed=0)
+        runtime = system.runtime(DirectChannel(), checkpoint_dir=tmp_path)
+        report = runtime.run(make_streams(), RECORDS)
+        assert report.checkpoints == (tmp_path,)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["kind"] == "runtime"
+        assert manifest["round"] == RECORDS
+        assert manifest["site_ids"] == [0, 1]
+        for site_id in manifest["site_ids"]:
+            assert (tmp_path / f"site-{site_id}.json").exists()
+        assert (tmp_path / "coordinator.json").exists()
+
+    def test_periodic_checkpoints_fire_every_n_rounds(self, tmp_path):
+        system = CluDistream(fast_config(), seed=0)
+        runtime = system.runtime(
+            DirectChannel(), checkpoint_dir=tmp_path, checkpoint_every=100
+        )
+        report = runtime.run(make_streams(), RECORDS)
+        # Two periodic checkpoints (rounds 100, 200) into the same
+        # directory, plus the final one at round 240.
+        assert report.checkpoints == (tmp_path, tmp_path, tmp_path)
+
+    def test_abandoned_run_skips_the_final_checkpoint(self, tmp_path):
+        system = CluDistream(fast_config(), seed=0)
+        runtime = system.runtime(DirectChannel(), checkpoint_dir=tmp_path)
+        report = runtime.run(make_streams(), RECORDS, stop_after_round=10)
+        assert report.rounds == 10
+        assert report.checkpoints == ()
+        assert not (tmp_path / MANIFEST_NAME).exists()
+
+    def test_resume_restores_round_and_sites(self, tmp_path):
+        system = CluDistream(fast_config(), seed=0)
+        runtime = system.runtime(
+            DirectChannel(), checkpoint_dir=tmp_path, checkpoint_every=60
+        )
+        runtime.run(make_streams(), RECORDS, stop_after_round=60)
+
+        resumed = Runtime.resume(tmp_path, DirectChannel())
+        assert resumed.rounds_completed == 60
+        assert sorted(site.site_id for site in resumed.sites) == [0, 1]
+        assert all(site.stats.records_seen == 60 for site in resumed.sites)
+
+    def test_resume_rejects_missing_or_foreign_manifests(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Runtime.resume(tmp_path / "nowhere", DirectChannel())
+
+        bad = tmp_path / "bad-kind"
+        bad.mkdir()
+        (bad / MANIFEST_NAME).write_text(
+            json.dumps({"format": 1, "kind": "something-else"})
+        )
+        with pytest.raises(ValueError, match="not a runtime checkpoint"):
+            Runtime.resume(bad, DirectChannel())
+
+        future = tmp_path / "bad-format"
+        future.mkdir()
+        (future / MANIFEST_NAME).write_text(
+            json.dumps({"format": 99, "kind": "runtime"})
+        )
+        with pytest.raises(ValueError, match="format 99"):
+            Runtime.resume(future, DirectChannel())
+
+
+class TestLifecycleEvents:
+    def test_run_checkpoint_resume_emit_trace_events(self, tmp_path):
+        observer = Observer()
+        system = CluDistream(fast_config(), seed=0, observer=observer)
+        runtime = system.runtime(
+            DirectChannel(), checkpoint_dir=tmp_path, checkpoint_every=60
+        )
+        runtime.run(make_streams(), RECORDS, stop_after_round=60)
+        Runtime.resume(tmp_path, DirectChannel(), observer=observer)
+
+        events = list(observer.sink.events)
+        types = [event.type for event in events]
+        assert "runtime.checkpoint" in types
+        assert "runtime.run" in types
+        assert "runtime.resume" in types
+
+        run_event = next(e for e in events if e.type == "runtime.run")
+        assert run_event.fields["channel"] == "direct"
+        assert run_event.fields["stopped"] is True
+
+        summary = summarize_events(events)
+        assert summary.runtime_runs == 1
+        assert summary.runtime_records == 2 * 60
+        assert summary.runtime_checkpoints == 1
+        assert summary.runtime_resumes == 1

@@ -275,3 +275,55 @@ class TestStatsCommand:
         status = main(["stats", str(tmp_path / "absent.jsonl")])
         assert status == 1
         assert "absent.jsonl" in capsys.readouterr().err
+
+
+class TestCheckpointResume:
+    """``run --checkpoint-dir`` / ``--resume`` round-trips through the
+    runtime layer and converges to the uninterrupted result."""
+
+    BASE = [
+        "run",
+        "--sites", "2",
+        "--chunk", "400",
+        "--clusters", "3",
+        "--seed", "1",
+    ]
+
+    @staticmethod
+    def summary_lines(out: str) -> list[str]:
+        return [
+            line
+            for line in out.splitlines()
+            if line.startswith(("site ", "coordinator:", "  w="))
+        ]
+
+    def test_resume_requires_a_directory(self, capsys):
+        status = main(self.BASE + ["--records", "400", "--resume"])
+        assert status == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_interrupted_run_converges(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+
+        status = main(self.BASE + ["--records", "1200"])
+        assert status == 0
+        uninterrupted = self.summary_lines(capsys.readouterr().out)
+
+        status = main(
+            self.BASE + ["--records", "600", "--checkpoint-dir", ckpt]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "processed 1200 records" in out
+        assert f"checkpoint written to {ckpt}" in out
+
+        status = main(
+            self.BASE
+            + ["--records", "1200", "--checkpoint-dir", ckpt, "--resume"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "resumed from round 600" in out
+        # Only the second half is processed after the resume.
+        assert "processed 1200 records" in out
+        assert self.summary_lines(out) == uninterrupted
