@@ -19,6 +19,7 @@ import numpy as np
 from repro import CluDistreamConfig, EMConfig, RemoteSiteConfig
 from repro.core.cludistream import CluDistream
 from repro.core.coordinator import CoordinatorConfig
+from repro.runtime import SimulatedChannel
 from repro.streams.netflow import NetflowConfig, NetflowStreamGenerator
 
 N_SITES = 8
@@ -53,24 +54,27 @@ def main() -> None:
         f"Simulating {N_SITES} collectors x {RECORDS_PER_SITE} flows "
         f"at {config.rate:.0f} flows/s ..."
     )
-    report = system.run_simulation(
+    channel = SimulatedChannel(
+        rate=config.rate, latency=config.latency, bandwidth=config.bandwidth
+    )
+    report = system.runtime(channel).run(
         streams, max_records_per_site=RECORDS_PER_SITE
     )
 
     print(f"\nvirtual duration: {report.duration:.1f} s")
     print(f"records processed: {report.records}")
     print(
-        f"uplink traffic: {report.messages} messages, "
-        f"{report.bytes} bytes"
+        f"uplink traffic: {report.accounting.attempted} messages, "
+        f"{report.accounting.payload_bytes} bytes"
     )
     raw_bytes = report.records * 6 * 8
     print(
         f"raw-shipping equivalent: {raw_bytes} bytes "
-        f"({raw_bytes / max(report.bytes, 1):.0f}x more)"
+        f"({raw_bytes / max(report.accounting.payload_bytes, 1):.0f}x more)"
     )
 
     print("\ncumulative communication cost (sampled every second):")
-    times, values = report.cost_series
+    times, values = channel.cost_series()
     for time, value in list(zip(times, values))[:: max(1, len(times) // 10)]:
         bar = "#" * int(50 * value / max(values[-1], 1))
         print(f"  t={time:6.1f}s  {int(value):>8} B  {bar}")

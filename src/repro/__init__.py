@@ -12,7 +12,7 @@ behind every figure of the evaluation.
 Quickstart::
 
     import numpy as np
-    from repro import CluDistream, CluDistreamConfig
+    from repro import CluDistream, CluDistreamConfig, DirectChannel
     from repro.streams import EvolvingGaussianStream
 
     system = CluDistream(CluDistreamConfig(n_sites=4))
@@ -20,8 +20,16 @@ Quickstart::
         i: EvolvingGaussianStream(rng=np.random.default_rng(i))
         for i in range(4)
     }
-    system.feed_streams(streams, max_records_per_site=10_000)
+    system.runtime(DirectChannel()).run(streams, max_records_per_site=10_000)
     print(system.global_mixture())
+
+This top-level namespace is the library's *stable public API*: the
+core model/site/coordinator types, the :class:`Runtime` delivery layer
+with its channel backends, the :class:`Observer` instrumentation
+facade, and the :mod:`repro.bench` entry points (loaded lazily).
+Anything importable from ``repro`` directly follows the deprecation
+policy of ``DESIGN.md`` section 10 -- removal only after at least one
+release of ``DeprecationWarning``.
 
 See ``examples/`` for full scenarios and ``benchmarks/`` for the
 per-figure reproduction harness.
@@ -53,11 +61,57 @@ from repro.core import (
     membership_report,
     select_k,
 )
+from repro.obs import NULL_OBSERVER, Observer
+from repro.runtime import (
+    Channel,
+    ChannelFaults,
+    DeliveryAccounting,
+    DirectChannel,
+    RunReport,
+    Runtime,
+    SimulatedChannel,
+    TransportChannel,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Bench entry points re-exported lazily (PEP 562): ``repro.bench``
+#: pulls in the stream generators and scenario registry, which plain
+#: model users should not pay for on ``import repro``.
+_BENCH_EXPORTS = (
+    "BenchConfig",
+    "BenchReport",
+    "BenchRunner",
+    "compare_benchmarks",
+    "run_bench",
+)
+
+
+def __getattr__(name: str):
+    if name in _BENCH_EXPORTS:
+        import repro.bench as _bench
+
+        return getattr(_bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AnomalyDetector",
+    "BenchConfig",
+    "BenchReport",
+    "BenchRunner",
+    "Channel",
+    "ChannelFaults",
+    "DeliveryAccounting",
+    "DirectChannel",
+    "NULL_OBSERVER",
+    "Observer",
+    "RunReport",
+    "Runtime",
+    "SimulatedChannel",
+    "TransportChannel",
+    "compare_benchmarks",
+    "run_bench",
     "CluDistream",
     "CluDistreamConfig",
     "Coordinator",

@@ -128,7 +128,7 @@ def lloyd_kmeans(
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class StreamKMeansConfig:
     """Streaming k-means parameters.
 

@@ -75,7 +75,7 @@ class ReservoirSampler:
         return len(self._sample)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class SamplingEMConfig:
     """Sampling-EM parameters.
 

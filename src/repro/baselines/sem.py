@@ -96,7 +96,7 @@ class SufficientStatistics:
         return self.outer_sum / self.n - np.outer(mean, mean)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class SEMConfig:
     """SEM parameters.
 

@@ -1,0 +1,204 @@
+"""Regression comparison between two benchmark reports.
+
+Raw seconds from two different machines are not comparable -- the CI
+runner that checks a pull request is rarely the machine that stamped
+``BENCH_core.json``.  Both reports therefore carry a ``calibration``
+scenario (a fixed NumPy matmul whose cost depends only on the machine),
+and the comparator divides every scenario's time by its report's own
+calibration time before forming ratios.  What remains is a
+machine-relative cost that cancels hardware differences to first
+order; the generous default threshold (25%) absorbs the rest of the
+noise.
+
+Each scenario is compared on its *best* (minimum) time when the report
+carries one, falling back to the trimmed mean otherwise.  The minimum
+is the least noise-sensitive statistic a benchmark emits -- transient
+CPU contention can only ever slow a pass down -- which keeps the gate
+from tripping on a single noisy repeat.
+
+Reports missing the calibration scenario are compared on raw seconds
+(flagged in the output), so hand-trimmed reports still work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bench.scenarios import SCENARIOS
+
+__all__ = [
+    "CALIBRATION_SCENARIO",
+    "ComparisonReport",
+    "ScenarioDelta",
+    "compare_benchmarks",
+]
+
+#: Name of the machine-speed yardstick scenario.
+CALIBRATION_SCENARIO = "calibration"
+
+#: Default regression threshold: candidate may be up to this fraction
+#: slower than baseline before the comparison fails.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True, kw_only=True)
+class ScenarioDelta:
+    """One scenario's baseline-vs-candidate outcome.
+
+    ``ratio`` is ``candidate / baseline`` of the (possibly normalised)
+    scenario times: below 1 is faster, above ``1 + threshold`` is a
+    regression.
+    """
+
+    name: str
+    baseline: float
+    candidate: float
+    ratio: float
+    regressed: bool
+
+
+@dataclass(frozen=True, kw_only=True)
+class ComparisonReport:
+    """Full comparison of two ``BENCH_*.json`` documents."""
+
+    threshold: float
+    normalized: bool
+    deltas: tuple[ScenarioDelta, ...]
+    missing: tuple[str, ...]
+    added: tuple[str, ...]
+
+    @property
+    def regressions(self) -> tuple[ScenarioDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def format(self) -> str:
+        unit = "calibration-normalised" if self.normalized else "raw seconds"
+        lines = [
+            f"comparing {len(self.deltas)} scenarios "
+            f"({unit}, threshold +{self.threshold:.0%})"
+        ]
+        width = max((len(d.name) for d in self.deltas), default=0)
+        for delta in self.deltas:
+            marker = "REGRESSION" if delta.regressed else "ok"
+            lines.append(
+                f"  {delta.name:<{width}}  "
+                f"{delta.ratio:6.2f}x vs baseline  {marker}"
+            )
+        if self.missing:
+            lines.append(
+                "  missing from candidate: " + ", ".join(self.missing)
+            )
+        if self.added:
+            lines.append(
+                "  new in candidate (not compared): " + ", ".join(self.added)
+            )
+        verdict = (
+            f"FAIL: {len(self.regressions)} regression(s)"
+            if self.has_regressions
+            else "PASS: no regressions"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _scenario_times(doc: Mapping) -> dict[str, float]:
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, Mapping):
+        raise ValueError("report has no 'scenarios' mapping")
+    times = {}
+    for name, entry in scenarios.items():
+        value = None
+        if isinstance(entry, Mapping):
+            # Prefer the minimum over the trimmed mean: contention can
+            # only make a pass slower, so min-of-N is the most stable
+            # statistic for cross-run comparison.
+            value = entry.get("best")
+            if not isinstance(value, (int, float)) or value <= 0:
+                value = entry.get("trimmed")
+        if isinstance(value, (int, float)) and value > 0:
+            times[str(name)] = float(value)
+    return times
+
+
+def compare_benchmarks(
+    baseline: Mapping,
+    candidate: Mapping,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ComparisonReport:
+    """Compare two report documents (as loaded by ``load_report``).
+
+    Parameters
+    ----------
+    baseline / candidate:
+        Parsed ``BENCH_*.json`` dicts.
+    threshold:
+        Allowed slowdown fraction before a scenario counts as a
+        regression.
+
+    Notes
+    -----
+    Only scenarios present in *both* reports are compared; the
+    calibration scenario itself is never compared (it is the unit).
+    Legacy-baseline scenarios (the ``*_legacy`` / ``*_cold`` / ``*_loop``
+    measuring sticks) are skipped too -- they exist to compute speedups
+    within one report, and "the unoptimised path got faster" is not a
+    regression signal for the library.
+    """
+    if threshold < 0.0:
+        raise ValueError("threshold must be non-negative")
+    base_times = _scenario_times(baseline)
+    cand_times = _scenario_times(candidate)
+
+    base_cal = base_times.get(CALIBRATION_SCENARIO)
+    cand_cal = cand_times.get(CALIBRATION_SCENARIO)
+    normalized = base_cal is not None and cand_cal is not None
+
+    legacy_sticks = {
+        scenario.baseline
+        for scenario in SCENARIOS.values()
+        if scenario.baseline is not None
+    }
+
+    deltas = []
+    for name in base_times:
+        if name == CALIBRATION_SCENARIO or name in legacy_sticks:
+            continue
+        if name not in cand_times:
+            continue
+        base_value = base_times[name]
+        cand_value = cand_times[name]
+        if normalized:
+            base_value /= base_cal
+            cand_value /= cand_cal
+        ratio = cand_value / base_value
+        deltas.append(
+            ScenarioDelta(
+                name=name,
+                baseline=base_value,
+                candidate=cand_value,
+                ratio=ratio,
+                regressed=ratio > 1.0 + threshold,
+            )
+        )
+
+    comparable = set(base_times) - {CALIBRATION_SCENARIO} - legacy_sticks
+    missing = tuple(sorted(comparable - set(cand_times)))
+    added = tuple(
+        sorted(
+            (set(cand_times) - set(base_times))
+            - {CALIBRATION_SCENARIO}
+            - legacy_sticks
+        )
+    )
+    return ComparisonReport(
+        threshold=threshold,
+        normalized=normalized,
+        deltas=tuple(sorted(deltas, key=lambda d: d.name)),
+        missing=missing,
+        added=added,
+    )

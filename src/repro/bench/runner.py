@@ -1,0 +1,316 @@
+"""Warmup/repeat/trimmed-stats benchmark runner.
+
+The runner's contract: the *work* of every scenario is deterministic
+under the configured seed (checksums are reproducible), while the
+*timings* are sampled ``repeats`` times after ``warmup`` discarded
+passes and summarised with a trimmed mean.  Container and CI timings
+are noisy -- single measurements of the same kernel routinely vary by
+3x -- so no consumer of a :class:`BenchReport` should ever look at a
+single raw time; the trimmed mean (and for cross-machine comparisons,
+the calibration-normalised value, see :mod:`repro.bench.compare`) is
+the measurement.
+
+Timing reuses the :mod:`repro.obs` profiling timers: each repeat runs
+under ``observer.timer("bench.<scenario>")``, so a caller who passes
+its own :class:`~repro.obs.observer.Observer` gets every sample in the
+metrics registry and trace stream for free.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from repro.obs.observer import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bench.scenarios import Scenario
+
+__all__ = [
+    "BenchConfig",
+    "BenchReport",
+    "BenchRunner",
+    "ScenarioResult",
+    "load_report",
+    "trimmed_mean",
+]
+
+#: Format tag written into every report; bump on incompatible changes.
+SCHEMA = "repro.bench/v1"
+
+
+@dataclass(frozen=True, kw_only=True)
+class BenchConfig:
+    """Measurement protocol knobs.
+
+    Parameters
+    ----------
+    repeats:
+        Timed passes per scenario.
+    warmup:
+        Discarded passes before timing starts (fills caches: lazy
+        Cholesky factors, BLAS thread pools, allocator arenas).
+    trim:
+        Fraction trimmed from *each* end of the sorted times before
+        averaging; ``0.2`` with 7 repeats drops the best and worst.
+    seed:
+        Base seed handed to every scenario's workload builder.
+    """
+
+    repeats: int = 7
+    warmup: int = 2
+    trim: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if not 0.0 <= self.trim < 0.5:
+            raise ValueError("trim must lie in [0, 0.5)")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "trim": self.trim,
+            "seed": self.seed,
+        }
+
+
+def trimmed_mean(values: Iterable[float], trim: float) -> float:
+    """Mean of ``values`` after dropping ``trim`` of each sorted tail.
+
+    Falls back to the plain mean when trimming would drop everything.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    drop = int(arr.size * trim)
+    if arr.size - 2 * drop < 1:
+        drop = 0
+    return float(np.mean(arr[drop : arr.size - drop]))
+
+
+@dataclass(frozen=True, kw_only=True)
+class ScenarioResult:
+    """All timing samples of one scenario plus summary statistics.
+
+    ``trimmed`` is *the* headline number; ``times`` keeps the raw
+    samples so a report can be re-summarised with different trimming.
+    ``value`` is the scenario's deterministic checksum -- identical
+    across runs with the same seed, which is how the test-suite pins
+    determinism without looking at timings.
+    """
+
+    name: str
+    times: tuple[float, ...]
+    trimmed: float
+    best: float
+    mean: float
+    std: float
+    value: float
+
+    @classmethod
+    def from_times(
+        cls, name: str, times: Iterable[float], value: float, trim: float
+    ) -> "ScenarioResult":
+        samples = tuple(float(t) for t in times)
+        arr = np.asarray(samples)
+        return cls(
+            name=name,
+            times=samples,
+            trimmed=trimmed_mean(samples, trim),
+            best=float(np.min(arr)),
+            mean=float(np.mean(arr)),
+            std=float(np.std(arr)),
+            value=float(value),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "times": list(self.times),
+            "trimmed": self.trimmed,
+            "best": self.best,
+            "mean": self.mean,
+            "std": self.std,
+            "value": self.value,
+        }
+
+
+@dataclass(frozen=True, kw_only=True)
+class BenchReport:
+    """One full benchmark run, serialisable to ``BENCH_<name>.json``.
+
+    ``speedups`` maps each optimised scenario to
+    ``baseline.trimmed / optimised.trimmed`` for every scenario pair
+    declared in the registry (e.g. the batched E-step against the
+    per-component loop) -- the measured evidence that a vectorised
+    kernel actually pays.
+    """
+
+    suite: str
+    config: BenchConfig
+    scenarios: tuple[ScenarioResult, ...]
+    speedups: Mapping[str, float] = field(default_factory=dict)
+    machine: Mapping[str, object] = field(default_factory=dict)
+    commit: str | None = None
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for result in self.scenarios:
+            if result.name == name:
+                return result
+        raise KeyError(f"no scenario {name!r} in this report")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "suite": self.suite,
+            "config": self.config.to_dict(),
+            "machine": dict(self.machine),
+            "commit": self.commit,
+            "scenarios": {r.name: r.to_dict() for r in self.scenarios},
+            "speedups": dict(self.speedups),
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the report; returns the resolved path."""
+        target = Path(path)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return target
+
+    def format(self) -> str:
+        """Human-readable table of the run."""
+        lines = [f"suite {self.suite!r}: {len(self.scenarios)} scenarios"]
+        width = max((len(r.name) for r in self.scenarios), default=0)
+        for result in self.scenarios:
+            line = (
+                f"  {result.name:<{width}}  "
+                f"trimmed {result.trimmed * 1e3:9.3f} ms  "
+                f"best {result.best * 1e3:9.3f} ms"
+            )
+            if result.name in self.speedups:
+                line += f"  ({self.speedups[result.name]:.2f}x vs baseline)"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def machine_info() -> dict[str, object]:
+    """Hardware/software fingerprint stamped into every report."""
+    import os
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+def git_commit() -> str | None:
+    """Current commit hash, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def load_report(path: str | Path) -> dict[str, object]:
+    """Load a ``BENCH_*.json`` document as a plain dict.
+
+    Comparison (:func:`repro.bench.compare.compare_benchmarks`) works on
+    these dicts, so reports written by older schema versions degrade
+    gracefully instead of failing dataclass validation.
+    """
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or "scenarios" not in doc:
+        raise ValueError(f"{path}: not a repro.bench report")
+    return doc
+
+
+class BenchRunner:
+    """Execute scenarios under the warmup/repeat/trim protocol.
+
+    Parameters
+    ----------
+    config:
+        Measurement protocol; defaults to :class:`BenchConfig`.
+    observer:
+        Destination for per-repeat ``bench.<scenario>`` timer samples.
+        Defaults to a private enabled :class:`Observer` so histogram
+        stats are always collected.
+    """
+
+    def __init__(
+        self,
+        config: BenchConfig | None = None,
+        observer: Observer | None = None,
+    ) -> None:
+        self.config = config if config is not None else BenchConfig()
+        self.observer = observer if observer is not None else Observer()
+
+    def run_scenario(self, scenario: "Scenario") -> ScenarioResult:
+        """Build the scenario's workload once, then warm up and time it."""
+        thunk = scenario.build(self.config.seed)
+        value = 0.0
+        for _ in range(self.config.warmup):
+            value = thunk()
+        times = []
+        for _ in range(self.config.repeats):
+            with self.observer.timer(f"bench.{scenario.name}") as timing:
+                value = thunk()
+            times.append(timing.elapsed)
+        return ScenarioResult.from_times(
+            scenario.name, times, value, self.config.trim
+        )
+
+    def run(
+        self,
+        names: Iterable[str],
+        suite: str = "custom",
+        progress=None,
+    ) -> BenchReport:
+        """Run the named scenarios and assemble a full report.
+
+        ``progress`` is an optional ``callable(str)`` invoked before
+        each scenario (the CLI passes ``print``).
+        """
+        from repro.bench.scenarios import get_scenario
+
+        scenarios = [get_scenario(name) for name in names]
+        results: dict[str, ScenarioResult] = {}
+        for scenario in scenarios:
+            if progress is not None:
+                progress(f"running {scenario.name} ...")
+            results[scenario.name] = self.run_scenario(scenario)
+        speedups = {}
+        for scenario in scenarios:
+            if scenario.baseline and scenario.baseline in results:
+                speedups[scenario.name] = (
+                    results[scenario.baseline].trimmed
+                    / max(results[scenario.name].trimmed, 1e-12)
+                )
+        return BenchReport(
+            suite=suite,
+            config=self.config,
+            scenarios=tuple(results.values()),
+            speedups=speedups,
+            machine=machine_info(),
+            commit=git_commit(),
+        )

@@ -1,0 +1,105 @@
+"""Seeded benchmark workloads.
+
+Every workload here is a pure function of an integer seed: two calls
+with the same seed produce bit-identical arrays and models.  The bench
+runner relies on that to make every scenario deterministic -- the
+*timings* vary with machine load, but the work performed (and the
+checksum each scenario reports) never does, which is what lets two
+``BENCH_*.json`` files from different commits be compared at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.streams.synthetic import random_mixture
+
+__all__ = [
+    "checksum",
+    "make_chunk",
+    "make_mixture",
+    "make_streams",
+    "rebuild_mixture",
+]
+
+
+def make_mixture(
+    seed: int,
+    dim: int = 4,
+    n_components: int = 5,
+    separation: float = 3.0,
+) -> GaussianMixture:
+    """A random, well-separated mixture, reproducible from ``seed``."""
+    rng = np.random.default_rng(seed)
+    return random_mixture(
+        dim=dim, n_components=n_components, rng=rng, separation=separation
+    )
+
+
+def make_chunk(
+    seed: int,
+    n: int,
+    dim: int = 4,
+    n_components: int = 5,
+) -> np.ndarray:
+    """``n`` records sampled from :func:`make_mixture`'s model."""
+    rng = np.random.default_rng(seed)
+    mixture = random_mixture(dim=dim, n_components=n_components, rng=rng)
+    points, _ = mixture.sample(n, rng)
+    return points
+
+
+def make_streams(
+    seed: int,
+    n_sites: int,
+    records_per_site: int,
+    dim: int = 4,
+    n_components: int = 3,
+) -> dict[int, list[np.ndarray]]:
+    """Per-site record lists for the end-to-end runtime scenarios.
+
+    Each site draws from its own seeded mixture, so sites disagree (the
+    coordinator has merging work to do) while the whole workload stays
+    a function of ``seed``.
+    """
+    return {
+        site_id: list(
+            make_chunk(
+                seed * 1000 + site_id,
+                records_per_site,
+                dim=dim,
+                n_components=n_components,
+            )
+        )
+        for site_id in range(n_sites)
+    }
+
+
+def rebuild_mixture(mixture: GaussianMixture) -> GaussianMixture:
+    """A fresh copy of ``mixture`` with *no* cached factorisations.
+
+    Reconstructing every :class:`Gaussian` from its raw ``(μ, Σ)``
+    re-runs the Cholesky factorisation and drops the lazy ``L⁻¹`` /
+    batched-kernel caches -- the "cold" side of the cached-vs-cold
+    chunk-test scenario pair.
+    """
+    return GaussianMixture(
+        np.array(mixture.weights),
+        tuple(
+            Gaussian(
+                np.array(component.mean),
+                np.array(component.covariance),
+                diagonal=component.diagonal,
+            )
+            for component in mixture.components
+        ),
+    )
+
+
+def checksum(values: np.ndarray | float) -> float:
+    """A stable scalar fingerprint of a scenario's numeric output."""
+    arr = np.asarray(values, dtype=float)
+    finite = np.where(np.isfinite(arr), arr, 0.0)
+    return float(np.sum(finite))

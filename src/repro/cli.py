@@ -18,7 +18,14 @@ Three subcommands cover the common workflows without writing code:
   synopses to it over the fault-tolerant transport
   (:mod:`repro.transport`);
 * ``cludistream stats trace.jsonl`` -- summarise a structured trace
-  written by ``--trace-file`` into per-site and system-wide counts.
+  written by ``--trace-file`` into per-site and system-wide counts;
+* ``cludistream bench --suite core --json BENCH_core.json`` -- run the
+  :mod:`repro.bench` performance suite (seeded workloads, trimmed
+  statistics) and optionally gate against a checked-in baseline with
+  ``--baseline BENCH_core.json``.
+
+The same entry point is also installed as ``repro`` (so ``repro
+bench`` works as documented); both names accept every subcommand.
 
 ``run``, ``serve`` and ``site`` all take ``--checkpoint-dir`` /
 ``--resume``: the run's state (sites, coordinator, stream position) is
@@ -218,6 +225,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the summary as JSON instead of text",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the repro.bench performance suite",
+    )
+    bench.add_argument(
+        "--suite",
+        default="core",
+        help="scenario suite to run (default: core)",
+    )
+    bench.add_argument(
+        "--scenarios",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated scenario names (overrides --suite)",
+    )
+    bench.add_argument("--repeats", type=int, default=7)
+    bench.add_argument("--warmup", type=int, default=2)
+    bench.add_argument(
+        "--trim", type=float, default=0.2,
+        help="fraction trimmed from each tail of the sorted times",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH (e.g. BENCH_core.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare the run against a baseline report; exit 1 on "
+        "regression",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed slowdown vs --baseline (default: 0.25)",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="compare two existing reports instead of running anything",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenarios and suites, then exit",
+    )
     return parser
 
 
@@ -312,58 +374,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sites = system.sites
     coordinator = system.coordinator
 
-    if args.checkpoint_dir:
-        from repro.runtime import DirectChannel, Runtime, SimulatedChannel
+    from repro.runtime import DirectChannel, Runtime, SimulatedChannel
 
-        if args.simulate:
-            channel = SimulatedChannel(
-                rate=config.rate,
-                latency=config.latency,
-                bandwidth=config.bandwidth,
-            )
-        else:
-            channel = DirectChannel()
-        if args.resume:
-            runtime = Runtime.resume(
-                args.checkpoint_dir,
-                channel,
-                observer=observer,
-                checkpoint_every=args.checkpoint_every,
-            )
-            resumed_at = runtime.rounds_completed
-            sites = runtime.sites
-            coordinator = runtime.coordinator
-        else:
-            runtime = system.runtime(
-                channel,
-                checkpoint_dir=args.checkpoint_dir,
-                checkpoint_every=args.checkpoint_every,
-            )
-            resumed_at = 0
-        report = runtime.run(streams, max_records_per_site=args.records)
-        if args.simulate:
-            print(
-                f"simulated {report.records} records in "
-                f"{report.duration:.1f} virtual seconds"
-            )
-        else:
-            print(f"processed {report.records} records")
-        if resumed_at:
-            print(f"resumed from round {resumed_at}")
-        print(f"checkpoint written to {args.checkpoint_dir}")
-    elif args.simulate:
-        report = system.run_simulation(
-            streams, max_records_per_site=args.records
+    if args.simulate:
+        channel = SimulatedChannel(
+            rate=config.rate,
+            latency=config.latency,
+            bandwidth=config.bandwidth,
         )
+    else:
+        channel = DirectChannel()
+    if args.resume:
+        runtime = Runtime.resume(
+            args.checkpoint_dir,
+            channel,
+            observer=observer,
+            checkpoint_every=args.checkpoint_every,
+        )
+        resumed_at = runtime.rounds_completed
+        sites = runtime.sites
+        coordinator = runtime.coordinator
+    else:
+        runtime = system.runtime(
+            channel,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        resumed_at = 0
+    report = runtime.run(streams, max_records_per_site=args.records)
+    if args.simulate:
         print(
             f"simulated {report.records} records in "
             f"{report.duration:.1f} virtual seconds"
         )
     else:
-        delivered = system.feed_streams(
-            streams, max_records_per_site=args.records
-        )
-        print(f"processed {delivered} records")
+        print(f"processed {report.records} records")
+    if resumed_at:
+        print(f"resumed from round {resumed_at}")
+    if args.checkpoint_dir:
+        print(f"checkpoint written to {args.checkpoint_dir}")
 
     for site in sites:
         print(
@@ -770,6 +819,84 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        SCENARIOS,
+        SUITES,
+        BenchConfig,
+        compare_benchmarks,
+        load_report,
+        run_bench,
+    )
+
+    if args.list:
+        print("scenarios:")
+        width = max(len(name) for name in SCENARIOS)
+        for name, scenario in SCENARIOS.items():
+            pair = (
+                f"  [vs {scenario.baseline}]" if scenario.baseline else ""
+            )
+            print(f"  {name:<{width}}  {scenario.summary}{pair}")
+        print("suites:")
+        for suite, names in SUITES.items():
+            print(f"  {suite}: {', '.join(names)}")
+        return 0
+
+    if args.compare is not None:
+        baseline_path, candidate_path = args.compare
+        try:
+            comparison = compare_benchmarks(
+                load_report(baseline_path),
+                load_report(candidate_path),
+                threshold=args.max_regression,
+            )
+        except (OSError, ValueError) as error:
+            print(f"cannot compare reports: {error}", file=sys.stderr)
+            return 1
+        print(comparison.format())
+        return 1 if comparison.has_regressions else 0
+
+    scenarios = (
+        [name for name in args.scenarios.split(",") if name]
+        if args.scenarios
+        else None
+    )
+    try:
+        config = BenchConfig(
+            repeats=args.repeats,
+            warmup=args.warmup,
+            trim=args.trim,
+            seed=args.seed,
+        )
+        report = run_bench(
+            suite=args.suite,
+            scenarios=scenarios,
+            config=config,
+            progress=lambda line: print(line, flush=True),
+        )
+    except (KeyError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(report.format())
+    if args.json:
+        path = report.write_json(args.json)
+        print(f"report written to {path}")
+    if args.baseline:
+        try:
+            comparison = compare_benchmarks(
+                load_report(args.baseline),
+                report.to_dict(),
+                threshold=args.max_regression,
+            )
+        except (OSError, ValueError) as error:
+            print(f"cannot load baseline: {error}", file=sys.stderr)
+            return 1
+        print(comparison.format())
+        if comparison.has_regressions:
+            return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
@@ -783,6 +910,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "site": _cmd_site,
         "stats": _cmd_stats,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

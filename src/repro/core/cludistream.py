@@ -33,6 +33,7 @@ This is the primary public entry point of the library; see
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -55,7 +56,7 @@ from repro.runtime import (
 __all__ = ["CluDistream", "CluDistreamConfig", "SimulationReport"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class CluDistreamConfig:
     """Whole-system configuration.
 
@@ -257,7 +258,21 @@ class CluDistream:
         Returns
         -------
         SimulationReport
+
+        .. deprecated:: 1.1
+            Use :meth:`runtime` with a
+            :class:`~repro.runtime.SimulatedChannel` instead; this shim
+            will be removed one release after 1.1 (see DESIGN.md §10,
+            "Public API and deprecation policy").
         """
+        warnings.warn(
+            "CluDistream.run_simulation is deprecated; build a Runtime "
+            "over a SimulatedChannel instead: "
+            "system.runtime(SimulatedChannel(...)).run(streams, n). "
+            "The shim will be removed one release after 1.1.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         channel = SimulatedChannel(
             rate=self.config.rate,
             latency=self.config.latency,
@@ -318,7 +333,22 @@ class CluDistream:
         tuple
             ``(site_endpoints, coordinator_endpoint)`` with all delivery
             statistics, already closed.
+
+        .. deprecated:: 1.1
+            Use :meth:`runtime` with a
+            :class:`~repro.runtime.TransportChannel` instead; this shim
+            will be removed one release after 1.1 (see DESIGN.md §10,
+            "Public API and deprecation policy").
         """
+        warnings.warn(
+            "CluDistream.run_over_transport is deprecated; build a "
+            "Runtime over a TransportChannel instead: "
+            "system.runtime(TransportChannel(transport, clock, ...))"
+            ".run(streams, n). The shim will be removed one release "
+            "after 1.1.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         channel = TransportChannel(
             transport,
             clock,

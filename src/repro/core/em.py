@@ -32,7 +32,7 @@ __all__ = ["EMConfig", "EMResult", "fit_em", "kmeans_plus_plus_centers"]
 MIN_COMPONENT_MASS = 1e-8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class EMConfig:
     """Hyper-parameters of the EM trainer.
 

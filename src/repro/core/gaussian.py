@@ -20,11 +20,14 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.numerics.linalg import SPDFactors, mahalanobis_sq, spd_factorize
+from repro.numerics.linalg import (
+    LOG_2PI,
+    SPDFactors,
+    mahalanobis_sq,
+    spd_factorize,
+)
 
 __all__ = ["Gaussian", "LOG_2PI"]
-
-LOG_2PI = float(np.log(2.0 * np.pi))
 
 #: Bytes used per scalar parameter when accounting synopsis payloads.
 #: The paper's implementation shipped doubles.
@@ -119,6 +122,17 @@ class Gaussian:
     def precision(self) -> np.ndarray:
         """Explicit inverse covariance ``Σ⁻¹`` (cached)."""
         return self._factors.inverse()
+
+    @property
+    def factors(self) -> SPDFactors:
+        """The cached :class:`~repro.numerics.linalg.SPDFactors`.
+
+        Batched kernels (:func:`repro.numerics.linalg.batch_log_pdf`)
+        pull each component's whitening matrix and log-determinant from
+        here, so density evaluation never re-factorises a covariance --
+        including across repeated chunk tests against archived models.
+        """
+        return self._factors
 
     # ------------------------------------------------------------------
     # Density evaluation

@@ -23,6 +23,7 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.core.gaussian import BYTES_PER_FLOAT, Gaussian
+from repro.numerics.linalg import batch_log_pdf, logsumexp
 
 __all__ = ["GaussianMixture"]
 
@@ -39,7 +40,10 @@ class GaussianMixture:
     ----------
     weights:
         Non-negative weights of shape ``(K,)``; they are normalised to
-        sum to one on construction.
+        sum to one on construction.  Weights that already sum to one
+        within floating-point tolerance are kept bitwise as given, so
+        reconstructing a mixture from its own (serialised) weights is
+        exactly idempotent.
     components:
         The ``K`` Gaussian components, all of the same dimension.
     """
@@ -47,6 +51,7 @@ class GaussianMixture:
     weights: np.ndarray
     components: tuple[Gaussian, ...]
     _pooled: list = field(default_factory=list, init=False, repr=False, compare=False)
+    _batch: list = field(default_factory=list, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         weights = np.asarray(self.weights, dtype=float).ravel()
@@ -65,7 +70,16 @@ class GaussianMixture:
         dims = {component.dim for component in components}
         if len(dims) != 1:
             raise ValueError(f"components have mixed dimensions: {dims}")
-        object.__setattr__(self, "weights", weights / total)
+        # Skip the division when the weights are already normalised to
+        # within floating-point tolerance: dividing by 1.0 +/- 1ulp would
+        # shift the stored values by an ulp, which breaks the bitwise
+        # construct/serialise/reconstruct idempotency the checkpoint
+        # restore path (DESIGN.md section 9) relies on.
+        if abs(total - 1.0) > 1e-12:
+            weights = weights / total
+        else:
+            weights = weights.copy()
+        object.__setattr__(self, "weights", weights)
         object.__setattr__(self, "components", components)
         self.weights.setflags(write=False)
 
@@ -107,12 +121,36 @@ class GaussianMixture:
     # ------------------------------------------------------------------
     # Densities and posteriors
     # ------------------------------------------------------------------
+    def _batch_factors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked ``(means, L⁻¹s, log-dets)`` of all components.
+
+        Computed once per mixture and cached (mixtures are immutable),
+        so every density evaluation -- E-step iterations, fit tests,
+        anomaly scoring -- reuses the same Cholesky-derived whitening
+        matrices.  Archived models on a remote site keep their stacks
+        across chunks: the multi-test ``c_max`` path never re-factorises
+        a covariance it has tested before.
+        """
+        if not self._batch:
+            means = np.stack([c.mean for c in self.components])
+            inv_chols = np.stack(
+                [c.factors.inverse_cholesky() for c in self.components]
+            )
+            log_dets = np.array([c.log_det for c in self.components])
+            self._batch.append((means, inv_chols, log_dets))
+        return self._batch[0]
+
     def component_log_pdf(self, points: np.ndarray) -> np.ndarray:
-        """Matrix of ``log p(x|j)`` values, shape ``(n, K)``."""
+        """Matrix of ``log p(x|j)`` values, shape ``(n, K)``.
+
+        Evaluated by the batched kernel
+        :func:`repro.numerics.linalg.batch_log_pdf` -- one einsum over
+        all ``K`` components instead of ``K`` separate triangular
+        solves.
+        """
         points = np.atleast_2d(np.asarray(points, dtype=float))
-        return np.column_stack(
-            [component.log_pdf(points) for component in self.components]
-        )
+        means, inv_chols, log_dets = self._batch_factors()
+        return batch_log_pdf(points, means, inv_chols, log_dets)
 
     def weighted_log_pdf(self, points: np.ndarray) -> np.ndarray:
         """Matrix of ``log(w_j p(x|j))`` values, shape ``(n, K)``.
@@ -132,11 +170,7 @@ class GaussianMixture:
         ``-inf`` so downstream averages stay finite.
         """
         weighted = self.weighted_log_pdf(points)
-        peak = np.max(weighted, axis=1)
-        safe_peak = np.where(np.isfinite(peak), peak, 0.0)
-        summed = np.sum(np.exp(weighted - safe_peak[:, None]), axis=1)
-        log_density = safe_peak + np.log(summed)
-        log_density = np.where(np.isfinite(peak), log_density, -np.inf)
+        log_density = logsumexp(weighted, axis=1)
         return np.maximum(log_density, LOG_DENSITY_FLOOR)
 
     def pdf(self, points: np.ndarray) -> np.ndarray:

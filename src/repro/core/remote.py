@@ -48,7 +48,7 @@ from repro.obs.observer import Observer, ensure_observer
 __all__ = ["ModelEntry", "RemoteSite", "RemoteSiteConfig", "SiteStatistics"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class RemoteSiteConfig:
     """Parameters of one remote site.
 
@@ -503,6 +503,12 @@ class RemoteSite:
 
         Returns the emitted messages on a match, ``None`` when no
         archived model fits (or ``c_max`` allows no extra tests).
+
+        Archived mixtures are immutable, so the Cholesky/``L⁻¹``
+        factors and stacked batch kernels behind each ``fit_test``
+        density evaluation are computed once per model and reused
+        across every chunk tested against it (measured by the
+        ``chunk_test_cached`` bench scenario).
         """
         budget = self.config.c_max - 1
         if budget <= 0 or not self._archive:

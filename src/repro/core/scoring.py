@@ -158,26 +158,42 @@ class AnomalyDetector:
         return self.score_batch(np.atleast_2d(np.asarray(record, dtype=float)))[0]
 
     def score_batch(self, records: np.ndarray) -> Sequence[AnomalyVerdict]:
-        """Score a batch of records."""
+        """Score a batch of records in one vectorized pass.
+
+        One density evaluation produces every score, one posterior
+        evaluation produces every top cluster -- no per-record model
+        calls, and no full per-record membership sort (only the top
+        entry is needed).  Semantics are identical to scoring each
+        record through :meth:`score`.
+        """
         records = np.atleast_2d(np.asarray(records, dtype=float))
         scores = anomaly_scores(self.mixture, records)
-        memberships = membership_report(self.mixture, records)
-        verdicts = []
-        for score, membership in zip(scores, memberships):
-            is_anomaly = bool(score > self.threshold)
-            self.scored += 1
-            self.flagged += is_anomaly
-            top_cluster, top_probability = membership[0]
-            verdicts.append(
-                AnomalyVerdict(
-                    score=float(score),
-                    threshold=self.threshold,
-                    is_anomaly=is_anomaly,
-                    top_cluster=top_cluster,
-                    top_probability=top_probability,
-                )
+        if np.isnan(records).any():
+            from repro.core.missing import marginal_posterior
+
+            posterior = marginal_posterior(self.mixture, records)
+        else:
+            posterior = self.mixture.posterior(records)
+        # Highest-probability cluster per row; ties resolve to the
+        # highest index, matching membership_report's descending sort.
+        k = posterior.shape[1]
+        top_clusters = k - 1 - np.argmax(posterior[:, ::-1], axis=1)
+        top_probabilities = posterior[np.arange(posterior.shape[0]), top_clusters]
+        anomalous = scores > self.threshold
+        self.scored += int(scores.size)
+        self.flagged += int(np.count_nonzero(anomalous))
+        return [
+            AnomalyVerdict(
+                score=float(score),
+                threshold=self.threshold,
+                is_anomaly=bool(flag),
+                top_cluster=int(cluster),
+                top_probability=float(probability),
             )
-        return verdicts
+            for score, flag, cluster, probability in zip(
+                scores, anomalous, top_clusters, top_probabilities
+            )
+        ]
 
     def recalibrate(self, mixture: GaussianMixture, reference: np.ndarray) -> None:
         """Swap in a refreshed model (e.g. after a site re-clusters)."""

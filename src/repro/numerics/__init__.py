@@ -20,9 +20,13 @@ from repro.numerics.integrate import (
     trapezoid_grid,
 )
 from repro.numerics.linalg import (
+    LOG_2PI,
     SPDFactors,
+    batch_log_pdf,
+    batch_mahalanobis_sq,
     ensure_spd,
     log_det_spd,
+    logsumexp,
     mahalanobis_sq,
     regularize_covariance,
     safe_inverse,
@@ -31,11 +35,15 @@ from repro.numerics.linalg import (
 from repro.numerics.simplex import NelderMeadResult, nelder_mead
 
 __all__ = [
+    "LOG_2PI",
     "NelderMeadResult",
     "SPDFactors",
+    "batch_log_pdf",
+    "batch_mahalanobis_sq",
     "ensure_spd",
     "l1_density_distance",
     "log_det_spd",
+    "logsumexp",
     "mahalanobis_sq",
     "monte_carlo_l1",
     "nelder_mead",

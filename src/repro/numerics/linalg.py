@@ -19,14 +19,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = [
+    "LOG_2PI",
     "SPDFactors",
+    "batch_log_pdf",
+    "batch_mahalanobis_sq",
     "ensure_spd",
     "log_det_spd",
+    "logsumexp",
     "mahalanobis_sq",
     "regularize_covariance",
     "safe_inverse",
     "spd_factorize",
 ]
+
+LOG_2PI = float(np.log(2.0 * np.pi))
 
 #: Default ridge added (relative to the mean diagonal) when a covariance
 #: matrix fails its Cholesky factorisation.
@@ -121,6 +127,9 @@ class SPDFactors:
     cholesky: np.ndarray
     log_det: float
     _inverse: list = field(default_factory=list, repr=False, compare=False)
+    _inverse_cholesky: list = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def dim(self) -> int:
@@ -139,6 +148,25 @@ class SPDFactors:
             half = np.linalg.solve(self.cholesky, identity)
             self._inverse.append(half.T @ half)
         return self._inverse[0]
+
+    def inverse_cholesky(self) -> np.ndarray:
+        """Lower-triangular ``L⁻¹``, computed lazily and cached.
+
+        This is the whitening matrix of the batched density kernels
+        (:func:`batch_log_pdf`): stacking each component's ``L⁻¹`` lets
+        one ``einsum`` evaluate every component's Mahalanobis distance
+        at once, and the cache means repeated chunk tests against the
+        same archived model never re-factorise anything.
+        """
+        if not self._inverse_cholesky:
+            from scipy.linalg import solve_triangular
+
+            inv = solve_triangular(
+                self.cholesky, np.eye(self.dim), lower=True
+            )
+            inv.setflags(write=False)
+            self._inverse_cholesky.append(inv)
+        return self._inverse_cholesky[0]
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``covariance @ x = rhs`` via two triangular solves."""
@@ -219,3 +247,81 @@ def mahalanobis_sq(
     centered = pts - np.asarray(mean, dtype=float)[None, :]
     whitened = factors.whiten(centered)
     return np.sum(whitened * whitened, axis=0)
+
+
+# ----------------------------------------------------------------------
+# Batched density kernels (all components at once)
+# ----------------------------------------------------------------------
+def logsumexp(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable ``log Σ exp`` along ``axis``.
+
+    Rows whose every entry is ``-inf`` reduce to ``-inf`` (instead of
+    the ``nan`` a naive ``max`` subtraction would produce); ``+inf``
+    inputs are rejected by the callers (densities are finite).
+    """
+    values = np.asarray(values, dtype=float)
+    peak = np.max(values, axis=axis, keepdims=True)
+    safe_peak = np.where(np.isfinite(peak), peak, 0.0)
+    summed = np.sum(np.exp(values - safe_peak), axis=axis)
+    out = np.squeeze(safe_peak, axis=axis) + np.log(summed)
+    finite = np.squeeze(np.isfinite(peak), axis=axis)
+    return np.where(finite, out, -np.inf)
+
+
+def batch_mahalanobis_sq(
+    points: np.ndarray,
+    means: np.ndarray,
+    inverse_choleskys: np.ndarray,
+) -> np.ndarray:
+    """Squared Mahalanobis distances to ``k`` Gaussians in one pass.
+
+    Parameters
+    ----------
+    points:
+        Records of shape ``(n, d)``.
+    means:
+        Component means, shape ``(k, d)``.
+    inverse_choleskys:
+        Stacked whitening matrices ``L_j⁻¹``, shape ``(k, d, d)``
+        (see :meth:`SPDFactors.inverse_cholesky`).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, k)``: entry ``[i, j]`` is the squared Mahalanobis
+        distance of record ``i`` from component ``j``.
+
+    Notes
+    -----
+    The whitened coordinates are ``L_j⁻¹ x - L_j⁻¹ μ_j``; the shift
+    ``L_j⁻¹ μ_j`` is formed once per component, and the records are
+    whitened against *all* components by one ``(n, d) @ (d, k·d)``
+    matrix product (a single BLAS GEMM) instead of ``k`` triangular
+    solves.  This is the E-step kernel: one call replaces the per-
+    component ``Gaussian.log_pdf`` loop.
+    """
+    points = np.asarray(points, dtype=float)
+    inverse_choleskys = np.asarray(inverse_choleskys, dtype=float)
+    k, d = inverse_choleskys.shape[0], inverse_choleskys.shape[1]
+    shift = np.einsum("kde,ke->kd", inverse_choleskys, means)
+    stacked = np.ascontiguousarray(inverse_choleskys.reshape(k * d, d))
+    whitened = (points @ stacked.T).reshape(points.shape[0], k, d)
+    whitened -= shift[None, :, :]
+    return np.einsum("nkd,nkd->nk", whitened, whitened)
+
+
+def batch_log_pdf(
+    points: np.ndarray,
+    means: np.ndarray,
+    inverse_choleskys: np.ndarray,
+    log_dets: np.ndarray,
+) -> np.ndarray:
+    """Matrix of per-component log densities, shape ``(n, k)``.
+
+    The batched equivalent of stacking ``k`` ``Gaussian.log_pdf`` calls:
+    ``-0.5 (d log 2π + log |Σ_j| + maha²(x, j))`` for every record and
+    component at once.  ``log_dets`` has shape ``(k,)``.
+    """
+    dim = np.asarray(points).shape[-1]
+    dist_sq = batch_mahalanobis_sq(points, means, inverse_choleskys)
+    return -0.5 * (dim * LOG_2PI + np.asarray(log_dets)[None, :] + dist_sq)

@@ -27,7 +27,7 @@ from repro.streams.synthetic import random_mixture
 __all__ = ["DriftConfig", "DriftingGaussianStream"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class DriftConfig:
     """Drift stream parameters.
 

@@ -74,7 +74,7 @@ class FlowRegime:
         return raw / raw.sum()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class NetflowConfig:
     """Generator parameters.
 

@@ -23,7 +23,7 @@ import numpy as np
 __all__ = ["NoiseConfig", "NoisyStream"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class NoiseConfig:
     """Noise injection parameters.
 

@@ -101,7 +101,7 @@ def random_mixture(
     return GaussianMixture(weights, tuple(components))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class EvolvingStreamConfig:
     """Knobs of the evolving synthetic stream.
 

@@ -24,7 +24,7 @@ from repro.transport.clock import Clock
 __all__ = ["FaultConfig", "FaultStats", "LossyTransport"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class FaultConfig:
     """Per-datagram fault probabilities and delay model.
 

@@ -1,0 +1,102 @@
+"""Tests for the ``repro bench`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _write_report(path, **trimmed):
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro.bench/v1",
+                "scenarios": {
+                    name: {"trimmed": value}
+                    for name, value in trimmed.items()
+                },
+            }
+        )
+    )
+    return path
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out
+        assert "core:" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_test.json"
+        code = main(
+            [
+                "bench",
+                "--scenarios",
+                "calibration",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert "calibration" in doc["scenarios"]
+        assert "report written" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["bench", "--scenarios", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_compare_mode_pass_and_fail(self, tmp_path, capsys):
+        baseline = _write_report(
+            tmp_path / "base.json", calibration=0.002, fit_em=0.005
+        )
+        same = _write_report(
+            tmp_path / "same.json", calibration=0.002, fit_em=0.005
+        )
+        slow = _write_report(
+            tmp_path / "slow.json", calibration=0.002, fit_em=0.010
+        )
+        assert main(["bench", "--compare", str(baseline), str(same)]) == 0
+        assert main(["bench", "--compare", str(baseline), str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" in out
+
+    def test_compare_mode_missing_file(self, tmp_path, capsys):
+        present = _write_report(tmp_path / "base.json", calibration=0.002)
+        missing = tmp_path / "missing.json"
+        code = main(["bench", "--compare", str(present), str(missing)])
+        assert code == 1
+        assert "cannot compare" in capsys.readouterr().err
+
+    def test_run_against_baseline_gates(self, tmp_path):
+        # A fabricated impossibly fast baseline must trip the gate.
+        fast = _write_report(
+            tmp_path / "fast.json", calibration=1.0, serde_roundtrip=1e-9
+        )
+        code = main(
+            [
+                "bench",
+                "--scenarios",
+                "calibration,serde_roundtrip",
+                "--repeats",
+                "1",
+                "--warmup",
+                "0",
+                "--baseline",
+                str(fast),
+            ]
+        )
+        assert code == 1
+
+    @pytest.mark.parametrize("flag", ["--repeats", "--warmup"])
+    def test_invalid_protocol_exits_2(self, flag):
+        assert main(["bench", "--scenarios", "calibration", flag, "-1"]) == 2

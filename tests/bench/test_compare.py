@@ -1,0 +1,111 @@
+"""Tests for the benchmark regression comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_benchmarks
+
+
+def _report(**trimmed):
+    return {
+        "schema": "repro.bench/v1",
+        "scenarios": {
+            name: {"trimmed": value, "times": [value], "value": 0.0}
+            for name, value in trimmed.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        doc = _report(calibration=0.002, fit_em=0.005)
+        comparison = compare_benchmarks(doc, doc)
+        assert not comparison.has_regressions
+        assert comparison.normalized
+
+    def test_detects_regression_beyond_threshold(self):
+        baseline = _report(calibration=0.002, fit_em=0.005)
+        candidate = _report(calibration=0.002, fit_em=0.008)
+        comparison = compare_benchmarks(baseline, candidate, threshold=0.25)
+        assert comparison.has_regressions
+        (delta,) = comparison.regressions
+        assert delta.name == "fit_em"
+        assert delta.ratio == pytest.approx(1.6)
+        assert "FAIL" in comparison.format()
+
+    def test_within_threshold_passes(self):
+        baseline = _report(calibration=0.002, fit_em=0.005)
+        candidate = _report(calibration=0.002, fit_em=0.006)
+        comparison = compare_benchmarks(baseline, candidate, threshold=0.25)
+        assert not comparison.has_regressions
+        assert "PASS" in comparison.format()
+
+    def test_calibration_normalises_machine_speed(self):
+        """A uniformly 2x-slower machine is not a regression."""
+        baseline = _report(calibration=0.002, fit_em=0.005)
+        candidate = _report(calibration=0.004, fit_em=0.010)
+        comparison = compare_benchmarks(baseline, candidate)
+        assert comparison.normalized
+        assert not comparison.has_regressions
+        (delta,) = comparison.deltas
+        assert delta.ratio == pytest.approx(1.0)
+
+    def test_raw_seconds_without_calibration(self):
+        baseline = _report(fit_em=0.005)
+        candidate = _report(fit_em=0.010)
+        comparison = compare_benchmarks(baseline, candidate)
+        assert not comparison.normalized
+        assert comparison.has_regressions
+
+    def test_missing_and_added_scenarios_reported(self):
+        baseline = _report(calibration=0.002, fit_em=0.005, merge_fit=0.01)
+        candidate = _report(calibration=0.002, fit_em=0.005, fresh=0.01)
+        comparison = compare_benchmarks(baseline, candidate)
+        assert comparison.missing == ("merge_fit",)
+        assert comparison.added == ("fresh",)
+
+    def test_legacy_measuring_sticks_are_not_compared(self):
+        """A slower *legacy* path is a non-event: only the optimised
+        scenarios gate."""
+        baseline = _report(
+            calibration=0.002, score_batch=0.004, score_loop=0.100
+        )
+        candidate = _report(
+            calibration=0.002, score_batch=0.004, score_loop=0.500
+        )
+        comparison = compare_benchmarks(baseline, candidate)
+        assert not comparison.has_regressions
+        assert all(d.name != "score_loop" for d in comparison.deltas)
+
+    def test_best_time_preferred_over_trimmed(self):
+        """One noisy repeat inflates the trimmed mean but not the
+        minimum; the comparator must gate on the minimum."""
+        baseline = {
+            "schema": "repro.bench/v1",
+            "scenarios": {
+                "calibration": {"best": 0.002, "trimmed": 0.002},
+                "fit_em": {"best": 0.005, "trimmed": 0.005},
+            },
+        }
+        candidate = {
+            "schema": "repro.bench/v1",
+            "scenarios": {
+                "calibration": {"best": 0.002, "trimmed": 0.002},
+                # trimmed mean blew past the threshold, best did not.
+                "fit_em": {"best": 0.0052, "trimmed": 0.009},
+            },
+        }
+        comparison = compare_benchmarks(baseline, candidate, threshold=0.25)
+        assert not comparison.has_regressions
+        (delta,) = comparison.deltas
+        assert delta.ratio == pytest.approx(1.04)
+
+    def test_threshold_validation(self):
+        doc = _report(calibration=0.002)
+        with pytest.raises(ValueError):
+            compare_benchmarks(doc, doc, threshold=-0.1)
+
+    def test_malformed_report_rejected(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks({"nope": 1}, _report(calibration=0.002))

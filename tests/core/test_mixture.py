@@ -23,6 +23,23 @@ class TestConstruction:
         )
         assert np.allclose(mixture.weights, [0.25, 0.75])
 
+    def test_normalisation_is_bitwise_idempotent(self):
+        # Checkpoint restore rebuilds mixtures from their own serialised
+        # weights (which sum to 1 +/- 1ulp); re-normalising must not
+        # shift them, or resumed runs diverge from uninterrupted ones.
+        components = tuple(
+            Gaussian.spherical(np.full(1, float(i)), 1.0) for i in range(3)
+        )
+        raw = np.array([3.0, 5.0, 7.0])
+        first = GaussianMixture(raw, components)
+        rebuilt = GaussianMixture(first.weights.copy(), components)
+        assert np.array_equal(rebuilt.weights, first.weights)
+        # A weight vector one ulp off an exact sum of one must also be
+        # kept bitwise (the serialised-state case).
+        off = np.array([0.5, np.nextafter(0.5, 1.0)])
+        mixture = GaussianMixture(off.copy(), components[:2])
+        assert np.array_equal(mixture.weights, off)
+
     def test_weight_count_mismatch_rejected(self):
         with pytest.raises(ValueError, match="weights for"):
             GaussianMixture(

@@ -132,3 +132,80 @@ class TestAnomalyDetector:
         detector.recalibrate(shifted, new_reference)
         verdict = detector.score(np.array([100.0, 100.0]))
         assert not verdict.is_anomaly
+
+
+class TestScoreBatchVectorised:
+    """The one-pass score_batch must match per-record scoring exactly."""
+
+    def _loop_verdicts(self, detector, records):
+        """Reference implementation: the pre-vectorisation per-record
+        loop, built from membership_report's descending sort."""
+        from repro.core.scoring import AnomalyVerdict
+
+        verdicts = []
+        for record in np.atleast_2d(records):
+            row = np.atleast_2d(record)
+            score = float(anomaly_scores(detector.mixture, row)[0])
+            top_cluster, top_probability = membership_report(
+                detector.mixture, row
+            )[0][0]
+            verdicts.append(
+                AnomalyVerdict(
+                    score=score,
+                    threshold=detector.threshold,
+                    is_anomaly=score > detector.threshold,
+                    top_cluster=top_cluster,
+                    top_probability=top_probability,
+                )
+            )
+        return verdicts
+
+    def test_matches_loop_on_clean_records(self, model, rng):
+        reference, _ = model.sample(1000, rng)
+        detector = AnomalyDetector(model, reference)
+        records, _ = model.sample(200, rng)
+        batch = detector.score_batch(records)
+        loop = self._loop_verdicts(detector, records)
+        assert batch == loop
+
+    def test_matches_loop_with_missing_attributes(self, model, rng):
+        reference, _ = model.sample(1000, rng)
+        detector = AnomalyDetector(model, reference)
+        records, _ = model.sample(50, rng)
+        records[::7, 0] = np.nan
+        batch = detector.score_batch(records)
+        loop = self._loop_verdicts(detector, records)
+        # A NaN-containing batch routes *every* row through the
+        # marginal path, so clean rows can differ from their solo
+        # evaluation by an ulp -- decisions must still be identical.
+        for got, want in zip(batch, loop):
+            assert got.score == pytest.approx(want.score, rel=1e-12)
+            assert got.top_probability == pytest.approx(
+                want.top_probability, rel=1e-12
+            )
+            assert got.top_cluster == want.top_cluster
+            assert got.is_anomaly == want.is_anomaly
+
+    def test_matches_loop_on_far_tail_ties(self, model, rng):
+        """Records far outside the model floor every density; the
+        posterior tie must break toward the same cluster as the loop's
+        descending argsort."""
+        reference, _ = model.sample(1000, rng)
+        detector = AnomalyDetector(model, reference)
+        records = np.full((5, 2), 1e6)
+        batch = detector.score_batch(records)
+        loop = self._loop_verdicts(detector, records)
+        assert batch == loop
+        assert all(verdict.is_anomaly for verdict in batch)
+
+    def test_counters_accumulate_like_per_record_calls(self, model, rng):
+        reference, _ = model.sample(1000, rng)
+        batch_detector = AnomalyDetector(model, reference)
+        loop_detector = AnomalyDetector(model, reference)
+        records, _ = model.sample(120, rng)
+        records[0] = [1e6, 1e6]
+        batch_detector.score_batch(records)
+        for record in records:
+            loop_detector.score(record)
+        assert batch_detector.scored == loop_detector.scored == 120
+        assert batch_detector.flagged == loop_detector.flagged >= 1

@@ -1,0 +1,127 @@
+"""The stable public API surface and its deprecation shims.
+
+``repro``'s top-level namespace is the library's compatibility
+contract (DESIGN.md section 10): everything in ``__all__`` must be
+importable, config constructors are keyword-only, and the legacy
+``run_simulation`` / ``run_over_transport`` entry points warn before
+their removal one release after 1.1.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestTopLevelSurface:
+    def test_every_exported_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.1.0"
+
+    def test_runtime_layer_is_exported(self):
+        assert repro.Runtime.__module__.startswith("repro.runtime")
+        for channel in (
+            repro.DirectChannel,
+            repro.SimulatedChannel,
+            repro.TransportChannel,
+        ):
+            assert issubclass(channel, repro.Channel)
+
+    def test_bench_entry_points_are_lazy(self):
+        assert callable(repro.run_bench)
+        assert repro.BenchConfig is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+
+class TestKeywordOnlyConfigs:
+    @pytest.mark.parametrize(
+        "qualified",
+        [
+            "repro.core.em:EMConfig",
+            "repro.core.remote:RemoteSiteConfig",
+            "repro.core.coordinator:CoordinatorConfig",
+            "repro.core.cludistream:CluDistreamConfig",
+            "repro.baselines.sampling:SamplingEMConfig",
+            "repro.baselines.sem:SEMConfig",
+            "repro.baselines.kmeans:StreamKMeansConfig",
+            "repro.baselines.periodic:PeriodicReporterConfig",
+            "repro.transport.reliability:ReliabilityConfig",
+            "repro.transport.lossy:FaultConfig",
+            "repro.streams.synthetic:EvolvingStreamConfig",
+            "repro.streams.netflow:NetflowConfig",
+            "repro.streams.drift:DriftConfig",
+            "repro.streams.noise:NoiseConfig",
+            "repro.bench:BenchConfig",
+        ],
+    )
+    def test_positional_arguments_rejected(self, qualified):
+        module_name, _, class_name = qualified.partition(":")
+        module = __import__(module_name, fromlist=[class_name])
+        config_cls = getattr(module, class_name)
+        with pytest.raises(TypeError):
+            config_cls(1)
+
+    def test_keyword_construction_still_works(self):
+        config = repro.EMConfig(n_components=3)
+        assert config.n_components == 3
+
+
+def _tiny_system():
+    return repro.CluDistream(
+        repro.CluDistreamConfig(
+            n_sites=1,
+            site=repro.RemoteSiteConfig(
+                dim=2,
+                em=repro.EMConfig(n_components=2, n_init=1, max_iter=5),
+                chunk_override=20,
+            ),
+        ),
+        seed=0,
+    )
+
+
+def _tiny_streams():
+    rng = np.random.default_rng(0)
+    return {0: [rng.normal(size=2) for _ in range(20)]}
+
+
+class TestDeprecationShims:
+    def test_run_simulation_warns_and_still_works(self):
+        system = _tiny_system()
+        with pytest.warns(DeprecationWarning, match="SimulatedChannel"):
+            report = system.run_simulation(
+                _tiny_streams(), max_records_per_site=20
+            )
+        assert report.records == 20
+
+    def test_run_over_transport_warns_and_still_works(self):
+        from repro.transport.clock import ManualClock
+        from repro.transport.loopback import LoopbackTransport
+
+        system = _tiny_system()
+        with pytest.warns(DeprecationWarning, match="TransportChannel"):
+            system.run_over_transport(
+                _tiny_streams(),
+                max_records_per_site=20,
+                transport=LoopbackTransport(),
+                clock=ManualClock(),
+            )
+
+    def test_runtime_path_does_not_warn(self):
+        system = _tiny_system()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = system.runtime(repro.DirectChannel()).run(
+                _tiny_streams(), max_records_per_site=20
+            )
+        assert report.records == 20
