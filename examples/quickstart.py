@@ -11,9 +11,23 @@ global mixture.  Swapping ``DirectChannel`` for ``SimulatedChannel`` or
 anything else in this script.
 
 Run:  python examples/quickstart.py
+
+Live observability (all optional):
+
+* ``--serve-telemetry PORT`` serves ``/metrics``, ``/health``,
+  ``/snapshot`` and ``/spans`` over HTTP while (and shortly after) the
+  run executes -- point ``cludistream monitor --url ...`` or a
+  Prometheus scraper at it;
+* ``--serve-seconds N`` keeps that server up N seconds after the run;
+* ``--spans-out PATH`` writes the causal spans as Chrome trace-event
+  JSON (open in Perfetto / ``chrome://tracing``).
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import time
 
 import numpy as np
 
@@ -26,7 +40,43 @@ N_SITES = 4
 RECORDS_PER_SITE = 8_000
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--records", type=int, default=RECORDS_PER_SITE,
+        help=f"records per site (default: {RECORDS_PER_SITE})",
+    )
+    parser.add_argument(
+        "--serve-telemetry", type=int, default=None, metavar="PORT",
+        help="serve live telemetry over HTTP on PORT (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--serve-seconds", type=float, default=5.0, metavar="N",
+        help="keep the telemetry server up N seconds after the run",
+    )
+    parser.add_argument(
+        "--spans-out", default=None, metavar="PATH",
+        help="write collected spans as Chrome trace-event JSON to PATH",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
+    observe = args.serve_telemetry is not None or args.spans_out is not None
+    observer = health = spans = None
+    if observe:
+        from repro.obs import (
+            HealthMonitor,
+            MultiSink,
+            Observer,
+            SpanCollector,
+        )
+
+        health = HealthMonitor()
+        spans = SpanCollector()
+        observer = Observer(sink=MultiSink([health, spans]))
+
     config = CluDistreamConfig(
         n_sites=N_SITES,
         site=RemoteSiteConfig(
@@ -39,7 +89,7 @@ def main() -> None:
         ),
         coordinator=CoordinatorConfig(max_components=8),
     )
-    system = CluDistream(config, seed=42)
+    system = CluDistream(config, seed=42, observer=observer)
 
     streams = {
         site_id: EvolvingGaussianStream(
@@ -54,9 +104,29 @@ def main() -> None:
         for site_id in range(N_SITES)
     }
 
-    print(f"Feeding {RECORDS_PER_SITE} records to each of {N_SITES} sites...")
+    print(f"Feeding {args.records} records to each of {N_SITES} sites...")
     runtime = system.runtime(DirectChannel())
-    report = runtime.run(streams, max_records_per_site=RECORDS_PER_SITE)
+
+    server = None
+    if args.serve_telemetry is not None:
+        from repro.obs import TelemetryServer, system_snapshot
+
+        health.bind(
+            component_count=lambda: system.coordinator.n_components,
+            accounting=runtime.accounting,
+        )
+        server = TelemetryServer(
+            observer,
+            health=health,
+            spans=spans,
+            snapshot=lambda: system_snapshot(
+                system.sites, system.coordinator, runtime.accounting()
+            ),
+            port=args.serve_telemetry,
+        ).start()
+        print(f"telemetry: {server.url}", flush=True)
+
+    report = runtime.run(streams, max_records_per_site=args.records)
     accounting = report.accounting
     print(
         f"runtime: {report.records} records in {report.rounds} rounds, "
@@ -111,6 +181,26 @@ def main() -> None:
         f"(vs {bad:.2f} on shifted data)"
     )
     assert good > bad
+
+    if args.spans_out is not None:
+        from repro.obs import to_chrome_trace
+
+        payload = to_chrome_trace(spans.spans())
+        with open(args.spans_out, "w") as handle:
+            json.dump(payload, handle)
+        print(
+            f"\nwrote {len(payload['traceEvents'])} trace events "
+            f"({len(spans)} spans) to {args.spans_out}"
+        )
+    if server is not None:
+        if args.serve_seconds > 0.0:
+            print(
+                f"holding telemetry server for {args.serve_seconds:.0f}s "
+                f"at {server.url}",
+                flush=True,
+            )
+            time.sleep(args.serve_seconds)
+        server.close()
 
 
 if __name__ == "__main__":

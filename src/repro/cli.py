@@ -18,7 +18,11 @@ Three subcommands cover the common workflows without writing code:
   synopses to it over the fault-tolerant transport
   (:mod:`repro.transport`);
 * ``cludistream stats trace.jsonl`` -- summarise a structured trace
-  written by ``--trace-file`` into per-site and system-wide counts;
+  written by ``--trace-file`` into per-site and system-wide counts
+  (``--format json`` for the machine-readable twin);
+* ``cludistream monitor --url http://127.0.0.1:9464`` -- a refreshing
+  terminal dashboard polling a run started with ``--serve-telemetry``
+  (or ``--trace trace.jsonl`` to replay a recorded run);
 * ``cludistream bench --suite core --json BENCH_core.json`` -- run the
   :mod:`repro.bench` performance suite (seeded workloads, trimmed
   statistics) and optionally gate against a checked-in baseline with
@@ -126,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
         "seeded streams are replayed and already-consumed records "
         "skipped",
     )
+    _add_telemetry_flags(run)
 
     comm = sub.add_parser(
         "compare-comm",
@@ -183,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start from the coordinator checkpoint in --checkpoint-dir",
     )
+    _add_telemetry_flags(serve)
 
     site = sub.add_parser(
         "site",
@@ -221,9 +227,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("trace", help="path of the trace file")
     stats.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default=None,
+        help="output format (default: text)",
+    )
+    stats.add_argument(
         "--json",
         action="store_true",
-        help="emit the summary as JSON instead of text",
+        help="shorthand for --format json",
+    )
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="refreshing terminal dashboard for a live or recorded run",
+    )
+    monitor.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="telemetry server base URL (from --serve-telemetry)",
+    )
+    monitor.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="replay a JSONL trace file instead of polling a server",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default: 1.0)",
+    )
+    monitor.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: run until interrupted; "
+        "--trace defaults to a single render)",
+    )
+    monitor.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="do not clear the screen between refreshes",
     )
 
     bench = sub.add_parser(
@@ -283,11 +326,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_observer(args: argparse.Namespace):
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serve-telemetry",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live /metrics, /health, /snapshot and /spans over "
+        "HTTP on PORT while running (0 = ephemeral port, printed at "
+        "startup); watch it with 'cludistream monitor --url ...'",
+    )
+    parser.add_argument(
+        "--telemetry-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the telemetry server up this long after the run "
+        "finishes (for scrapes of the final state)",
+    )
+
+
+def _build_observer(args: argparse.Namespace, extra_sinks: Sequence = ()):
     """Observer from the global flags, or ``None`` when tracing is off.
 
     ``--trace-file`` installs a JSONL sink; ``--log-level debug``
     additionally mirrors every event to the ``repro.obs`` logger.
+    ``extra_sinks`` (e.g. a live :class:`~repro.obs.health.HealthMonitor`
+    or :class:`~repro.obs.spans.SpanCollector`) also force a live
+    observer.
     """
     from repro.obs import (
         JsonlTraceSink,
@@ -296,14 +362,26 @@ def _build_observer(args: argparse.Namespace):
         Observer,
     )
 
-    sinks = []
+    sinks: list = []
     if args.trace_file:
         sinks.append(JsonlTraceSink(args.trace_file))
     if args.log_level == "debug":
         sinks.append(LoggingTraceSink())
+    sinks.extend(extra_sinks)
     if not sinks:
         return None
     return Observer(sink=sinks[0] if len(sinks) == 1 else MultiSink(sinks))
+
+
+def _telemetry_setup(args: argparse.Namespace):
+    """Health/span sinks for ``--serve-telemetry``, or ``(None, ())``."""
+    if getattr(args, "serve_telemetry", None) is None:
+        return None, None, ()
+    from repro.obs import HealthMonitor, SpanCollector
+
+    health = HealthMonitor()
+    spans = SpanCollector()
+    return health, spans, (health, spans)
 
 
 def _cmd_chunk_size(args: argparse.Namespace) -> int:
@@ -368,7 +446,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    observer = _build_observer(args)
+    health, span_collector, extra_sinks = _telemetry_setup(args)
+    observer = _build_observer(args, extra_sinks)
     system = CluDistream(config, seed=args.seed, observer=observer)
     streams = _make_streams(args, dim)
     sites = system.sites
@@ -401,6 +480,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
         )
         resumed_at = 0
+    server = None
+    if health is not None:
+        from repro.obs import TelemetryServer, system_snapshot
+
+        health.bind(
+            component_count=lambda: coordinator.n_components,
+            accounting=runtime.accounting,
+        )
+        server = TelemetryServer(
+            observer,
+            health=health,
+            spans=span_collector,
+            snapshot=lambda: system_snapshot(
+                sites, coordinator, runtime.accounting()
+            ),
+            port=args.serve_telemetry,
+        ).start()
+        print(f"telemetry: {server.url}", flush=True)
     report = runtime.run(streams, max_records_per_site=args.records)
     if args.simulate:
         print(
@@ -432,6 +529,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mixture, key=lambda pair: pair[0], reverse=True
     ):
         print(f"  w={weight:.3f}  mean={np.round(component.mean, 2)}")
+    if server is not None:
+        if args.telemetry_hold > 0.0:
+            import time
+
+            print(
+                f"holding telemetry server for {args.telemetry_hold:.0f}s",
+                flush=True,
+            )
+            time.sleep(args.telemetry_hold)
+        server.close()
     if observer is not None:
         observer.close()
         if args.trace_file:
@@ -622,7 +729,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    observer = _build_observer(args)
+    health, span_collector, extra_sinks = _telemetry_setup(args)
+    observer = _build_observer(args, extra_sinks)
 
     async def _run() -> int:
         if args.resume:
@@ -642,6 +750,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 CoordinatorConfig(max_components=args.clusters),
                 observer=observer,
             )
+        telemetry = None
+        if health is not None:
+            from repro.obs import TelemetryServer, system_snapshot
+
+            health.bind(component_count=lambda: coordinator.n_components)
+            telemetry = TelemetryServer(
+                observer,
+                health=health,
+                spans=span_collector,
+                snapshot=lambda: system_snapshot([], coordinator),
+                port=args.serve_telemetry,
+            ).start()
+            print(f"telemetry: {telemetry.url}", flush=True)
         server = CoordinatorServer(
             coordinator,
             expected_sites=args.expected_sites,
@@ -653,6 +774,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         completed = await server.wait_done(timeout=args.timeout)
         stale = server.stale_sites()
         await server.close()
+        if telemetry is not None:
+            if args.telemetry_hold > 0.0:
+                await asyncio.sleep(args.telemetry_hold)
+            telemetry.close()
         if args.checkpoint_dir:
             from repro.io.checkpoint import save_coordinator
 
@@ -794,11 +919,11 @@ def _cmd_site(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    import dataclasses
     import json
 
     from repro.obs import format_summary, summarize_trace
 
+    output = args.format or ("json" if args.json else "text")
     try:
         summary = summarize_trace(args.trace)
     except FileNotFoundError:
@@ -807,16 +932,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"{args.trace}: {error}", file=sys.stderr)
         return 1
-    if args.json:
-        record = dataclasses.asdict(summary)
-        record["sites"] = {
-            str(site_id): dataclasses.asdict(site)
-            for site_id, site in summary.sites.items()
-        }
-        print(json.dumps(record, indent=2, sort_keys=True))
+    if output == "json":
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
     else:
         print(format_summary(summary), end="")
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import run_monitor
+
+    if (args.url is None) == (args.trace is None):
+        print(
+            "monitor: exactly one of --url or --trace is required",
+            file=sys.stderr,
+        )
+        return 2
+    return run_monitor(
+        url=args.url,
+        trace=args.trace,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -910,6 +1048,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "site": _cmd_site,
         "stats": _cmd_stats,
+        "monitor": _cmd_monitor,
         "bench": _cmd_bench,
     }
     try:

@@ -296,14 +296,24 @@ class Coordinator:
     def handle_message(self, message: Message) -> None:
         """Dispatch one incoming site message."""
         self.stats.register_message(message)
-        if isinstance(message, ModelUpdateMessage):
-            self._on_model_update(message)
-        elif isinstance(message, WeightUpdateMessage):
-            self._on_weight_update(message)
-        elif isinstance(message, DeletionMessage):
-            self._on_deletion(message)
-        else:
-            raise TypeError(f"unsupported message type {type(message).__name__}")
+        # The coord.update span adopts whatever remote parent the
+        # transport activated (the originating site's chunk-test span),
+        # and parents any merge/split spans the update triggers.
+        with self._obs.span(
+            "coord.update",
+            site=message.site_id,
+            kind=type(message).__name__,
+        ):
+            if isinstance(message, ModelUpdateMessage):
+                self._on_model_update(message)
+            elif isinstance(message, WeightUpdateMessage):
+                self._on_weight_update(message)
+            elif isinstance(message, DeletionMessage):
+                self._on_deletion(message)
+            else:
+                raise TypeError(
+                    f"unsupported message type {type(message).__name__}"
+                )
 
     def _on_model_update(self, message: ModelUpdateMessage) -> None:
         """Register a new site model and insert its component leaves."""
@@ -414,19 +424,25 @@ class Coordinator:
                 if np.isfinite(leaf.remerge_score) and score > (
                     1.0 / leaf.remerge_score
                 ):
-                    cluster.leaves.remove(leaf)
-                    split_leaves.append(leaf)
-                    self.stats.splits += 1
-                    if self._obs.enabled:
-                        self._obs.inc("coord.splits")
-                        self._obs.event(
-                            "coord.split",
-                            site=leaf.site_id,
-                            model=leaf.model_id,
-                            component=leaf.component_index,
-                            cluster=cluster.cluster_id,
-                            m_split=float(score),
-                        )
+                    with self._obs.span(
+                        "coord.split",
+                        site=leaf.site_id,
+                        model=leaf.model_id,
+                        cluster=cluster.cluster_id,
+                    ):
+                        cluster.leaves.remove(leaf)
+                        split_leaves.append(leaf)
+                        self.stats.splits += 1
+                        if self._obs.enabled:
+                            self._obs.inc("coord.splits")
+                            self._obs.event(
+                                "coord.split",
+                                site=leaf.site_id,
+                                model=leaf.model_id,
+                                component=leaf.component_index,
+                                cluster=cluster.cluster_id,
+                                m_split=float(score),
+                            )
             if cluster.leaves:
                 cluster.refresh_father()
             else:
@@ -580,38 +596,39 @@ class Coordinator:
 
     def _merge_clusters(self, id_a: int, id_b: int) -> None:
         """Merge two clusters; the father is fitted per §5.2.1."""
-        cluster_a = self._clusters.pop(id_a)
-        cluster_b = self._clusters.pop(id_b)
-        with self._obs.timer("profile.merge_fit"):
-            fit = fit_merged_component(
-                cluster_a.weight,
-                cluster_a.father,
-                cluster_b.weight,
-                cluster_b.father,
-                n_samples=self.config.merge_samples,
-                rng=self._rng,
-                method=self.config.merge_method,
-                observer=self._obs,
-            )
-        merged = GlobalCluster(cluster_id=next(self._cluster_ids))
-        merged.leaves = cluster_a.leaves + cluster_b.leaves
-        merged.father = fit.component
-        for leaf in merged.leaves:
-            distance = leaf.gaussian.symmetric_mahalanobis_sq(merged.father)
-            leaf.remerge_score = 1.0 / distance if distance > 0.0 else np.inf
-        self._clusters[merged.cluster_id] = merged
-        self.stats.merges += 1
-        if self._obs.enabled:
-            self._obs.inc("coord.merges")
-            self._obs.event(
-                "coord.merge",
-                a=id_a,
-                b=id_b,
-                merged=merged.cluster_id,
-                m_merge=float(m_merge(cluster_a.father, cluster_b.father)),
-                accuracy_loss=float(fit.loss),
-                leaves=len(merged.leaves),
-            )
+        with self._obs.span("coord.merge", a=id_a, b=id_b):
+            cluster_a = self._clusters.pop(id_a)
+            cluster_b = self._clusters.pop(id_b)
+            with self._obs.timer("profile.merge_fit"):
+                fit = fit_merged_component(
+                    cluster_a.weight,
+                    cluster_a.father,
+                    cluster_b.weight,
+                    cluster_b.father,
+                    n_samples=self.config.merge_samples,
+                    rng=self._rng,
+                    method=self.config.merge_method,
+                    observer=self._obs,
+                )
+            merged = GlobalCluster(cluster_id=next(self._cluster_ids))
+            merged.leaves = cluster_a.leaves + cluster_b.leaves
+            merged.father = fit.component
+            for leaf in merged.leaves:
+                distance = leaf.gaussian.symmetric_mahalanobis_sq(merged.father)
+                leaf.remerge_score = 1.0 / distance if distance > 0.0 else np.inf
+            self._clusters[merged.cluster_id] = merged
+            self.stats.merges += 1
+            if self._obs.enabled:
+                self._obs.inc("coord.merges")
+                self._obs.event(
+                    "coord.merge",
+                    a=id_a,
+                    b=id_b,
+                    merged=merged.cluster_id,
+                    m_merge=float(m_merge(cluster_a.father, cluster_b.father)),
+                    accuracy_loss=float(fit.loss),
+                    leaves=len(merged.leaves),
+                )
 
     def __repr__(self) -> str:
         return (

@@ -411,7 +411,16 @@ class RemoteSite:
             )
         self.stats.chunks_processed += 1
         self._obs.inc("site.chunks", site=self.site_id)
+        # The root span of this chunk's trace: everything downstream --
+        # the EM fit, the synopsis's transport delivery, the
+        # coordinator-side update/merge/split -- causally links back to
+        # it through propagated span contexts.
+        with self._obs.span(
+            "site.chunk_test", site=self.site_id, records=int(chunk.shape[0])
+        ):
+            return self._run_algorithm(chunk)
 
+    def _run_algorithm(self, chunk: np.ndarray) -> list[Message]:
         if self._current is None:
             return self._cluster_chunk(chunk, warm=None)
 
@@ -441,26 +450,29 @@ class RemoteSite:
         reference ``AvgPr_0`` / ``σ̂`` are estimated out of sample.
         """
         train, validation = self._split_reference(chunk)
-        if self.config.handle_missing and np.isnan(train).any():
-            from repro.core.missing import fit_em_missing
+        with self._obs.span(
+            "site.cluster", site=self.site_id, records=int(chunk.shape[0])
+        ):
+            if self.config.handle_missing and np.isnan(train).any():
+                from repro.core.missing import fit_em_missing
 
-            result = fit_em_missing(
-                train, self.config.em, self._rng, initial=warm
-            )
-        elif self.config.auto_k is not None:
-            from repro.core.selection import select_k
+                result = fit_em_missing(
+                    train, self.config.em, self._rng, initial=warm
+                )
+            elif self.config.auto_k is not None:
+                from repro.core.selection import select_k
 
-            result = select_k(
-                train, self.config.auto_k, self.config.em, self._rng
-            ).best
-        else:
-            result = fit_em(
-                train,
-                self.config.em,
-                self._rng,
-                initial=warm,
-                observer=self._obs,
-            )
+                result = select_k(
+                    train, self.config.auto_k, self.config.em, self._rng
+                ).best
+            else:
+                result = fit_em(
+                    train,
+                    self.config.em,
+                    self._rng,
+                    initial=warm,
+                    observer=self._obs,
+                )
         self.stats.n_clusterings += 1
         reference = average_log_likelihood(
             result.mixture, validation, self.config.variant

@@ -14,16 +14,33 @@ events observable without changing any of them:
   (optionally) through sites, coordinator, transport and simulation;
   :data:`NULL_OBSERVER` is the default and keeps all behaviour and
   output byte-identical to an uninstrumented run;
-* :mod:`repro.obs.export` -- Prometheus-style text dump and JSON
-  snapshot of a registry;
+* :mod:`repro.obs.spans` -- causal spans (trace/span/parent ids)
+  propagated across the site-to-coordinator boundary on every channel
+  backend, with Chrome trace-event / Perfetto export;
+* :mod:`repro.obs.export` -- Prometheus-style text dump (and parser)
+  plus JSON snapshot of a registry;
+* :mod:`repro.obs.health` -- live paper-grounded gauges (AvgPr margin,
+  component count, merge/split churn, bytes-per-record) folded from the
+  trace stream;
+* :mod:`repro.obs.server` -- a stdlib HTTP telemetry server exposing
+  ``/metrics``, ``/health``, ``/snapshot`` and ``/spans`` for a live
+  run;
+* :mod:`repro.obs.monitor` -- the ``repro monitor`` terminal dashboard
+  polling that server or replaying a trace file;
 * :mod:`repro.obs.stats` -- trace summarisation behind the
   ``cludistream stats`` subcommand.
 
-See DESIGN.md ("Observability") for the mapping from paper mechanism to
-trace event type.
+See DESIGN.md ("Observability" and "Live observability") for the
+mapping from paper mechanism to trace event and span.
 """
 
-from repro.obs.export import json_snapshot, to_json, to_prometheus
+from repro.obs.export import (
+    json_snapshot,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.health import HealthMonitor, SiteHealth, system_snapshot
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -32,7 +49,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
 )
+from repro.obs.monitor import render_dashboard, run_monitor
 from repro.obs.observer import NULL_OBSERVER, Observer, ensure_observer
+from repro.obs.server import TelemetryServer
+from repro.obs.spans import (
+    Span,
+    SpanCollector,
+    SpanContext,
+    SpanRecord,
+    spans_from_events,
+    to_chrome_trace,
+)
 from repro.obs.stats import (
     RunSummary,
     SiteSummary,
@@ -48,6 +75,7 @@ from repro.obs.trace import (
     RingBufferSink,
     TraceEvent,
     TraceSink,
+    TruncatedTraceWarning,
     read_trace,
 )
 
@@ -55,6 +83,7 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "JsonlTraceSink",
     "LoggingTraceSink",
@@ -66,15 +95,28 @@ __all__ = [
     "Observer",
     "RingBufferSink",
     "RunSummary",
+    "SiteHealth",
     "SiteSummary",
+    "Span",
+    "SpanCollector",
+    "SpanContext",
+    "SpanRecord",
+    "TelemetryServer",
     "TraceEvent",
     "TraceSink",
+    "TruncatedTraceWarning",
     "ensure_observer",
     "format_summary",
     "json_snapshot",
+    "parse_prometheus",
     "read_trace",
+    "render_dashboard",
+    "run_monitor",
+    "spans_from_events",
     "summarize_events",
     "summarize_trace",
+    "system_snapshot",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
 ]

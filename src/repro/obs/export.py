@@ -15,7 +15,7 @@ from typing import Mapping
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 
-__all__ = ["json_snapshot", "to_json", "to_prometheus"]
+__all__ = ["json_snapshot", "parse_prometheus", "to_json", "to_prometheus"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -28,12 +28,27 @@ def _prom_name(name: str) -> str:
     return sanitised
 
 
+def _escape_label_value(value: object) -> str:
+    """Escape a label value per the exposition format.
+
+    Backslash must go first (it is the escape character itself), then
+    the quote delimiter, then newlines -- a raw newline inside a label
+    value would otherwise tear the sample across two lines.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Mapping[str, str] | tuple) -> str:
     pairs = dict(labels)
     if not pairs:
         return ""
     inner = ",".join(
-        f'{_prom_name(k)}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        f'{_prom_name(k)}="{_escape_label_value(v)}"'
         for k, v in sorted(pairs.items())
     )
     return "{" + inner + "}"
@@ -86,6 +101,72 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             )
             lines.append(f"{prom}_count{_prom_labels(labels)} {metric.count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"'
+)
+_UNESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_label_value(value: str) -> str:
+    """Single-pass inverse of :func:`_escape_label_value`."""
+    return _UNESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # "NaN" parses natively
+
+
+def parse_prometheus(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Parse exposition text back into ``(name, labels, value)`` samples.
+
+    A strict-enough validator for round-trip tests and CI smoke checks:
+    unparsable sample lines, malformed label sets and non-numeric
+    values raise ``ValueError`` with the offending line number.  Not a
+    full scraper -- exactly the subset :func:`to_prometheus` emits.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample on line {number}: {line!r}")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for label in _LABEL_RE.finditer(raw_labels):
+                labels[label.group("key")] = _unescape_label_value(
+                    label.group("value")
+                )
+                consumed = label.end()
+            leftover = raw_labels[consumed:].strip(", ")
+            if leftover:
+                raise ValueError(
+                    f"malformed labels on line {number}: {leftover!r}"
+                )
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError as error:
+            raise ValueError(
+                f"non-numeric value on line {number}: {line!r}"
+            ) from error
+        samples.append((match.group("name"), labels, value))
+    return samples
 
 
 def json_snapshot(registry: MetricsRegistry) -> dict:

@@ -1,0 +1,354 @@
+"""Paper-grounded live health gauges derived from the trace stream.
+
+The trace layer records *what happened*; this module folds that stream
+into *how the system is doing right now*, in the paper's own terms:
+
+* per-site **AvgPr drift** -- the last fit-test ``J_fit`` against its
+  ``epsilon`` threshold (section 4.2); the margin ``threshold - j_fit``
+  going negative is exactly the signal that a site's distribution has
+  drifted away from its current model;
+* the **global component count** the coordinator maintains (section 6);
+* **merge/split churn** -- how often Algorithm 2 restructures the
+  global model, normalised per processed record;
+* **bytes per record** -- the section 6 communication-cost headline,
+  taken from any :class:`~repro.runtime.accounting.DeliveryAccounting`.
+
+:class:`HealthMonitor` is a :class:`~repro.obs.trace.TraceSink`, so it
+plugs into a live observer next to the JSONL file sink and stays current
+while a run is in flight -- the telemetry server's ``/health`` endpoint
+is a thin JSON rendering of :meth:`HealthMonitor.report`.  Quantities
+the trace does not carry (live component count, channel accounting) are
+attached with :meth:`HealthMonitor.bind` as zero-argument callables that
+are polled at report time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, TraceSink
+
+__all__ = ["HealthMonitor", "SiteHealth", "system_snapshot"]
+
+
+@dataclass
+class SiteHealth:
+    """Live per-site state folded from the site's trace events."""
+
+    site_id: int
+    #: Model the site currently clusters against (last seen).
+    model_id: int | None = None
+    #: Last fit-test ``J_fit`` (AvgPr difference) and its threshold.
+    last_j_fit: float | None = None
+    last_threshold: float | None = None
+    tests: int = 0
+    tests_passed: int = 0
+    clusterings: int = 0
+    reactivations: int = 0
+    archives: int = 0
+    #: Records the site has chunk-tested so far.
+    records: int = 0
+
+    @property
+    def margin(self) -> float | None:
+        """``threshold - j_fit`` of the last fit test.
+
+        Positive means the chunk still fits the current model; negative
+        is the drift signal that triggered (or is about to trigger)
+        re-clustering.
+        """
+        if self.last_j_fit is None or self.last_threshold is None:
+            return None
+        return self.last_threshold - self.last_j_fit
+
+    @property
+    def pass_rate(self) -> float | None:
+        return self.tests_passed / self.tests if self.tests else None
+
+    def as_dict(self) -> dict:
+        return {
+            "site": self.site_id,
+            "model": self.model_id,
+            "j_fit": self.last_j_fit,
+            "threshold": self.last_threshold,
+            "margin": self.margin,
+            "tests": self.tests,
+            "tests_passed": self.tests_passed,
+            "pass_rate": self.pass_rate,
+            "clusterings": self.clusterings,
+            "reactivations": self.reactivations,
+            "archives": self.archives,
+            "records": self.records,
+        }
+
+
+@dataclass
+class _GlobalHealth:
+    merges: int = 0
+    splits: int = 0
+    model_updates: int = 0
+    weight_updates: int = 0
+    deletions: int = 0
+    records: int = 0
+    events: int = 0
+    last_component_count: int | None = None
+
+
+class HealthMonitor(TraceSink):
+    """Fold trace events into live, paper-grounded health gauges.
+
+    Use it as an extra observer sink::
+
+        health = HealthMonitor()
+        observer = Observer(sinks=[JsonlTraceSink(path), health])
+        ...
+        health.report()        # JSON-safe dict, any time
+        health.publish(registry)  # push health.* gauges for /metrics
+
+    Thread-safe enough for its purpose: writes come from the run thread,
+    reads from the telemetry server thread; folding mutates plain ints
+    and floats, so a report taken mid-event is merely one event stale.
+    """
+
+    def __init__(self) -> None:
+        self._sites: dict[int, SiteHealth] = {}
+        self._global = _GlobalHealth()
+        #: Optional live probes attached with :meth:`bind`.
+        self._component_count: Callable[[], int] | None = None
+        self._accounting: Callable[[], object] | None = None
+
+    # ------------------------------------------------------------------
+    # Live probes
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        component_count: Callable[[], int] | None = None,
+        accounting: Callable[[], object] | None = None,
+    ) -> "HealthMonitor":
+        """Attach live probes polled at report time.
+
+        Parameters
+        ----------
+        component_count:
+            Zero-argument callable returning the coordinator's current
+            global component count (``lambda: coordinator.n_components``).
+        accounting:
+            Zero-argument callable returning the channel's current
+            :class:`~repro.runtime.accounting.DeliveryAccounting`
+            (``runtime.accounting``) -- used for bytes-per-record.
+
+        Returns ``self`` so binding chains off the constructor.
+        """
+        if component_count is not None:
+            self._component_count = component_count
+        if accounting is not None:
+            self._accounting = accounting
+        return self
+
+    # ------------------------------------------------------------------
+    # TraceSink interface
+    # ------------------------------------------------------------------
+    def write(self, event: TraceEvent) -> None:
+        fields = event.fields
+        type_ = event.type
+        self._global.events += 1
+        if type_ == "site.chunk_test":
+            site = self._site(int(fields["site"]))
+            site.tests += 1
+            if fields.get("passed"):
+                site.tests_passed += 1
+            site.model_id = fields.get("model", site.model_id)
+            j_fit = fields.get("j_fit")
+            threshold = fields.get("threshold")
+            if j_fit is not None:
+                site.last_j_fit = float(j_fit)
+            if threshold is not None:
+                site.last_threshold = float(threshold)
+            chunk = int(fields.get("chunk", 0))
+            site.records += chunk
+            self._global.records += chunk
+        elif type_ == "site.cluster":
+            site = self._site(int(fields["site"]))
+            # A site's very first chunk is clustered without a fit test
+            # (Algorithm 1); count its records here.  Every later
+            # clustering re-uses a chunk already counted by the failed
+            # chunk test that triggered it.
+            if not site.tests and not site.clusterings:
+                records = int(fields.get("records", 0))
+                site.records += records
+                self._global.records += records
+            site.clusterings += 1
+            site.model_id = fields.get("model", site.model_id)
+        elif type_ == "site.reactivate":
+            site = self._site(int(fields["site"]))
+            site.reactivations += 1
+            site.model_id = fields.get("model", site.model_id)
+        elif type_ == "site.archive":
+            self._site(int(fields["site"])).archives += 1
+        elif type_ == "coord.merge":
+            self._global.merges += 1
+        elif type_ == "coord.split":
+            self._global.splits += 1
+        elif type_ == "coord.model_update":
+            self._global.model_updates += 1
+        elif type_ == "coord.weight_update":
+            self._global.weight_updates += 1
+        elif type_ == "coord.deletion":
+            self._global.deletions += 1
+
+    def _site(self, site_id: int) -> SiteHealth:
+        if site_id not in self._sites:
+            self._sites[site_id] = SiteHealth(site_id=site_id)
+        return self._sites[site_id]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def churn_rate(self) -> float:
+        """Merge + split decisions per processed record."""
+        if not self._global.records:
+            return 0.0
+        return (self._global.merges + self._global.splits) / self._global.records
+
+    def component_count(self) -> int | None:
+        """Current global component count (live probe, else last known)."""
+        if self._component_count is not None:
+            return int(self._component_count())
+        return self._global.last_component_count
+
+    def bytes_per_record(self) -> float | None:
+        """Section 6 communication cost: payload bytes per record."""
+        if self._accounting is None or not self._global.records:
+            return None
+        accounting = self._accounting()
+        payload = getattr(accounting, "payload_bytes", None)
+        if payload is None:
+            return None
+        return payload / self._global.records
+
+    def report(self) -> dict:
+        """JSON-safe snapshot of every gauge, for ``/health``."""
+        accounting = self._accounting() if self._accounting is not None else None
+        out: dict = {
+            "status": "ok",
+            "events": self._global.events,
+            "records": self._global.records,
+            "sites": [
+                self._sites[site_id].as_dict()
+                for site_id in sorted(self._sites)
+            ],
+            "coordinator": {
+                "components": self.component_count(),
+                "merges": self._global.merges,
+                "splits": self._global.splits,
+                "model_updates": self._global.model_updates,
+                "weight_updates": self._global.weight_updates,
+                "deletions": self._global.deletions,
+                "churn_rate": self.churn_rate,
+            },
+        }
+        if accounting is not None:
+            out["accounting"] = {
+                "attempted": getattr(accounting, "attempted", 0),
+                "payload_bytes": getattr(accounting, "payload_bytes", 0),
+                "wire_bytes": getattr(accounting, "wire_bytes", 0),
+                "bytes_per_record": self.bytes_per_record(),
+            }
+        drifting = [
+            site.site_id
+            for site in self._sites.values()
+            if site.margin is not None and site.margin < 0.0
+        ]
+        if drifting:
+            out["status"] = "drifting"
+            out["drifting_sites"] = drifting
+        return out
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Push every gauge into ``registry`` under ``health.*`` names.
+
+        Called by the telemetry server right before rendering
+        ``/metrics``, so Prometheus scrapes always see current values.
+        """
+        for site in self._sites.values():
+            labels = {"site": site.site_id}
+            if site.margin is not None:
+                registry.gauge("health.site_margin", **labels).set(site.margin)
+            if site.last_j_fit is not None:
+                registry.gauge("health.site_j_fit", **labels).set(site.last_j_fit)
+            if site.pass_rate is not None:
+                registry.gauge("health.site_pass_rate", **labels).set(
+                    site.pass_rate
+                )
+            registry.gauge("health.site_records", **labels).set(site.records)
+        components = self.component_count()
+        if components is not None:
+            registry.gauge("health.components").set(components)
+        registry.gauge("health.merges").set(self._global.merges)
+        registry.gauge("health.splits").set(self._global.splits)
+        registry.gauge("health.churn_rate").set(self.churn_rate)
+        bpr = self.bytes_per_record()
+        if bpr is not None:
+            registry.gauge("health.bytes_per_record").set(bpr)
+
+
+def system_snapshot(
+    sites: Sequence[object],
+    coordinator: object,
+    accounting: object | None = None,
+    event_tail: int = 5,
+) -> dict:
+    """Introspect live site/coordinator objects into a JSON-safe dict.
+
+    Backs the telemetry server's ``/snapshot`` endpoint: per-site
+    current model id, archived model ids, stream position and the tail
+    of the section 5.1 event table, plus the coordinator's cluster
+    structure and (optionally) the channel's delivery accounting.
+    """
+    out: dict = {"sites": [], "coordinator": {}}
+    for site in sites:
+        current = getattr(site, "current_model", None)
+        events = getattr(site, "events", None)
+        tail = []
+        if events is not None:
+            records = list(getattr(events, "records", ()))
+            tail = [
+                {"start": r.start, "end": r.end, "model": r.model_id}
+                for r in records[-event_tail:]
+            ]
+        out["sites"].append(
+            {
+                "site": getattr(site, "site_id", None),
+                "position": getattr(site, "position", None),
+                "current_model": (
+                    current.model_id if current is not None else None
+                ),
+                "models": [
+                    entry.model_id
+                    for entry in getattr(site, "all_models", ())
+                ],
+                "event_table_tail": tail,
+                "event_count": len(events) if events is not None else 0,
+            }
+        )
+    out["coordinator"] = {
+        "components": getattr(coordinator, "n_components", None),
+        "clusters": len(getattr(coordinator, "clusters", ())),
+        "site_models": len(getattr(coordinator, "site_models", {})),
+    }
+    if accounting is not None:
+        as_dict = getattr(accounting, "as_dict", None)
+        if callable(as_dict):
+            out["accounting"] = as_dict()
+        else:
+            out["accounting"] = {
+                "attempted": getattr(accounting, "attempted", 0),
+                "payload_bytes": getattr(accounting, "payload_bytes", 0),
+                "wire_bytes": getattr(accounting, "wire_bytes", 0),
+                "dropped": getattr(accounting, "dropped", 0),
+                "duplicated": getattr(accounting, "duplicated", 0),
+            }
+    return out

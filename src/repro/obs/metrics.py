@@ -128,17 +128,39 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket bounds (upper-bound biased)."""
+        """Estimate the ``q``-quantile by interpolating within buckets.
+
+        The target rank ``q * count`` is located in the cumulative
+        bucket counts and the value is interpolated linearly between
+        the bucket's lower and upper edges (clamped to the tracked
+        min/max, which also makes ``q=0``/``q=1`` exact).  The error is
+        therefore bounded by the width of the bucket containing the
+        true quantile -- the standard ``histogram_quantile`` estimate.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must lie in [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
         target = q * self.count
         cumulative = 0
-        for index, bound in enumerate(self.buckets):
-            cumulative += self.bucket_counts[index]
-            if cumulative >= target:
-                return bound
+        bounds = self.buckets
+        for index, in_bucket in enumerate(self.bucket_counts):
+            if not in_bucket:
+                continue
+            if cumulative + in_bucket >= target:
+                upper = bounds[index] if index < len(bounds) else self.maximum
+                lower = bounds[index - 1] if index else self.minimum
+                lower = max(lower, self.minimum)
+                upper = min(upper, self.maximum)
+                if upper <= lower:
+                    return upper
+                fraction = (target - cumulative) / in_bucket
+                return lower + fraction * (upper - lower)
+            cumulative += in_bucket
         return self.maximum
 
 

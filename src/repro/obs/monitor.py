@@ -1,0 +1,272 @@
+"""``repro monitor``: a refreshing terminal dashboard for a live run.
+
+Two data paths feed the same renderer:
+
+* **server mode** (``--url``) polls a running
+  :class:`~repro.obs.server.TelemetryServer` -- ``/health`` for the
+  paper-grounded gauges, ``/metrics`` for the latency histograms -- over
+  ``urllib`` (no third-party HTTP client);
+* **trace mode** (``--trace``) tails a JSONL trace file, folding the
+  events through a local :class:`~repro.obs.health.HealthMonitor`, so a
+  finished (or crashed) run can be replayed into the exact same tiles.
+
+:func:`render_dashboard` is a pure function from the collected state to
+the dashboard string; the tests drive it directly, the CLI wraps it in
+the poll-clear-print loop of :func:`run_monitor`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import IO, Sequence
+
+from repro.obs.export import parse_prometheus
+from repro.obs.health import HealthMonitor
+from repro.obs.metrics import Histogram
+from repro.obs.trace import read_trace
+
+__all__ = [
+    "histogram_from_samples",
+    "render_dashboard",
+    "run_monitor",
+]
+
+#: ``profile.*`` histograms worth a latency tile, in display order.
+_LATENCY_TILES = (
+    ("profile_em_fit", "EM fit"),
+    ("profile_serde_encode", "encode"),
+    ("profile_serde_decode", "decode"),
+    ("profile_checkpoint", "checkpoint"),
+)
+
+
+def histogram_from_samples(
+    samples: Sequence[tuple[str, dict[str, str], float]],
+    name: str,
+) -> Histogram | None:
+    """Rebuild a :class:`Histogram` from parsed ``/metrics`` samples.
+
+    Prometheus exposition carries cumulative bucket counts plus sum and
+    count but not min/max, so the rebuilt histogram approximates the
+    tails: the minimum is taken as 0 and the maximum as the upper bound
+    of the last occupied finite bucket.  Quantile estimates from it are
+    therefore bucket-resolution approximations -- exactly what a
+    dashboard tile needs.
+    """
+    bounds: list[float] = []
+    cumulative: list[float] = []
+    total = 0.0
+    count = 0
+    seen = False
+    for sample_name, labels, value in samples:
+        if sample_name == f"{name}_bucket":
+            seen = True
+            le = labels.get("le", "+Inf")
+            bound = math.inf if le == "+Inf" else float(le)
+            bounds.append(bound)
+            cumulative.append(value)
+        elif sample_name == f"{name}_sum":
+            total = value
+        elif sample_name == f"{name}_count":
+            count = int(value)
+    if not seen or not count:
+        return None
+    order = sorted(range(len(bounds)), key=lambda i: bounds[i])
+    bounds = [bounds[i] for i in order]
+    cumulative = [cumulative[i] for i in order]
+    finite = [b for b in bounds if math.isfinite(b)]
+    if not finite:
+        return None
+    histogram = Histogram(buckets=tuple(finite))
+    previous = 0.0
+    counts = []
+    for value in cumulative:
+        counts.append(int(value - previous))
+        previous = value
+    while len(counts) < len(finite) + 1:
+        counts.append(0)
+    histogram.bucket_counts = counts[: len(finite) + 1]
+    histogram.count = count
+    histogram.total = total
+    histogram.minimum = 0.0
+    maximum = finite[-1]
+    for bound, bucket_count in zip(finite, histogram.bucket_counts):
+        if bucket_count:
+            maximum = bound
+    histogram.maximum = maximum
+    return histogram
+
+
+def _format_seconds(value: float | None) -> str:
+    if value is None:
+        return "    n/a"
+    if value < 1e-3:
+        return f"{value * 1e6:6.1f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:6.2f}ms"
+    return f"{value:6.3f}s "
+
+
+def render_dashboard(
+    health: dict,
+    samples: Sequence[tuple[str, dict[str, str], float]] | None = None,
+    source: str = "",
+) -> str:
+    """Render the collected state as a fixed-width terminal dashboard."""
+    lines: list[str] = []
+    status = health.get("status", "unknown")
+    marker = "●" if status == "ok" else "◌"
+    lines.append(
+        f"{marker} cludistream monitor  status={status}  "
+        f"records={health.get('records', 0)}  "
+        f"events={health.get('events', 0)}"
+        + (f"  [{source}]" if source else "")
+    )
+    coordinator = health.get("coordinator", {})
+    lines.append(
+        "  coordinator: "
+        f"components={coordinator.get('components')}  "
+        f"merges={coordinator.get('merges', 0)}  "
+        f"splits={coordinator.get('splits', 0)}  "
+        f"churn={coordinator.get('churn_rate', 0.0):.5f}/rec"
+    )
+    accounting = health.get("accounting")
+    if accounting:
+        bpr = accounting.get("bytes_per_record")
+        bpr_text = f"{bpr:.1f}" if bpr is not None else "n/a"
+        lines.append(
+            "  channel:     "
+            f"attempted={accounting.get('attempted', 0)}  "
+            f"payload={accounting.get('payload_bytes', 0)}B  "
+            f"wire={accounting.get('wire_bytes', 0)}B  "
+            f"bytes/record={bpr_text}"
+        )
+    sites = health.get("sites", [])
+    if sites:
+        lines.append("")
+        lines.append(
+            f"  {'site':>4}  {'model':>5}  {'J_fit':>9}  {'eps':>9}  "
+            f"{'margin':>9}  {'pass':>6}  {'records':>8}"
+        )
+        for site in sites:
+            j_fit = site.get("j_fit")
+            threshold = site.get("threshold")
+            margin = site.get("margin")
+            rate = site.get("pass_rate")
+            drift = " DRIFT" if margin is not None and margin < 0 else ""
+            j_text = f"{j_fit:9.4f}" if j_fit is not None else f"{'n/a':>9}"
+            e_text = (
+                f"{threshold:9.4f}" if threshold is not None else f"{'n/a':>9}"
+            )
+            m_text = f"{margin:+9.4f}" if margin is not None else f"{'n/a':>9}"
+            r_text = f"{rate * 100.0:5.1f}%" if rate is not None else f"{'n/a':>6}"
+            lines.append(
+                f"  {site.get('site'):>4}  {str(site.get('model')):>5}  "
+                f"{j_text}  {e_text}  {m_text}  {r_text}  "
+                f"{site.get('records', 0):>8}{drift}"
+            )
+    if samples:
+        tiles = []
+        for prom_name, label in _LATENCY_TILES:
+            histogram = histogram_from_samples(samples, prom_name)
+            if histogram is None:
+                continue
+            tiles.append(
+                f"  {label:<11} "
+                f"p50={_format_seconds(histogram.quantile(0.5))} "
+                f"p90={_format_seconds(histogram.quantile(0.9))} "
+                f"p99={_format_seconds(histogram.quantile(0.99))} "
+                f"n={histogram.count}"
+            )
+        if tiles:
+            lines.append("")
+            lines.append("  latency (bucket-interpolated):")
+            lines.extend(tiles)
+    return "\n".join(lines) + "\n"
+
+
+def _fetch(url: str, timeout: float = 5.0) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read()
+
+
+def _collect_from_server(
+    url: str,
+) -> tuple[dict, list[tuple[str, dict[str, str], float]]]:
+    base = url.rstrip("/")
+    health = json.loads(_fetch(f"{base}/health"))
+    try:
+        samples = parse_prometheus(_fetch(f"{base}/metrics").decode("utf-8"))
+    except (urllib.error.URLError, ValueError):
+        samples = []
+    return health, samples
+
+
+def _collect_from_trace(path: str) -> tuple[dict, list]:
+    monitor = HealthMonitor()
+    for event in read_trace(path):
+        monitor.write(event)
+    return monitor.report(), []
+
+
+def run_monitor(
+    url: str | None = None,
+    trace: str | None = None,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    clear: bool = True,
+    out: IO[str] | None = None,
+) -> int:
+    """The poll-render-print loop behind ``repro monitor``.
+
+    Parameters
+    ----------
+    url / trace:
+        Exactly one data source: a telemetry server base URL or a JSONL
+        trace file path.
+    interval:
+        Seconds between refreshes.
+    iterations:
+        Number of refreshes (``None`` = run until interrupted; trace
+        mode defaults to a single render).
+    clear:
+        Emit an ANSI clear-screen before each refresh.
+    out:
+        Output stream (stdout by default; tests pass a ``StringIO``).
+
+    Returns a process exit code.
+    """
+    if (url is None) == (trace is None):
+        raise ValueError("exactly one of url or trace is required")
+    stream = out if out is not None else sys.stdout
+    if trace is not None and iterations is None:
+        iterations = 1
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            if url is not None:
+                try:
+                    health, samples = _collect_from_server(url)
+                    source = url
+                except (urllib.error.URLError, OSError, ValueError) as error:
+                    stream.write(f"monitor: cannot reach {url}: {error}\n")
+                    return 1
+            else:
+                assert trace is not None
+                health, samples = _collect_from_trace(trace)
+                source = trace
+            if clear:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(render_dashboard(health, samples, source=source))
+            stream.flush()
+            count += 1
+            if iterations is None or count < iterations:
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -28,6 +28,7 @@ import time
 from typing import Callable
 
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.spans import NULL_SCOPE, Span, SpanContext, SpanTracer
 from repro.obs.trace import NULL_SINK, RingBufferSink, TraceEvent, TraceSink
 
 __all__ = ["NULL_OBSERVER", "Observer", "ensure_observer"]
@@ -83,6 +84,11 @@ class Observer:
         Zero-argument callable stamping trace events.  Defaults to
         ``time.perf_counter``; pass a manual clock's ``lambda:
         clock.now`` (or a constant) for deterministic traces.
+    span_origin:
+        Id-space prefix for span ids (see
+        :class:`~repro.obs.spans.SpanTracer`).  Give each process of a
+        multi-process run a distinct origin so span ids never collide
+        inside one trace; in-process runs can leave the default.
     """
 
     enabled: bool = True
@@ -92,11 +98,15 @@ class Observer:
         registry: MetricsRegistry | None = None,
         sink: TraceSink | None = None,
         time_source: Callable[[], float] | None = None,
+        span_origin: int = 0,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sink = sink if sink is not None else RingBufferSink()
         self._time = time_source if time_source is not None else time.perf_counter
         self._seq = 0
+        self.tracer = SpanTracer(
+            emit=self._emit_span, time_source=self._time, origin=span_origin
+        )
 
     # ------------------------------------------------------------------
     # Tracing
@@ -107,6 +117,62 @@ class Observer:
         self.sink.write(
             TraceEvent(seq=self._seq, time=self._time(), type=type_, fields=fields)
         )
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: object):
+        """Open one causal span: ``with observer.span("site.chunk_test"): ...``.
+
+        The span joins the active stack (nested spans become children,
+        :meth:`span_context` returns its context for propagation) and is
+        emitted as a single ``span`` trace event when the block exits.
+        """
+        return self.tracer.scope(name, attributes)
+
+    def span_context(self) -> SpanContext | None:
+        """Context of the innermost active span -- what crosses the wire."""
+        return self.tracer.current_context()
+
+    def span_event(self, name: str, **attributes: object) -> None:
+        """Attach a point event to the innermost active span (if any)."""
+        self.tracer.add_event(name, attributes)
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanContext | None = None,
+        **attributes: object,
+    ) -> Span | None:
+        """Start a detached span that outlives the current call frame.
+
+        Finish it explicitly with :meth:`finish_span`; used by the ARQ
+        sender to track a payload's delivery lifetime across
+        retransmissions.
+        """
+        return self.tracer.start_detached(name, parent, attributes)
+
+    def finish_span(self, span: Span | None, status: str = "ok") -> None:
+        """Finish (and emit) a span from :meth:`start_span`."""
+        if span is not None:
+            self.tracer.finish(span, status)
+
+    def span_event_on(self, span: Span | None, name: str, **attributes: object) -> None:
+        """Attach a point event to a specific detached span."""
+        if span is not None:
+            self.tracer.event_on(span, name, attributes)
+
+    def remote_parent(self, context: SpanContext | None):
+        """Adopt a remote span context as the parent of nested spans.
+
+        ``with observer.remote_parent(ctx): ...`` makes every span
+        opened inside a child of ``ctx`` -- the receive half of
+        cross-process context propagation.  ``None`` is a no-op scope.
+        """
+        return self.tracer.remote_scope(context)
+
+    def _emit_span(self, span: Span) -> None:
+        self.event("span", **span.to_fields())
 
     # ------------------------------------------------------------------
     # Metrics
@@ -160,6 +226,32 @@ class NullObserver(Observer):
 
     def event(self, type_: str, **fields: object) -> None:  # noqa: ARG002
         pass
+
+    def span(self, name: str, **attributes: object):  # noqa: ARG002
+        return NULL_SCOPE
+
+    def span_context(self) -> SpanContext | None:
+        return None
+
+    def span_event(self, name: str, **attributes: object) -> None:  # noqa: ARG002
+        pass
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanContext | None = None,  # noqa: ARG002
+        **attributes: object,  # noqa: ARG002
+    ) -> Span | None:
+        return None
+
+    def finish_span(self, span: Span | None, status: str = "ok") -> None:  # noqa: ARG002
+        pass
+
+    def span_event_on(self, span: Span | None, name: str, **attributes: object) -> None:  # noqa: ARG002
+        pass
+
+    def remote_parent(self, context: SpanContext | None):  # noqa: ARG002
+        return NULL_SCOPE
 
     def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:  # noqa: ARG002
         pass

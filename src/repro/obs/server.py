@@ -1,0 +1,182 @@
+"""Zero-dependency live telemetry server over the observability layer.
+
+A :class:`TelemetryServer` wraps one :class:`~repro.obs.observer.Observer`
+(plus optional :class:`~repro.obs.health.HealthMonitor`,
+:class:`~repro.obs.spans.SpanCollector` and snapshot provider) in a
+stdlib :class:`http.server.ThreadingHTTPServer` running on a daemon
+thread, so a live run can be inspected while it streams:
+
+``/metrics``
+    Prometheus text exposition of the observer's metrics registry (via
+    :func:`repro.obs.export.to_prometheus`); health gauges are published
+    into the registry right before rendering, so scrapes are current.
+``/health``
+    JSON from :meth:`HealthMonitor.report` -- per-site AvgPr margin,
+    global component count, merge/split churn, bytes-per-record.
+``/snapshot``
+    JSON from the snapshot provider (typically
+    ``lambda: system_snapshot(sites, coordinator, accounting())``) --
+    per-site current model, event-table tail, delivery accounting.
+``/spans``
+    Chrome trace-event JSON of the collected spans (load in Perfetto or
+    ``chrome://tracing``), via :func:`repro.obs.spans.to_chrome_trace`.
+
+Everything is standard library; there is nothing to install on the
+scrape side either -- ``curl`` and a browser suffice.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs.export import to_prometheus
+from repro.obs.health import HealthMonitor
+from repro.obs.observer import Observer
+from repro.obs.spans import SpanCollector, to_chrome_trace
+
+__all__ = ["TelemetryServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a :class:`TelemetryServer` via the server."""
+
+    #: Quiet by default: per-request logging would interleave with the
+    #: run's own output.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802  (http.server API)
+        telemetry: "TelemetryServer" = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path in ("/", "/metrics"):
+                body = telemetry.render_metrics().encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/health":
+                body = _json_bytes(telemetry.render_health())
+                content_type = "application/json"
+            elif path == "/snapshot":
+                body = _json_bytes(telemetry.render_snapshot())
+                content_type = "application/json"
+            elif path == "/spans":
+                body = _json_bytes(telemetry.render_spans())
+                content_type = "application/json"
+            else:
+                self.send_error(404, "unknown endpoint")
+                return
+        except Exception as exc:  # surface handler bugs to the client
+            self.send_error(500, f"{type(exc).__name__}: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def _json_bytes(payload: object) -> bytes:
+    return json.dumps(payload, indent=2, default=str).encode("utf-8")
+
+
+class TelemetryServer:
+    """Serve live metrics, health, snapshots and spans over HTTP.
+
+    Parameters
+    ----------
+    observer:
+        The observer whose metrics registry backs ``/metrics``.
+    health:
+        Optional :class:`HealthMonitor`; without it ``/health`` reports
+        a minimal liveness payload.
+    spans:
+        Optional :class:`SpanCollector`; without it ``/spans`` serves an
+        empty Chrome trace.
+    snapshot:
+        Optional zero-argument callable returning the JSON-safe system
+        snapshot served at ``/snapshot``.
+    host / port:
+        Bind address.  ``port=0`` (the default) picks a free ephemeral
+        port; read it back from :attr:`port` / :attr:`url`.
+    """
+
+    def __init__(
+        self,
+        observer: Observer,
+        health: HealthMonitor | None = None,
+        spans: SpanCollector | None = None,
+        snapshot: Callable[[], dict] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.observer = observer
+        self.health = health
+        self.spans = spans
+        self.snapshot = snapshot
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.telemetry = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Start serving on a daemon thread; returns ``self``."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"telemetry:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the server and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Renderers (shared with tests; no HTTP required)
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        if self.health is not None:
+            self.health.publish(self.observer.registry)
+        return to_prometheus(self.observer.registry)
+
+    def render_health(self) -> dict:
+        if self.health is None:
+            return {"status": "ok", "detail": "no health monitor attached"}
+        return self.health.report()
+
+    def render_snapshot(self) -> dict:
+        if self.snapshot is None:
+            return {"detail": "no snapshot provider attached"}
+        return self.snapshot()
+
+    def render_spans(self) -> dict:
+        if self.spans is None:
+            return {"traceEvents": []}
+        return to_chrome_trace(self.spans.spans())

@@ -1,0 +1,519 @@
+"""Causal spans: Dapper-style tracing for a distributed clustering run.
+
+A *span* is one timed operation -- a site's chunk test, an EM fit, the
+coordinator applying a synopsis, a merge or a split -- identified by a
+``(trace_id, span_id)`` pair and causally linked to its parent through
+``parent_id``.  The trace id is minted by the root span (in CluDistream
+that is almost always a site-side chunk-test span) and *propagated*
+with every synopsis the site emits: in process via the observer's
+active-span stack, across the discrete-event network via captured
+contexts, and across real transports inside the TPT1 envelope header
+(see :mod:`repro.transport.framing`), so a coordinator-side
+merge/split/update span on another machine still carries the trace id
+of the chunk test that caused it.
+
+Spans ride the existing trace stream: a finished span is emitted as one
+``span`` :class:`~repro.obs.trace.TraceEvent`, which keeps every sink,
+``repro stats`` and the byte-identical determinism guarantees working
+unchanged.  Span ids are deterministic (a per-tracer counter under a
+configurable origin prefix), so two seeded runs emit byte-identical
+span streams.
+
+The consumer half: :func:`spans_from_events` parses span events back
+into :class:`SpanRecord` objects and :func:`to_chrome_trace` exports
+them in the Chrome trace-event format (Perfetto / ``chrome://tracing``
+compatible), with per-process track names and flow arrows for
+cross-process parent links.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from collections import deque
+
+from repro.obs.trace import TraceEvent, TraceSink
+
+__all__ = [
+    "SPAN_CONTEXT_BYTES",
+    "Span",
+    "SpanCollector",
+    "SpanContext",
+    "SpanRecord",
+    "SpanTracer",
+    "decode_span_context",
+    "encode_span_context",
+    "spans_from_events",
+    "to_chrome_trace",
+]
+
+_CONTEXT = struct.Struct("<QQ")
+
+#: Wire size of one encoded span context (trace id + span id).
+SPAN_CONTEXT_BYTES = _CONTEXT.size
+
+#: Bits reserved for the per-tracer span counter; the origin prefix
+#: occupies the bits above, so two processes with distinct origins can
+#: never mint the same span id.
+_COUNTER_BITS = 40
+_COUNTER_MASK = (1 << _COUNTER_BITS) - 1
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of a span: ``(trace_id, span_id)``.
+
+    Both ids are unsigned 64-bit integers; the context is what crosses
+    process boundaries (16 bytes in a TPT1 envelope header extension).
+    """
+
+    trace_id: int
+    span_id: int
+
+    def __post_init__(self) -> None:
+        for name in ("trace_id", "span_id"):
+            value = getattr(self, name)
+            if not 0 <= value < 2**64:
+                raise ValueError(f"{name} must fit an unsigned 64-bit integer")
+
+
+def encode_span_context(context: SpanContext) -> bytes:
+    """Serialise a context to its fixed 16-byte wire form."""
+    return _CONTEXT.pack(context.trace_id, context.span_id)
+
+
+def decode_span_context(data: bytes) -> SpanContext:
+    """Inverse of :func:`encode_span_context`."""
+    if len(data) != SPAN_CONTEXT_BYTES:
+        raise ValueError(
+            f"span context must be exactly {SPAN_CONTEXT_BYTES} bytes, "
+            f"got {len(data)}"
+        )
+    trace_id, span_id = _CONTEXT.unpack(data)
+    return SpanContext(trace_id=trace_id, span_id=span_id)
+
+
+def _hex(value: int) -> str:
+    return format(value, "016x")
+
+
+class Span:
+    """One live (not yet emitted) span.
+
+    Mutable while open: :meth:`add_event` appends timestamped span
+    events (ARQ retransmissions, checkpoint flushes); the tracer stamps
+    ``end``/``status`` and emits the span when it finishes.
+    """
+
+    __slots__ = (
+        "name",
+        "context",
+        "parent_id",
+        "start",
+        "end",
+        "status",
+        "attributes",
+        "events",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent_id: int | None,
+        start: float,
+        attributes: dict,
+    ) -> None:
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.start = start
+        self.end = start
+        self.status = "ok"
+        self.attributes = attributes
+        self.events: list[dict] = []
+
+    def add_event(self, name: str, time: float, attributes: Mapping | None = None) -> None:
+        """Append one timestamped point event to this span."""
+        record: dict = {"name": name, "t": time}
+        if attributes:
+            record.update(attributes)
+        self.events.append(record)
+
+    def to_fields(self) -> dict:
+        """The JSON-safe payload of the ``span`` trace event."""
+        fields: dict = {
+            "name": self.name,
+            "trace": _hex(self.context.trace_id),
+            "span": _hex(self.context.span_id),
+            "parent": _hex(self.parent_id) if self.parent_id is not None else None,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attributes:
+            fields["attrs"] = self.attributes
+        if self.events:
+            fields["events"] = self.events
+        return fields
+
+
+class _SpanScope:
+    """Context manager activating one span on the tracer stack."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._push(self._name, self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        assert self.span is not None
+        self._tracer._pop(self.span, "error" if exc_type is not None else "ok")
+
+
+class _RemoteScope:
+    """Context manager activating a remote parent context."""
+
+    __slots__ = ("_tracer", "_context")
+
+    def __init__(self, tracer: "SpanTracer", context: SpanContext) -> None:
+        self._tracer = tracer
+        self._context = context
+
+    def __enter__(self) -> SpanContext:
+        self._tracer._stack.append(self._context)
+        return self._context
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._stack.pop()
+
+
+class _NullScope:
+    """Shared no-op scope (disabled tracer, absent remote context)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_SCOPE = _NullScope()
+
+
+class SpanTracer:
+    """Deterministic span factory with an active-span stack.
+
+    Parameters
+    ----------
+    emit:
+        Callback receiving each finished :class:`Span` (the observer
+        turns it into a ``span`` trace event).
+    time_source:
+        Zero-argument callable stamping span start/end/event times --
+        the observer's time source, so deterministic tests stay
+        deterministic.
+    origin:
+        Id-space prefix (24 bits): span ids are
+        ``(origin << 40) | counter``.  Give each process of a
+        multi-process deployment a distinct origin (the CLI uses
+        ``site_id + 1`` for sites, 0 for the coordinator) so span ids
+        never collide across processes inside one trace.
+    """
+
+    def __init__(
+        self,
+        emit: Callable[[Span], None],
+        time_source: Callable[[], float],
+        origin: int = 0,
+    ) -> None:
+        if origin < 0:
+            raise ValueError("origin must be non-negative")
+        self._emit = emit
+        self._time = time_source
+        self._origin_prefix = (origin & 0xFFFFFF) << _COUNTER_BITS
+        self._counter = 0
+        #: Active entries: open Spans and remote SpanContext sentinels.
+        self._stack: list[object] = []
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def _next_id(self) -> int:
+        self._counter += 1
+        return self._origin_prefix | (self._counter & _COUNTER_MASK)
+
+    def current_context(self) -> SpanContext | None:
+        """Context of the innermost active span (or remote parent)."""
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        if isinstance(top, Span):
+            return top.context
+        assert isinstance(top, SpanContext)
+        return top
+
+    # ------------------------------------------------------------------
+    # Scopes
+    # ------------------------------------------------------------------
+    def scope(self, name: str, attributes: dict) -> _SpanScope:
+        """``with tracer.scope(...)``: start, activate, finish, emit."""
+        return _SpanScope(self, name, attributes)
+
+    def remote_scope(self, context: SpanContext | None):
+        """Activate a remote parent: spans inside become its children."""
+        if context is None:
+            return NULL_SCOPE
+        return _RemoteScope(self, context)
+
+    def _push(self, name: str, attributes: dict) -> Span:
+        span = self._start(name, self.current_context(), attributes)
+        self._stack.append(span)
+        return span
+
+    def _pop(self, span: Span, status: str) -> None:
+        top = self._stack.pop()
+        assert top is span, "span scopes must unwind in LIFO order"
+        self.finish(span, status)
+
+    # ------------------------------------------------------------------
+    # Detached spans (long-lived, e.g. ARQ delivery tracking)
+    # ------------------------------------------------------------------
+    def start_detached(
+        self,
+        name: str,
+        parent: SpanContext | None = None,
+        attributes: dict | None = None,
+    ) -> Span:
+        """Start a span that does NOT join the active stack.
+
+        Used for operations that outlive the current call frame (a
+        payload's delivery lifetime in the ARQ outbox); finish it
+        explicitly with :meth:`finish`.
+        """
+        if parent is None:
+            parent = self.current_context()
+        return self._start(name, parent, attributes or {})
+
+    def _start(
+        self, name: str, parent: SpanContext | None, attributes: dict
+    ) -> Span:
+        span_id = self._next_id()
+        trace_id = parent.trace_id if parent is not None else span_id
+        return Span(
+            name=name,
+            context=SpanContext(trace_id=trace_id, span_id=span_id),
+            parent_id=parent.span_id if parent is not None else None,
+            start=self._time(),
+            attributes=attributes,
+        )
+
+    def finish(self, span: Span, status: str = "ok") -> None:
+        """Stamp the end time and emit the span."""
+        span.end = self._time()
+        span.status = status
+        self._emit(span)
+
+    def add_event(self, name: str, attributes: dict | None = None) -> None:
+        """Attach a point event to the innermost active *span* (if any)."""
+        for entry in reversed(self._stack):
+            if isinstance(entry, Span):
+                entry.add_event(name, self._time(), attributes)
+                return
+
+    def event_on(self, span: Span, name: str, attributes: dict | None = None) -> None:
+        """Attach a timestamped point event to a specific (detached) span."""
+        span.add_event(name, self._time(), attributes)
+
+
+# ----------------------------------------------------------------------
+# Consumer half: parsing and export
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanRecord:
+    """One parsed span (the read-side twin of :class:`Span`)."""
+
+    name: str
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float
+    status: str = "ok"
+    attributes: Mapping[str, object] = field(default_factory=dict)
+    events: tuple = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @staticmethod
+    def from_event(event: TraceEvent) -> "SpanRecord":
+        """Parse one ``span`` trace event."""
+        if event.type != "span":
+            raise ValueError(f"not a span event: {event.type!r}")
+        fields = event.fields
+        parent = fields.get("parent")
+        return SpanRecord(
+            name=str(fields["name"]),
+            trace_id=int(str(fields["trace"]), 16),
+            span_id=int(str(fields["span"]), 16),
+            parent_id=int(str(parent), 16) if parent is not None else None,
+            start=float(fields["start"]),
+            end=float(fields["end"]),
+            status=str(fields.get("status", "ok")),
+            attributes=dict(fields.get("attrs", {})),
+            events=tuple(fields.get("events", ())),
+        )
+
+
+def spans_from_events(events: Iterable[TraceEvent]) -> list[SpanRecord]:
+    """Extract and parse every ``span`` event from a trace stream."""
+    return [
+        SpanRecord.from_event(event) for event in events if event.type == "span"
+    ]
+
+
+class SpanCollector(TraceSink):
+    """Bounded in-memory store of span events for live serving.
+
+    Wire it into an observer (alone or through a
+    :class:`~repro.obs.trace.MultiSink`) and the telemetry server's
+    ``/spans`` endpoint exports whatever has been collected so far.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def write(self, event: TraceEvent) -> None:
+        if event.type == "span":
+            self._events.append(event)
+
+    def spans(self) -> list[SpanRecord]:
+        """Parsed snapshot of the collected spans."""
+        return spans_from_events(tuple(self._events))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def _process_of(span: SpanRecord) -> tuple[int, str]:
+    """Map a span to a (pid, process name) pair for the timeline.
+
+    Coordinator-side spans group under one "coordinator" process, site
+    and transport spans under their site's process, everything else
+    (runtime lifecycle) under a "runtime" driver process.
+    """
+    if span.name.startswith("coord."):
+        return 0, "coordinator"
+    site = span.attributes.get("site")
+    if site is not None:
+        return int(site) + 1, f"site-{site}"
+    return 1_000, "runtime"
+
+
+def to_chrome_trace(spans: Iterable[SpanRecord]) -> dict:
+    """Export spans as a Chrome trace-event / Perfetto JSON object.
+
+    Each span becomes one complete (``"ph": "X"``) event whose ``args``
+    carry the raw trace/span/parent ids; cross-process parent links are
+    additionally materialised as flow arrows (``"ph": "s"``/``"f"``) so
+    Perfetto draws the causal edge from a site's chunk-test span to the
+    coordinator work it triggered.  Timestamps are microseconds, as the
+    format requires.
+    """
+    spans = list(spans)
+    by_id = {span.span_id: span for span in spans}
+    events: list[dict] = []
+    processes: dict[int, str] = {}
+    for span in spans:
+        pid, process_name = _process_of(span)
+        processes.setdefault(pid, process_name)
+        args: dict = {
+            "trace": _hex(span.trace_id),
+            "span": _hex(span.span_id),
+            "status": span.status,
+        }
+        if span.parent_id is not None:
+            args["parent"] = _hex(span.parent_id)
+        args.update(
+            {k: v for k, v in span.attributes.items() if k not in args}
+        )
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(span.end - span.start, 0.0) * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+        for point in span.events:
+            events.append(
+                {
+                    "name": f"{span.name}/{point.get('name', 'event')}",
+                    "ph": "i",
+                    "ts": float(point.get("t", span.start)) * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                    "s": "t",
+                    "args": {
+                        k: v for k, v in point.items() if k not in ("name", "t")
+                    },
+                }
+            )
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        if parent is not None and _process_of(parent)[0] != pid:
+            flow_id = span.span_id & 0xFFFFFFFF
+            parent_pid, parent_name = _process_of(parent)
+            processes.setdefault(parent_pid, parent_name)
+            events.append(
+                {
+                    "name": "causal-link",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": parent.start * 1e6,
+                    "pid": parent_pid,
+                    "tid": 1,
+                }
+            )
+            events.append(
+                {
+                    "name": "causal-link",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": span.start * 1e6,
+                    "pid": pid,
+                    "tid": 1,
+                }
+            )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": name},
+        }
+        for pid, name in sorted(processes.items())
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}

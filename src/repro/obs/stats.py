@@ -15,10 +15,11 @@ state the live objects report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import IO, Iterable
 
+from repro.obs.metrics import Histogram
 from repro.obs.trace import TraceEvent, read_trace
 
 __all__ = [
@@ -28,6 +29,12 @@ __all__ = [
     "summarize_events",
     "summarize_trace",
 ]
+
+
+#: Duration buckets for span histograms: 10µs .. 10s, log-spaced.
+_SPAN_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
 
 
 @dataclass
@@ -83,11 +90,20 @@ class RunSummary:
     runtime_records: int = 0
     runtime_checkpoints: int = 0
     runtime_resumes: int = 0
+    # Spans (causal tracing)
+    span_count: int = 0
+    #: Per-span-name duration histograms (seconds).
+    span_durations: dict[str, Histogram] = field(default_factory=dict)
 
     def site(self, site_id: int) -> SiteSummary:
         if site_id not in self.sites:
             self.sites[site_id] = SiteSummary()
         return self.sites[site_id]
+
+    def span_histogram(self, name: str) -> Histogram:
+        if name not in self.span_durations:
+            self.span_durations[name] = Histogram(_SPAN_BUCKETS)
+        return self.span_durations[name]
 
     @property
     def total_archives(self) -> int:
@@ -96,6 +112,24 @@ class RunSummary:
     @property
     def total_chunk_tests(self) -> int:
         return sum(s.chunk_tests for s in self.sites.values())
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering, backing ``repro stats --format json``."""
+        out = asdict(self)
+        out["sites"] = {
+            str(site_id): asdict(site) for site_id, site in self.sites.items()
+        }
+        out["span_durations"] = {
+            name: {
+                "count": histogram.count,
+                "sum": histogram.total,
+                "p50": histogram.quantile(0.5),
+                "p90": histogram.quantile(0.9),
+                "p99": histogram.quantile(0.99),
+            }
+            for name, histogram in sorted(self.span_durations.items())
+        }
+        return out
 
 
 def summarize_events(events: Iterable[TraceEvent]) -> RunSummary:
@@ -161,6 +195,14 @@ def summarize_events(events: Iterable[TraceEvent]) -> RunSummary:
             summary.runtime_checkpoints += 1
         elif type_ == "runtime.resume":
             summary.runtime_resumes += 1
+        elif type_ == "span":
+            summary.span_count += 1
+            start = fields.get("start")
+            end = fields.get("end")
+            if start is not None and end is not None:
+                summary.span_histogram(str(fields.get("name", "?"))).observe(
+                    max(float(end) - float(start), 0.0)
+                )
     return summary
 
 
@@ -237,4 +279,19 @@ def format_summary(summary: RunSummary) -> str:
             f"checkpoints={summary.runtime_checkpoints} "
             f"resumes={summary.runtime_resumes}"
         )
+    if summary.span_durations:
+        lines.append("")
+        lines.append(f"spans: {summary.span_count}")
+        lines.append(
+            f"  {'name':<22}  {'count':>6}  {'p50':>10}  {'p90':>10}  "
+            f"{'p99':>10}"
+        )
+        for name in sorted(summary.span_durations):
+            histogram = summary.span_durations[name]
+            lines.append(
+                f"  {name:<22}  {histogram.count:>6}  "
+                f"{histogram.quantile(0.5):>10.6f}  "
+                f"{histogram.quantile(0.9):>10.6f}  "
+                f"{histogram.quantile(0.99):>10.6f}"
+            )
     return "\n".join(lines) + "\n"

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import logging
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +35,7 @@ __all__ = [
     "RingBufferSink",
     "TraceEvent",
     "TraceSink",
+    "TruncatedTraceWarning",
     "read_trace",
 ]
 
@@ -194,8 +196,12 @@ class MultiSink(TraceSink):
 def read_trace(source: str | Path | IO[str]) -> Iterator[TraceEvent]:
     """Parse a JSONL trace back into :class:`TraceEvent` records.
 
-    Blank lines are skipped; malformed lines raise ``ValueError`` with
-    the offending line number so a truncated tail is easy to locate.
+    Blank lines are skipped.  A malformed *final* line -- the signature
+    of a writer killed mid-record -- is skipped with a
+    :class:`TruncatedTraceWarning` so a crashed run's trace stays
+    readable; a malformed line followed by further records still raises
+    ``ValueError`` (that is corruption, not truncation) with the
+    offending line number.
     """
     if isinstance(source, (str, Path)):
         with Path(source).open("r", encoding="utf-8") as stream:
@@ -204,12 +210,31 @@ def read_trace(source: str | Path | IO[str]) -> Iterator[TraceEvent]:
         yield from _read_stream(source)
 
 
+class TruncatedTraceWarning(UserWarning):
+    """A trace file ended with a torn (partially written) line."""
+
+
 def _read_stream(stream: IO[str]) -> Iterator[TraceEvent]:
+    pending_error: tuple[int, str, Exception] | None = None
     for number, line in enumerate(stream, start=1):
         line = line.strip()
         if not line:
             continue
+        if pending_error is not None:
+            bad_number, _, error = pending_error
+            raise ValueError(
+                f"malformed trace line {bad_number}: {error}"
+            ) from error
         try:
             yield TraceEvent.from_json(line)
-        except (json.JSONDecodeError, KeyError) as error:
-            raise ValueError(f"malformed trace line {number}: {error}") from error
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            # Hold the error: only fatal if more content follows.
+            pending_error = (number, line, error)
+    if pending_error is not None:
+        bad_number, bad_line, _ = pending_error
+        warnings.warn(
+            f"skipping torn trailing trace line {bad_number} "
+            f"({bad_line[:60]!r}...): writer likely crashed mid-record",
+            TruncatedTraceWarning,
+            stacklevel=3,
+        )

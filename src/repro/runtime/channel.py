@@ -114,9 +114,12 @@ class DirectChannel(Channel):
         self._accounting = DeliveryAccounting()
         self._injector: MessageFaultInjector | None = None
         self._deliver = None
+        self._obs = ensure_observer(None)
+        self._sites: list[RemoteSite] = []
 
     def open(self, sites, coordinator, observer=None):
         observer = ensure_observer(observer)
+        self._obs = observer
 
         def deliver(message: Message) -> None:
             self._accounting.delivered += 1
@@ -128,17 +131,24 @@ class DirectChannel(Channel):
                 self._faults, deliver, self._accounting, observer=observer
             )
             self._deliver = self._injector.offer
+        # Delivery happens at emission time, while the site's chunk-test
+        # span is still active -- which is exactly what makes
+        # coordinator-side spans children of the originating site span
+        # on the synchronous backend.
+        self._sites = list(sites)
+        for site in sites:
+            site._emit = self._on_emit
+
+    def _on_emit(self, message: Message) -> None:
+        accounting = self._accounting
+        payload = message.payload_bytes()
+        accounting.attempted += 1
+        accounting.payload_bytes += payload
+        accounting.wire_bytes += payload
+        self._deliver(message)
 
     def submit(self, site, record):
-        messages = site.process_record(record)
-        accounting = self._accounting
-        for message in messages:
-            payload = message.payload_bytes()
-            accounting.attempted += 1
-            accounting.payload_bytes += payload
-            accounting.wire_bytes += payload
-            self._deliver(message)
-        return messages
+        return site.process_record(record)
 
     def quiesce(self):
         if self._injector is not None:
@@ -146,6 +156,10 @@ class DirectChannel(Channel):
 
     def finish(self):
         self.quiesce()
+
+    def close(self):
+        for site in self._sites:
+            site._emit = None
 
     def accounting(self):
         return replace(self._accounting)
@@ -222,6 +236,7 @@ class SimulatedChannel(Channel):
             latency=self._latency,
             bandwidth=self._bandwidth,
             sample_interval=self._sample_interval,
+            observer=observer,
         )
         self._sites = list(sites)
         self._counts = {site.site_id: 0 for site in sites}

@@ -107,7 +107,10 @@ class MessageFaultInjector:
         self._accounting = accounting
         self._obs = ensure_observer(observer)
         self._rng = np.random.default_rng(config.seed)
-        self._held: Message | None = None
+        #: Held-back message plus the span context active when it was
+        #: offered, so its eventual delivery re-joins the originating
+        #: trace instead of whichever message released it.
+        self._held: tuple[Message, object | None] | None = None
 
     def offer(self, message: Message) -> None:
         """Apply the fault model to one message on its way down."""
@@ -143,7 +146,7 @@ class MessageFaultInjector:
             if obs.enabled:
                 obs.inc("fault.reorders", direction="message")
                 obs.event("fault.reorder", direction="message")
-            self._held = message
+            self._held = (message, obs.span_context())
             for _ in range(copies - 1):
                 self._deliver(message)
             return
@@ -151,10 +154,15 @@ class MessageFaultInjector:
         for _ in range(copies):
             self._deliver(message)
         if held is not None:
-            self._deliver(held)
+            self._deliver_held(held)
 
     def flush(self) -> None:
         """Release any held-back message (end of run)."""
         held, self._held = self._held, None
         if held is not None:
-            self._deliver(held)
+            self._deliver_held(held)
+
+    def _deliver_held(self, held: tuple[Message, object | None]) -> None:
+        message, context = held
+        with self._obs.remote_parent(context):
+            self._deliver(message)

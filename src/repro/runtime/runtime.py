@@ -198,6 +198,10 @@ class Runtime:
         last_checkpoint_round = -1
         delivered = 0
         stopped = False
+        # Detached on purpose: the run span brackets the whole loop in
+        # the timeline without becoming the parent of per-chunk spans,
+        # so every site chunk-test span stays the root of its own trace.
+        run_span = obs.start_span("runtime.run", channel=self.channel.name)
         try:
             for site_id, iterator in iterators.items():
                 for _ in range(min(self._round, max_records_per_site)):
@@ -231,6 +235,10 @@ class Runtime:
             self.channel.close()
             self._opened = False
         if obs.enabled:
+            obs.span_event_on(
+                run_span, "finished", records=delivered, rounds=self._round
+            )
+            obs.finish_span(run_span, "stopped" if stopped else "ok")
             obs.inc("runtime.records", delivered)
             obs.event(
                 "runtime.run",
@@ -275,6 +283,9 @@ class Runtime:
         if target is None:
             raise ValueError("no checkpoint directory configured")
         obs = self.observer
+        # Detached for the same reason as the run span: checkpoints
+        # must not adopt (or be adopted by) per-chunk traces.
+        span = obs.start_span("runtime.checkpoint", round=self._round)
         with obs.timer("profile.checkpoint"):
             target.mkdir(parents=True, exist_ok=True)
             if self._opened:
@@ -289,6 +300,7 @@ class Runtime:
                 "site_ids": [site.site_id for site in self.sites],
             }
             (target / MANIFEST_NAME).write_text(json.dumps(manifest))
+        obs.finish_span(span)
         if obs.enabled:
             obs.inc("runtime.checkpoints")
             obs.event(

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.protocol import Message
+from repro.obs.observer import Observer, ensure_observer
 from repro.runtime.accounting import DeliveryAccounting
 from repro.simulation.collector import TimeSeriesCollector
 from repro.simulation.engine import SimulationEngine
@@ -93,6 +94,7 @@ class NetworkChannel:
         drop_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         rng: np.random.Generator | None = None,
+        observer: Observer | None = None,
     ) -> None:
         if latency < 0.0:
             raise ValueError("latency must be non-negative")
@@ -110,6 +112,7 @@ class NetworkChannel:
         self.duplicate_rate = duplicate_rate
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._collector = collector
+        self._obs = ensure_observer(observer)
         self.stats = ChannelStats()
         #: Time the link becomes free; serialises transmissions.
         self._busy_until = 0.0
@@ -133,19 +136,30 @@ class NetworkChannel:
         self.stats.wire_bytes += payload
         if self._collector is not None:
             self._collector.add(now, payload)
+        # Capture the sender's span context now (the site's chunk-test
+        # span is active during send) and re-activate it at delivery
+        # time, when the event fires outside that span's lifetime.
+        trace = self._obs.span_context()
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.stats.dropped += 1
             return arrival
-        self._engine.schedule_at(arrival, lambda: self._deliver(message))
+        self._engine.schedule_at(
+            arrival, lambda: self._deliver_traced(message, trace)
+        )
         if (
             self.duplicate_rate > 0.0
             and self._rng.random() < self.duplicate_rate
         ):
             self.stats.duplicated += 1
             self._engine.schedule_at(
-                arrival + self.latency, lambda: self._deliver(message)
+                arrival + self.latency,
+                lambda: self._deliver_traced(message, trace),
             )
         return arrival
+
+    def _deliver_traced(self, message: Message, trace) -> None:
+        with self._obs.remote_parent(trace):
+            self._deliver(message)
 
 
 class StarNetwork:
@@ -174,6 +188,7 @@ class StarNetwork:
         drop_rate: float = 0.0,
         duplicate_rate: float = 0.0,
         seed: int = 0,
+        observer: Observer | None = None,
     ) -> None:
         self._engine = engine
         self._deliver = deliver
@@ -182,6 +197,7 @@ class StarNetwork:
         self._drop_rate = drop_rate
         self._duplicate_rate = duplicate_rate
         self._seed = seed
+        self._obs = ensure_observer(observer)
         self.cost = TimeSeriesCollector(interval=sample_interval)
         self._channels: dict[int, NetworkChannel] = {}
         self._finalized_at: float | None = None
@@ -198,6 +214,7 @@ class StarNetwork:
                 drop_rate=self._drop_rate,
                 duplicate_rate=self._duplicate_rate,
                 rng=np.random.default_rng(self._seed + 90_000 + site_id),
+                observer=self._obs,
             )
         return self._channels[site_id]
 

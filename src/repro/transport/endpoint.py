@@ -109,7 +109,9 @@ class SiteEndpoint(TransportEndpoint):
             )
         with self._obs.timer("profile.serde_encode"):
             payload = encode_message(message)
-        self.sender.send_payload(payload)
+        # Propagate the active span context (the chunk-test/EM span that
+        # produced this synopsis) inside the envelope header.
+        self.sender.send_payload(payload, trace=self._obs.span_context())
 
     def outstanding(self) -> int:
         """Messages sent but not yet acknowledged."""
@@ -157,7 +159,7 @@ class CoordinatorEndpoint:
         self._clock = clock
         self._obs = ensure_observer(observer)
         self.receiver = ReliableReceiver(
-            deliver=self._deliver,
+            deliver_traced=self._deliver,
             send_ack=transport.send_to_site,
             clock=clock,
             config=config,
@@ -167,10 +169,14 @@ class CoordinatorEndpoint:
         #: Sites evicted by :meth:`evict_stale` (they may come back).
         self.evicted: set[int] = set()
 
-    def _deliver(self, site_id: int, payload: bytes) -> None:
+    def _deliver(self, site_id: int, payload: bytes, trace=None) -> None:
         with self._obs.timer("profile.serde_decode"):
             message = decode_message(payload)
-        self.coordinator.handle_message(message)
+        # Adopt the propagated context so coordinator-side spans
+        # (coord.update / coord.merge / coord.split) causally link back
+        # to the originating site's chunk-test span.
+        with self._obs.remote_parent(trace):
+            self.coordinator.handle_message(message)
         # A site that talks again after an eviction is alive after all.
         self.evicted.discard(site_id)
 

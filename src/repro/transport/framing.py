@@ -10,15 +10,22 @@ Layout (little endian)::
 
     magic    4  b"TPT1"
     kind     1  DATA / ACK / HEARTBEAT / DONE
-    flags    1  reserved (0)
+    flags    1  bit 0 (FLAG_TRACE): a 16-byte span context follows the
+                header; remaining bits reserved (0)
     site_id  4  int32
     seq      8  uint64 -- DATA: message seq; ACK: cumulative ack;
                 HEARTBEAT/DONE: highest seq assigned so far
     length   4  uint32 payload length (0 for control kinds)
+    [trace  16  optional span context (trace id + span id, uint64 LE
+                each) when FLAG_TRACE is set -- Dapper-style context
+                propagation; see :mod:`repro.obs.spans`]
 
-Control envelopes (ACK, HEARTBEAT, DONE) never carry a payload.
-:class:`StreamDecoder` incrementally re-frames envelopes out of an
-arbitrary chunking of the byte stream.
+Control envelopes (ACK, HEARTBEAT, DONE) never carry a payload.  The
+trace extension is only ever attached to DATA envelopes and only when
+an enabled observer has an active span, so runs with observability off
+(the :data:`~repro.obs.NULL_OBSERVER` default) stay byte-identical to
+the pre-extension wire format.  :class:`StreamDecoder` incrementally
+re-frames envelopes out of an arbitrary chunking of the byte stream.
 """
 
 from __future__ import annotations
@@ -26,9 +33,17 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro.obs.spans import (
+    SPAN_CONTEXT_BYTES,
+    SpanContext,
+    decode_span_context,
+    encode_span_context,
+)
+
 __all__ = [
     "ENVELOPE_BYTES",
     "Envelope",
+    "FLAG_TRACE",
     "KIND_ACK",
     "KIND_DATA",
     "KIND_DONE",
@@ -47,6 +62,9 @@ KIND_DONE = 4
 
 _KINDS = (KIND_DATA, KIND_ACK, KIND_HEARTBEAT, KIND_DONE)
 
+#: Flags bit 0: a 16-byte span context follows the fixed header.
+FLAG_TRACE = 0x01
+
 _ENVELOPE = struct.Struct("<4sBBiQI")
 ENVELOPE_BYTES = _ENVELOPE.size
 
@@ -57,36 +75,49 @@ MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
 
 @dataclass(frozen=True)
 class Envelope:
-    """One transport datagram."""
+    """One transport datagram.
+
+    ``trace`` is the optional propagated span context of the operation
+    that produced the payload (the site-side chunk-test span); it rides
+    the wire behind :data:`FLAG_TRACE` and never changes the format of
+    trace-free envelopes.
+    """
 
     kind: int
     site_id: int
     seq: int
     payload: bytes = b""
+    trace: SpanContext | None = None
 
     def wire_bytes(self) -> int:
         """Size of this envelope on the wire."""
-        return ENVELOPE_BYTES + len(self.payload)
+        extra = SPAN_CONTEXT_BYTES if self.trace is not None else 0
+        return ENVELOPE_BYTES + extra + len(self.payload)
 
 
 def encode_envelope(envelope: Envelope) -> bytes:
-    """Serialise an envelope (header + payload)."""
+    """Serialise an envelope (header [+ trace context] + payload)."""
     if envelope.kind not in _KINDS:
         raise ValueError(f"unknown envelope kind {envelope.kind}")
     if envelope.kind != KIND_DATA and envelope.payload:
         raise ValueError("control envelopes cannot carry a payload")
+    if envelope.kind != KIND_DATA and envelope.trace is not None:
+        raise ValueError("control envelopes cannot carry a trace context")
     if envelope.seq < 0:
         raise ValueError("sequence numbers are non-negative")
     if not -(2**31) <= envelope.site_id < 2**31:
         raise ValueError("site_id does not fit the wire format")
+    flags = FLAG_TRACE if envelope.trace is not None else 0
     header = _ENVELOPE.pack(
         ENVELOPE_MAGIC,
         envelope.kind,
-        0,
+        flags,
         envelope.site_id,
         envelope.seq,
         len(envelope.payload),
     )
+    if envelope.trace is not None:
+        return header + encode_span_context(envelope.trace) + envelope.payload
     return header + envelope.payload
 
 
@@ -94,17 +125,28 @@ def decode_envelope(data: bytes) -> Envelope:
     """Inverse of :func:`encode_envelope` for one whole datagram."""
     if len(data) < ENVELOPE_BYTES:
         raise ValueError("datagram shorter than the envelope header")
-    magic, kind, _flags, site_id, seq, length = _ENVELOPE.unpack_from(data)
+    magic, kind, flags, site_id, seq, length = _ENVELOPE.unpack_from(data)
     if magic != ENVELOPE_MAGIC:
         raise ValueError(f"bad magic {magic!r}; not a TPT1 envelope")
     if kind not in _KINDS:
         raise ValueError(f"unknown envelope kind {kind}")
-    if len(data) != ENVELOPE_BYTES + length:
+    if flags & ~FLAG_TRACE:
+        raise ValueError(f"unknown envelope flags 0x{flags:02x}")
+    offset = ENVELOPE_BYTES
+    trace: SpanContext | None = None
+    if flags & FLAG_TRACE:
+        if len(data) < offset + SPAN_CONTEXT_BYTES:
+            raise ValueError("datagram shorter than its declared trace context")
+        trace = decode_span_context(data[offset : offset + SPAN_CONTEXT_BYTES])
+        offset += SPAN_CONTEXT_BYTES
+    if len(data) != offset + length:
         raise ValueError(
             f"datagram length {len(data)} does not match the declared "
             f"payload length {length}"
         )
-    return Envelope(kind=kind, site_id=site_id, seq=seq, payload=data[ENVELOPE_BYTES:])
+    return Envelope(
+        kind=kind, site_id=site_id, seq=seq, payload=data[offset:], trace=trace
+    )
 
 
 @dataclass
@@ -123,14 +165,15 @@ class StreamDecoder:
         self._buffer.extend(data)
         envelopes: list[Envelope] = []
         while len(self._buffer) >= ENVELOPE_BYTES:
-            magic, kind, _flags, _site, _seq, length = _ENVELOPE.unpack_from(
+            magic, kind, flags, _site, _seq, length = _ENVELOPE.unpack_from(
                 self._buffer
             )
             if magic != ENVELOPE_MAGIC:
                 raise ValueError(f"bad magic {magic!r} on the stream")
             if length > MAX_PAYLOAD_BYTES:
                 raise ValueError(f"declared payload of {length} bytes is absurd")
-            total = ENVELOPE_BYTES + length
+            extra = SPAN_CONTEXT_BYTES if flags & FLAG_TRACE else 0
+            total = ENVELOPE_BYTES + extra + length
             if len(self._buffer) < total:
                 break
             frame = bytes(self._buffer[:total])

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.transport.clock import Clock, TimerHandle
 from repro.obs.observer import Observer, ensure_observer
+from repro.obs.spans import Span, SpanContext
 from repro.transport.framing import (
     KIND_ACK,
     KIND_DATA,
@@ -129,6 +130,10 @@ class _OutboxEntry:
     frame: bytes
     attempts: int = 1
     timer: TimerHandle | None = None
+    #: Detached ``transport.delivery`` span covering this payload's
+    #: whole ARQ lifetime (send .. ack/expiry); retransmissions land on
+    #: it as span events.  ``None`` when observability is off.
+    span: Span | None = None
 
 
 class ReliableSender:
@@ -191,14 +196,27 @@ class ReliableSender:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send_payload(self, payload: bytes) -> int:
-        """Enqueue one application payload; returns its sequence number."""
+    def send_payload(self, payload: bytes, trace: SpanContext | None = None) -> int:
+        """Enqueue one application payload; returns its sequence number.
+
+        ``trace`` is the span context of the operation that produced
+        the payload (e.g. the site's chunk-test span); it is embedded
+        in the envelope header so the receiving side can causally link
+        its work back, and it parents the per-payload
+        ``transport.delivery`` span tracking the ARQ lifetime.
+        """
         if self._closed:
             raise RuntimeError("sender is closed")
         seq = self._next_seq
         self._next_seq += 1
         frame = encode_envelope(
-            Envelope(kind=KIND_DATA, site_id=self.site_id, seq=seq, payload=payload)
+            Envelope(
+                kind=KIND_DATA,
+                site_id=self.site_id,
+                seq=seq,
+                payload=payload,
+                trace=trace,
+            )
         )
         entry = _OutboxEntry(frame=frame)
         self._outbox[seq] = entry
@@ -206,6 +224,13 @@ class ReliableSender:
         self.stats.payload_bytes += len(payload)
         obs = self._obs
         if obs.enabled:
+            entry.span = obs.start_span(
+                "transport.delivery",
+                parent=trace,
+                site=self.site_id,
+                seq=seq,
+                payload_bytes=len(payload),
+            )
             obs.inc("transport.sends", site=self.site_id)
             obs.gauge_max(
                 "transport.outbox_depth", len(self._outbox), site=self.site_id
@@ -246,6 +271,9 @@ class ReliableSender:
             if entry.timer is not None:
                 entry.timer.cancel()
             self.stats.acked += 1
+            if entry.span is not None:
+                self._obs.span_event_on(entry.span, "acked", ack_seq=envelope.seq)
+                self._obs.finish_span(entry.span, "ok")
 
     # ------------------------------------------------------------------
     # Internals
@@ -267,6 +295,7 @@ class ReliableSender:
                     seq=seq,
                     attempts=entry.attempts,
                 )
+                obs.finish_span(entry.span, "expired")
             return
         entry.attempts += 1
         self.stats.retransmissions += 1
@@ -278,6 +307,7 @@ class ReliableSender:
                 seq=seq,
                 attempt=entry.attempts,
             )
+            obs.span_event_on(entry.span, "retransmit", attempt=entry.attempts)
         self._put_on_wire(entry.frame)
         entry.timer = self._clock.call_later(
             self._timeout_for(entry.attempts), lambda: self._retransmit(seq)
@@ -330,6 +360,9 @@ class ReliableSender:
         for entry in self._outbox.values():
             if entry.timer is not None:
                 entry.timer.cancel()
+            if entry.span is not None:
+                self._obs.finish_span(entry.span, "aborted")
+                entry.span = None
 
 
 # ----------------------------------------------------------------------
@@ -356,7 +389,9 @@ class ReceiverStats:
 @dataclass
 class _SiteCursor:
     expected: int = 1
-    buffer: dict[int, bytes] = field(default_factory=dict)
+    #: Out-of-order payloads keyed by seq, each with its propagated
+    #: span context (``None`` when the sender had no active span).
+    buffer: dict[int, tuple[bytes, SpanContext | None]] = field(default_factory=dict)
     last_seen: float = float("-inf")
     done_at_seq: int | None = None
 
@@ -384,17 +419,36 @@ class ReliableReceiver:
         Optional :class:`~repro.obs.observer.Observer` emitting
         ``transport.deliver`` / ``transport.duplicate`` trace events and
         tracking the reorder-buffer high-water gauge.
+    deliver_traced:
+        Keyword-only alternative to ``deliver`` receiving
+        ``(site_id, payload, trace)`` where ``trace`` is the span
+        context propagated in the envelope header (``None`` when the
+        sender had no active span).  Exactly one of ``deliver`` /
+        ``deliver_traced`` must be given.
     """
 
     def __init__(
         self,
-        deliver: Callable[[int, bytes], None],
-        send_ack: Callable[[int, bytes], None],
-        clock: Clock,
+        deliver: Callable[[int, bytes], None] | None = None,
+        send_ack: Callable[[int, bytes], None] | None = None,
+        clock: Clock | None = None,
         config: ReliabilityConfig | None = None,
         observer: Observer | None = None,
+        *,
+        deliver_traced: Callable[[int, bytes, SpanContext | None], None] | None = None,
     ) -> None:
-        self._deliver = deliver
+        if send_ack is None or clock is None:
+            raise TypeError("send_ack and clock are required")
+        if (deliver is None) == (deliver_traced is None):
+            raise TypeError(
+                "exactly one of deliver / deliver_traced must be provided"
+            )
+        if deliver_traced is not None:
+            self._deliver = deliver_traced
+        else:
+            assert deliver is not None
+            plain = deliver
+            self._deliver = lambda site_id, payload, trace: plain(site_id, payload)
         self._send_ack = send_ack
         self._clock = clock
         self.config = config or ReliabilityConfig()
@@ -473,7 +527,7 @@ class ReliableReceiver:
                     "transport.duplicate", site=envelope.site_id, seq=seq
                 )
         elif seq == cursor.expected:
-            self._deliver(envelope.site_id, envelope.payload)
+            self._deliver(envelope.site_id, envelope.payload, envelope.trace)
             self.stats.delivered += 1
             if obs.enabled:
                 obs.inc("transport.delivered", site=envelope.site_id)
@@ -485,8 +539,8 @@ class ReliableReceiver:
                 )
             cursor.expected += 1
             while cursor.expected in cursor.buffer:
-                payload = cursor.buffer.pop(cursor.expected)
-                self._deliver(envelope.site_id, payload)
+                payload, trace = cursor.buffer.pop(cursor.expected)
+                self._deliver(envelope.site_id, payload, trace)
                 self.stats.delivered += 1
                 if obs.enabled:
                     obs.inc("transport.delivered", site=envelope.site_id)
@@ -500,7 +554,7 @@ class ReliableReceiver:
         elif len(cursor.buffer) >= self.config.reorder_limit:
             self.stats.reorder_overflow_dropped += 1
         else:
-            cursor.buffer[seq] = envelope.payload
+            cursor.buffer[seq] = (envelope.payload, envelope.trace)
             self.stats.buffered_out_of_order += 1
             depth = len(cursor.buffer)
             if depth > self.stats.max_reorder_depth:

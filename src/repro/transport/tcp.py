@@ -78,7 +78,7 @@ class CoordinatorServer:
         """Bind and start accepting connections (port 0 = ephemeral)."""
         loop = asyncio.get_running_loop()
         self.receiver = ReliableReceiver(
-            deliver=self._deliver,
+            deliver_traced=self._deliver,
             send_ack=self._send_ack,
             clock=AsyncioClock(loop),
             config=self.config,
@@ -121,8 +121,10 @@ class CoordinatorServer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _deliver(self, site_id: int, payload: bytes) -> None:
-        self.coordinator.handle_message(decode_message(payload))
+    def _deliver(self, site_id: int, payload: bytes, trace=None) -> None:
+        message = decode_message(payload)
+        with self._obs.remote_parent(trace):
+            self.coordinator.handle_message(message)
 
     def _send_ack(self, site_id: int, data: bytes) -> None:
         writer = self._writers.get(site_id)
@@ -213,7 +215,9 @@ async def run_site_client(
             site_id,
             site_config,
             rng=np.random.default_rng(seed + site_id),
-            emit=lambda message: sender.send_payload(encode_message(message)),
+            emit=lambda message: sender.send_payload(
+                encode_message(message), trace=observer.span_context()
+            ),
             observer=observer,
         )
     else:
@@ -222,7 +226,7 @@ async def run_site_client(
                 f"restored site has id {site.site_id}, expected {site_id}"
             )
         site._emit = lambda message: sender.send_payload(
-            encode_message(message)
+            encode_message(message), trace=observer.span_context()
         )
 
     async def pump_acks() -> None:

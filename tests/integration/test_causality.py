@@ -1,0 +1,214 @@
+"""Acceptance: causal span propagation across the distributed system.
+
+Every coordinator-side span (``coord.update`` and the ``coord.merge`` /
+``coord.split`` work it triggers) must carry the trace id of the
+originating site's ``site.chunk_test`` span -- even when the channel is
+lossy and messages are dropped, duplicated or reordered, and even when
+the ARQ layer delivers a payload only on a retransmission.  The Chrome
+trace-event export must round-trip through ``json`` and materialise the
+cross-process causal edges as flow arrows.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cludistream import CluDistream, CluDistreamConfig
+from repro.core.coordinator import CoordinatorConfig
+from repro.core.em import EMConfig
+from repro.core.remote import RemoteSiteConfig
+from repro.obs import Observer, SpanCollector, to_chrome_trace
+from repro.runtime import ChannelFaults, SimulatedChannel, TransportChannel
+from repro.streams.base import take
+from repro.streams.synthetic import EvolvingGaussianStream, EvolvingStreamConfig
+from repro.transport.clock import ManualClock
+from repro.transport.loopback import LoopbackTransport
+
+N_SITES = 2
+RECORDS = 360
+CHUNK = 60
+
+FAULTS = ChannelFaults(
+    drop_rate=0.2, duplicate_rate=0.05, reorder_rate=0.1, seed=11
+)
+
+
+def config(tolerate_loss: bool) -> CluDistreamConfig:
+    return CluDistreamConfig(
+        n_sites=N_SITES,
+        site=RemoteSiteConfig(
+            dim=2,
+            epsilon=0.05,
+            delta=0.05,
+            em=EMConfig(n_components=2, n_init=1, max_iter=30, tol=1e-3),
+            chunk_override=CHUNK,
+        ),
+        coordinator=CoordinatorConfig(
+            max_components=4,
+            merge_method="moment",
+            tolerate_loss=tolerate_loss,
+        ),
+    )
+
+
+def make_streams():
+    # High churn so sites keep retraining and many synopses ride the
+    # (faulty) wire.
+    return {
+        site_id: take(
+            EvolvingGaussianStream(
+                EvolvingStreamConfig(
+                    dim=2,
+                    n_components=2,
+                    segment_length=CHUNK,
+                    p_new_distribution=0.8,
+                ),
+                rng=np.random.default_rng(500 + site_id),
+            ),
+            RECORDS,
+        )
+        for site_id in range(N_SITES)
+    }
+
+
+def run_with_spans(make_channel, tolerate_loss: bool):
+    spans = SpanCollector()
+    observer = Observer(sink=spans)
+    system = CluDistream(config(tolerate_loss), seed=0, observer=observer)
+    channel = make_channel()
+    system.runtime(channel).run(make_streams(), RECORDS)
+    return system, channel, spans.spans()
+
+
+def root_of(span, by_id):
+    """Walk the parent chain to the trace root."""
+    while span.parent_id is not None:
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            return None
+        span = parent
+    return span
+
+
+@pytest.fixture(scope="module")
+def lossy_simulated_run():
+    return run_with_spans(
+        lambda: SimulatedChannel(faults=FAULTS), tolerate_loss=True
+    )
+
+
+@pytest.fixture(scope="module")
+def faulty_arq_run():
+    return run_with_spans(
+        lambda: TransportChannel(
+            LoopbackTransport(), ManualClock(), faults=FAULTS
+        ),
+        tolerate_loss=False,
+    )
+
+
+class TestLossySimulatedCausality:
+    def test_every_coordinator_span_links_to_a_chunk_test(
+        self, lossy_simulated_run
+    ):
+        _, channel, spans = lossy_simulated_run
+        assert channel.accounting().dropped > 0
+        by_id = {s.span_id: s for s in spans}
+        chunk_trace_ids = {
+            s.trace_id for s in spans if s.name == "site.chunk_test"
+        }
+        coordinator_spans = [s for s in spans if s.name.startswith("coord.")]
+        assert coordinator_spans
+        for span in coordinator_spans:
+            assert span.trace_id in chunk_trace_ids
+            root = root_of(span, by_id)
+            assert root is not None and root.name == "site.chunk_test"
+            assert root.trace_id == span.trace_id
+
+    def test_update_spans_name_the_originating_site(
+        self, lossy_simulated_run
+    ):
+        _, _, spans = lossy_simulated_run
+        by_id = {s.span_id: s for s in spans}
+        updates = [s for s in spans if s.name == "coord.update"]
+        assert updates
+        sites_seen = set()
+        for span in updates:
+            root = root_of(span, by_id)
+            assert root.attributes["site"] == span.attributes["site"]
+            sites_seen.add(span.attributes["site"])
+        # Every site's messages arrived causally attributed.
+        assert sites_seen == set(range(N_SITES))
+
+    def test_merge_split_spans_match_coordinator_stats(
+        self, lossy_simulated_run
+    ):
+        system, _, spans = lossy_simulated_run
+        merges = [s for s in spans if s.name == "coord.merge"]
+        splits = [s for s in spans if s.name == "coord.split"]
+        assert len(merges) == system.coordinator.stats.merges
+        assert len(splits) == system.coordinator.stats.splits
+        # The run actually restructured the global model.
+        assert merges
+
+    def test_perfetto_export_round_trips_with_per_site_flows(
+        self, lossy_simulated_run
+    ):
+        _, _, spans = lossy_simulated_run
+        payload = json.loads(json.dumps(to_chrome_trace(spans)))
+        events = payload["traceEvents"]
+        process_names = {
+            e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert process_names[0] == "coordinator"
+        starts = {
+            e["id"]: e["pid"] for e in events if e["ph"] == "s"
+        }
+        finishes = {
+            e["id"]: e["pid"] for e in events if e["ph"] == "f"
+        }
+        # Matched flow pairs: start on a site process, finish on the
+        # coordinator -- at least one causal edge per site.
+        linked_sites = set()
+        for flow_id, start_pid in starts.items():
+            if finishes.get(flow_id) == 0 and start_pid != 0:
+                linked_sites.add(process_names[start_pid])
+        assert {f"site-{i}" for i in range(N_SITES)} <= linked_sites
+
+
+class TestArqCausality:
+    def test_retransmissions_become_span_events(self, faulty_arq_run):
+        _, channel, spans = faulty_arq_run
+        accounting = channel.accounting()
+        assert accounting.retransmissions > 0
+        deliveries = [s for s in spans if s.name == "transport.delivery"]
+        retransmit_events = [
+            point
+            for span in deliveries
+            for point in span.events
+            if point.get("name") == "retransmit"
+        ]
+        assert len(retransmit_events) == accounting.retransmissions
+
+    def test_delivery_spans_join_the_chunk_test_trace(self, faulty_arq_run):
+        _, _, spans = faulty_arq_run
+        by_id = {s.span_id: s for s in spans}
+        deliveries = [s for s in spans if s.name == "transport.delivery"]
+        assert deliveries
+        for span in deliveries:
+            root = root_of(span, by_id)
+            assert root is not None and root.name == "site.chunk_test"
+            assert root.attributes["site"] == span.attributes["site"]
+
+    def test_coordinator_spans_survive_the_arq_path(self, faulty_arq_run):
+        _, channel, spans = faulty_arq_run
+        assert channel.accounting().dropped > 0
+        by_id = {s.span_id: s for s in spans}
+        coordinator_spans = [s for s in spans if s.name.startswith("coord.")]
+        assert coordinator_spans
+        for span in coordinator_spans:
+            root = root_of(span, by_id)
+            assert root is not None and root.name == "site.chunk_test"

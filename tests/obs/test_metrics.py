@@ -63,9 +63,14 @@ class TestHistogram:
         for value in (0.5, 1.5, 1.6, 3.0):
             histogram.observe(value)
         assert histogram.mean == pytest.approx(6.6 / 4)
-        assert histogram.quantile(0.25) == 1.0
-        assert histogram.quantile(0.75) == 2.0
-        assert histogram.quantile(1.0) == 4.0
+        # Interpolated within buckets, clamped to the observed range:
+        # the (<=1] bucket spans [min=0.5, 1.0] and holds 1/4 of the
+        # mass, so q=0.25 lands exactly on its upper edge.
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(0.75) == pytest.approx(2.0)
+        assert histogram.quantile(0.0) == 0.5
+        assert histogram.quantile(1.0) == 3.0
 
     def test_empty_histogram_is_safe(self):
         histogram = Histogram()

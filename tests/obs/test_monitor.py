@@ -1,0 +1,146 @@
+"""Tests for the terminal dashboard (repro.obs.monitor)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import parse_prometheus, to_prometheus
+from repro.obs.health import HealthMonitor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import (
+    histogram_from_samples,
+    render_dashboard,
+    run_monitor,
+)
+from repro.obs.observer import Observer
+from repro.obs.server import TelemetryServer
+from repro.obs.trace import JsonlTraceSink
+
+
+def sample_health() -> dict:
+    return {
+        "status": "ok",
+        "events": 42,
+        "records": 2000,
+        "sites": [
+            {
+                "site": 0, "model": 3, "j_fit": 0.01, "threshold": 0.05,
+                "margin": 0.04, "tests": 4, "tests_passed": 4,
+                "pass_rate": 1.0, "records": 2000,
+            },
+            {
+                "site": 1, "model": 5, "j_fit": 0.9, "threshold": 0.05,
+                "margin": -0.85, "tests": 2, "tests_passed": 0,
+                "pass_rate": 0.0, "records": 800,
+            },
+        ],
+        "coordinator": {
+            "components": 8, "merges": 2, "splits": 1,
+            "churn_rate": 0.0015,
+        },
+        "accounting": {
+            "attempted": 10, "payload_bytes": 8000, "wire_bytes": 8220,
+            "bytes_per_record": 4.0,
+        },
+    }
+
+
+class TestRenderDashboard:
+    def test_renders_core_tiles(self):
+        text = render_dashboard(sample_health())
+        assert "status=ok" in text
+        assert "components=8" in text
+        assert "bytes/record=4.0" in text
+        assert "+0.0400" in text
+
+    def test_marks_drifting_sites(self):
+        text = render_dashboard(sample_health())
+        [drift_line] = [l for l in text.splitlines() if "DRIFT" in l]
+        assert drift_line.lstrip().startswith("1")
+
+    def test_latency_tiles_from_prometheus_samples(self):
+        registry = MetricsRegistry()
+        for value in (0.01, 0.02, 0.04, 0.4):
+            registry.histogram("profile.em_fit").observe(value)
+        samples = parse_prometheus(to_prometheus(registry))
+        text = render_dashboard(sample_health(), samples)
+        assert "latency" in text
+        assert "EM fit" in text and "p99" in text
+
+    def test_handles_missing_fields(self):
+        text = render_dashboard({"status": "ok", "sites": [{"site": 0}]})
+        assert "n/a" in text
+
+
+class TestHistogramFromSamples:
+    def test_rebuilds_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        samples = parse_prometheus(to_prometheus(registry))
+        rebuilt = histogram_from_samples(samples, "h")
+        assert rebuilt.count == 4
+        # Same mid-bucket interpolation as the live histogram.
+        assert rebuilt.quantile(0.5) == pytest.approx(1.5)
+
+    def test_missing_name_returns_none(self):
+        assert histogram_from_samples([], "absent") is None
+
+
+class TestRunMonitor:
+    def test_polls_a_live_server(self):
+        health = HealthMonitor()
+        observer = Observer(sink=health)
+        observer.event(
+            "site.chunk_test",
+            site=0, model=1, passed=True,
+            j_fit=0.02, threshold=0.05, chunk=500,
+        )
+        with TelemetryServer(observer, health=health) as server:
+            out = io.StringIO()
+            code = run_monitor(
+                url=server.url, iterations=1, clear=False, out=out
+            )
+        assert code == 0
+        assert "status=ok" in out.getvalue()
+        assert "+0.0300" in out.getvalue()
+
+    def test_replays_a_trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        observer = Observer(sink=JsonlTraceSink(path))
+        observer.event(
+            "site.chunk_test",
+            site=2, model=1, passed=False,
+            j_fit=0.8, threshold=0.05, chunk=500,
+        )
+        observer.close()
+        out = io.StringIO()
+        code = run_monitor(trace=str(path), clear=False, out=out)
+        assert code == 0
+        assert "DRIFT" in out.getvalue()
+
+    def test_unreachable_server_fails_cleanly(self):
+        out = io.StringIO()
+        code = run_monitor(
+            url="http://127.0.0.1:9", iterations=1, clear=False, out=out
+        )
+        assert code == 1
+        assert "cannot reach" in out.getvalue()
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            run_monitor()
+        with pytest.raises(ValueError):
+            run_monitor(url="http://x", trace="y")
+
+    def test_clear_emits_ansi_escape(self):
+        health = HealthMonitor()
+        observer = Observer(sink=health)
+        with TelemetryServer(observer, health=health) as server:
+            out = io.StringIO()
+            run_monitor(url=server.url, iterations=1, clear=True, out=out)
+        assert out.getvalue().startswith("\x1b[2J")

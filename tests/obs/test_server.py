@@ -1,0 +1,109 @@
+"""Tests for the stdlib HTTP telemetry server (repro.obs.server)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import parse_prometheus
+from repro.obs.health import HealthMonitor
+from repro.obs.observer import Observer
+from repro.obs.server import TelemetryServer
+from repro.obs.spans import SpanCollector
+from repro.obs.trace import MultiSink, RingBufferSink
+
+
+@pytest.fixture()
+def stack():
+    health = HealthMonitor()
+    spans = SpanCollector()
+    observer = Observer(sink=MultiSink([RingBufferSink(), health, spans]))
+    observer.inc("site.chunk_tests", site=0, result="pass")
+    observer.observe("profile.em_fit", 0.25)
+    with observer.span("site.chunk_test", site=0):
+        context = observer.span_context()
+    with observer.remote_parent(context):
+        with observer.span("coord.update", site=0):
+            pass
+    observer.event(
+        "site.chunk_test",
+        site=0, model=1, passed=True, j_fit=0.01, threshold=0.05, chunk=100,
+    )
+    server = TelemetryServer(
+        observer,
+        health=health,
+        spans=spans,
+        snapshot=lambda: {"sites": [], "coordinator": {"components": 4}},
+    ).start()
+    yield server
+    server.close()
+
+
+def fetch(server: TelemetryServer, path: str) -> bytes:
+    with urllib.request.urlopen(server.url + path, timeout=5) as response:
+        return response.read()
+
+
+class TestEndpoints:
+    def test_metrics_is_valid_prometheus(self, stack):
+        text = fetch(stack, "/metrics").decode()
+        samples = parse_prometheus(text)
+        names = {name for name, _, _ in samples}
+        assert "site_chunk_tests_total" in names
+        # Health gauges are published into the registry on scrape.
+        assert "health_site_margin" in names
+
+    def test_health_reports_site_gauges(self, stack):
+        payload = json.loads(fetch(stack, "/health"))
+        assert payload["status"] == "ok"
+        [site] = payload["sites"]
+        assert site["margin"] == pytest.approx(0.04)
+
+    def test_snapshot_uses_the_provider(self, stack):
+        payload = json.loads(fetch(stack, "/snapshot"))
+        assert payload["coordinator"]["components"] == 4
+
+    def test_spans_is_a_chrome_trace(self, stack):
+        payload = json.loads(fetch(stack, "/spans"))
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"site.chunk_test", "coord.update"} <= names
+
+    def test_root_serves_metrics(self, stack):
+        assert fetch(stack, "/") == fetch(stack, "/metrics")
+
+    def test_unknown_path_is_404(self, stack):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(stack, "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestLifecycle:
+    def test_ephemeral_port_is_reported(self):
+        server = TelemetryServer(Observer())
+        try:
+            assert server.port > 0
+            assert str(server.port) in server.url
+        finally:
+            server.close()
+
+    def test_close_is_idempotent(self):
+        server = TelemetryServer(Observer()).start()
+        server.close()
+        server.close()
+
+    def test_context_manager(self):
+        with TelemetryServer(Observer()) as server:
+            assert fetch(server, "/metrics") == b""
+
+    def test_bare_server_serves_fallbacks(self):
+        with TelemetryServer(Observer()) as server:
+            health = json.loads(fetch(server, "/health"))
+            assert health["status"] == "ok"
+            spans = json.loads(fetch(server, "/spans"))
+            assert spans == {"traceEvents": []}
+            snapshot = json.loads(fetch(server, "/snapshot"))
+            assert "detail" in snapshot

@@ -13,6 +13,7 @@ from repro.obs.trace import (
     MultiSink,
     RingBufferSink,
     TraceEvent,
+    TruncatedTraceWarning,
     read_trace,
 )
 
@@ -133,7 +134,31 @@ class TestReadTrace:
         assert len(list(read_trace(path))) == 2
 
     def test_malformed_line_raises_with_line_number(self, tmp_path):
+        # A malformed line *followed by more data* is corruption, not a
+        # torn tail: it must still raise.
         path = tmp_path / "trace.jsonl"
-        path.write_text(event().to_json() + "\nnot json\n")
+        path.write_text(
+            event().to_json() + "\nnot json\n" + event(seq=2).to_json() + "\n"
+        )
         with pytest.raises(ValueError, match="line 2"):
             list(read_trace(path))
+
+    def test_torn_trailing_line_is_skipped_with_warning(self, tmp_path):
+        # A writer killed mid-record leaves a truncated final line; the
+        # reader keeps every complete event and warns instead of dying.
+        path = tmp_path / "trace.jsonl"
+        full = [event(seq=s) for s in (1, 2)]
+        torn = event(seq=3).to_json()[:17]
+        path.write_text("\n".join(e.to_json() for e in full) + "\n" + torn)
+        with pytest.warns(TruncatedTraceWarning, match="line 3"):
+            events = list(read_trace(path))
+        assert events == full
+
+    def test_torn_half_key_trailing_line_is_skipped(self, tmp_path):
+        # Truncation can also land mid-structure after valid JSON parses
+        # (e.g. a bare fragment missing required keys).
+        path = tmp_path / "trace.jsonl"
+        path.write_text(event().to_json() + "\n" + '{"type": "x"')
+        with pytest.warns(TruncatedTraceWarning):
+            events = list(read_trace(path))
+        assert len(events) == 1

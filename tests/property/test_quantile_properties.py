@@ -1,0 +1,109 @@
+"""Property tests: Histogram.quantile vs exact numpy percentiles.
+
+The streaming histogram keeps only bucket counts, so its quantile
+estimator interpolates inside the containing bucket.  These properties
+pin what that approximation is allowed to do: exact at the extremes
+(the histogram tracks min/max), monotone in ``q``, always inside the
+observed range, and never further from numpy's exact percentile than
+one occupied-bucket width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram
+
+BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def fill(values: list[float]) -> Histogram:
+    histogram = Histogram(buckets=BUCKETS)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def bucket_range(histogram: Histogram, value: float) -> tuple[float, float]:
+    """Clamped bounds of the bucket ``value`` was counted in."""
+    for index, bound in enumerate(BUCKETS):
+        if value <= bound:
+            break
+    else:
+        index = len(BUCKETS)
+    lower = BUCKETS[index - 1] if index else histogram.minimum
+    upper = BUCKETS[index] if index < len(BUCKETS) else histogram.maximum
+    return max(lower, histogram.minimum), min(upper, histogram.maximum)
+
+
+values_strategy = st.lists(
+    st.floats(min_value=0.001, max_value=12.0, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+quantile_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=values_strategy, q=quantile_strategy)
+def test_estimate_brackets_numpy_order_statistics(values, q):
+    """The estimate stays within the buckets bracketing the exact quantile.
+
+    numpy's interpolated percentile lies between the ``lower`` and
+    ``higher`` order statistics; the histogram estimate must lie within
+    the (clamped) bucket span covering that bracket -- the tightest
+    guarantee a bucketed estimator can make (the exact value may fall
+    in an empty bucket between two occupied ones).
+    """
+    histogram = fill(values)
+    data = np.asarray(values)
+    low_stat = float(np.quantile(data, q, method="lower"))
+    high_stat = float(np.quantile(data, q, method="higher"))
+    span_lo = bucket_range(histogram, low_stat)[0]
+    span_hi = bucket_range(histogram, high_stat)[1]
+    estimate = histogram.quantile(q)
+    assert span_lo - 1e-12 <= estimate <= span_hi + 1e-12
+    # ...which also bounds the error against numpy's interpolated value.
+    exact = float(np.quantile(data, q))
+    assert abs(estimate - exact) <= (span_hi - span_lo) + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=values_strategy)
+def test_extremes_are_exact(values):
+    histogram = fill(values)
+    assert histogram.quantile(0.0) == min(values)
+    assert histogram.quantile(1.0) == max(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=values_strategy, qs=st.lists(quantile_strategy, min_size=2, max_size=8))
+def test_monotone_in_q(values, qs):
+    histogram = fill(values)
+    ordered = sorted(qs)
+    estimates = [histogram.quantile(q) for q in ordered]
+    assert all(a <= b + 1e-12 for a, b in zip(estimates, estimates[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=values_strategy, q=quantile_strategy)
+def test_stays_inside_observed_range(values, q):
+    histogram = fill(values)
+    estimate = histogram.quantile(q)
+    assert min(values) - 1e-12 <= estimate <= max(values) + 1e-12
+
+
+def test_seeded_samples_against_numpy_percentiles():
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(mean=-1.0, sigma=1.0, size=5000)
+    values = np.clip(values, 0.001, 12.0)
+    histogram = fill(list(values))
+    for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+        exact = float(np.quantile(values, q))
+        # Dense data: the exact percentile's own bucket bounds the error.
+        span_lo, span_hi = bucket_range(histogram, exact)
+        estimate = histogram.quantile(q)
+        assert span_lo - 1e-12 <= estimate <= span_hi + 1e-12
+        assert abs(estimate - exact) <= (span_hi - span_lo)

@@ -271,10 +271,133 @@ class TestStatsCommand:
         assert "0" in record["sites"]
         assert record["sites"]["0"]["chunk_tests_passed"] > 0
 
+    def test_format_json_flag(self, tmp_path, capsys):
+        import json as json_module
+
+        trace = self.run_trace(tmp_path)
+        capsys.readouterr()
+        status = main(["stats", trace, "--format", "json"])
+        assert status == 0
+        record = json_module.loads(capsys.readouterr().out)
+        assert record["em_fits"] > 0
+        assert "span_count" in record
+        assert "span_durations" in record
+
+    def test_format_text_is_the_default(self, tmp_path, capsys):
+        trace = self.run_trace(tmp_path)
+        capsys.readouterr()
+        status = main(["stats", trace, "--format", "text"])
+        assert status == 0
+        assert "trace events:" in capsys.readouterr().out
+
+    def test_format_rejects_unknown_values(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "x.jsonl", "--format", "xml"])
+
     def test_missing_trace_fails_cleanly(self, tmp_path, capsys):
         status = main(["stats", str(tmp_path / "absent.jsonl")])
         assert status == 1
         assert "absent.jsonl" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_run_parses_serve_telemetry(self):
+        args = build_parser().parse_args(
+            ["run", "--serve-telemetry", "0", "--telemetry-hold", "2.5"]
+        )
+        assert args.serve_telemetry == 0
+        assert args.telemetry_hold == 2.5
+
+    def test_serve_parses_serve_telemetry(self):
+        args = build_parser().parse_args(["serve", "--serve-telemetry", "9100"])
+        assert args.serve_telemetry == 9100
+
+    def test_telemetry_off_by_default(self):
+        assert build_parser().parse_args(["run"]).serve_telemetry is None
+
+    def test_run_with_live_telemetry(self, capsys):
+        import json as json_module
+        import threading
+        import urllib.request
+
+        # _cmd_run resolves TelemetryServer from the repro.obs package
+        # at call time, so patch it there.
+        import repro.obs as obs_module
+
+        captured: dict = {}
+        original = obs_module.TelemetryServer
+
+        class Probing(original):
+            def start(self):
+                server = super().start()
+
+                def scrape():
+                    base = server.url
+                    with urllib.request.urlopen(base + "/health") as r:
+                        captured["health"] = json_module.loads(r.read())
+                    with urllib.request.urlopen(base + "/metrics") as r:
+                        captured["metrics"] = r.read().decode()
+
+                # The run holds the server open after the stream ends
+                # (--telemetry-hold); scrape while it is still up.
+                threading.Timer(0.1, scrape).start()
+                return server
+
+        obs_module.TelemetryServer = Probing
+        try:
+            status = main(
+                [
+                    "run",
+                    "--sites", "2",
+                    "--records", "800",
+                    "--chunk", "400",
+                    "--clusters", "3",
+                    "--seed", "1",
+                    "--serve-telemetry", "0",
+                    "--telemetry-hold", "3",
+                ]
+            )
+        finally:
+            obs_module.TelemetryServer = original
+        assert status == 0
+        assert "telemetry:" in capsys.readouterr().out
+        assert captured["health"]["records"] > 0
+        assert "health_site_margin" in captured["metrics"]
+
+
+class TestMonitorCommand:
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["monitor"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["monitor", "--url", "http://x", "--trace", "y"]) == 2
+
+    def test_renders_a_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(
+            [
+                "--trace-file", str(trace),
+                "run",
+                "--sites", "2",
+                "--records", "1200",
+                "--chunk", "400",
+                "--clusters", "3",
+                "--seed", "1",
+            ]
+        )
+        capsys.readouterr()
+        status = main(["monitor", "--trace", str(trace), "--no-clear"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "status=" in out
+        assert "site" in out
+
+    def test_unreachable_url_fails_cleanly(self, capsys):
+        status = main(
+            ["monitor", "--url", "http://127.0.0.1:9", "--iterations", "1",
+             "--no-clear"]
+        )
+        assert status == 1
+        assert "cannot reach" in capsys.readouterr().out
 
 
 class TestCheckpointResume:

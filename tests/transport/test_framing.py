@@ -6,8 +6,10 @@ import pytest
 
 from repro.core.protocol import WeightUpdateMessage
 from repro.core.serde import encode_message
+from repro.obs.spans import SPAN_CONTEXT_BYTES, SpanContext
 from repro.transport.framing import (
     ENVELOPE_BYTES,
+    FLAG_TRACE,
     KIND_ACK,
     KIND_DATA,
     KIND_DONE,
@@ -61,6 +63,100 @@ class TestEnvelope:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="kind"):
             encode_envelope(Envelope(kind=99, site_id=0, seq=0))
+
+
+class TestTraceContext:
+    def test_traced_data_round_trip(self):
+        trace = SpanContext(trace_id=0x1234, span_id=0x5678)
+        envelope = data_envelope()
+        traced = Envelope(
+            kind=envelope.kind,
+            site_id=envelope.site_id,
+            seq=envelope.seq,
+            payload=envelope.payload,
+            trace=trace,
+        )
+        decoded = decode_envelope(encode_envelope(traced))
+        assert decoded == traced
+        assert decoded.trace == trace
+
+    def test_trace_costs_exactly_the_context_bytes(self):
+        plain = data_envelope()
+        traced = Envelope(
+            kind=plain.kind,
+            site_id=plain.site_id,
+            seq=plain.seq,
+            payload=plain.payload,
+            trace=SpanContext(trace_id=1, span_id=2),
+        )
+        assert traced.wire_bytes() == plain.wire_bytes() + SPAN_CONTEXT_BYTES
+        assert len(encode_envelope(traced)) == traced.wire_bytes()
+
+    def test_trace_free_wire_format_is_unchanged(self):
+        # Runs with observability off must stay byte-identical to the
+        # pre-extension format: flags byte zero, no context bytes.
+        frame = encode_envelope(data_envelope())
+        assert frame[5] == 0
+        assert len(frame) == ENVELOPE_BYTES + len(data_envelope().payload)
+
+    def test_flag_trace_is_set_on_the_wire(self):
+        traced = Envelope(
+            kind=KIND_DATA,
+            site_id=0,
+            seq=1,
+            payload=b"",
+            trace=SpanContext(trace_id=1, span_id=2),
+        )
+        assert encode_envelope(traced)[5] == FLAG_TRACE
+
+    def test_control_envelopes_reject_trace(self):
+        with pytest.raises(ValueError, match="control"):
+            encode_envelope(
+                Envelope(
+                    kind=KIND_ACK,
+                    site_id=0,
+                    seq=1,
+                    trace=SpanContext(trace_id=1, span_id=2),
+                )
+            )
+
+    def test_unknown_flag_bits_rejected(self):
+        frame = bytearray(encode_envelope(data_envelope()))
+        frame[5] = 0x80
+        with pytest.raises(ValueError, match="flags"):
+            decode_envelope(bytes(frame))
+
+    def test_truncated_trace_context_rejected(self):
+        traced = Envelope(
+            kind=KIND_DATA,
+            site_id=0,
+            seq=1,
+            payload=b"",
+            trace=SpanContext(trace_id=1, span_id=2),
+        )
+        frame = encode_envelope(traced)
+        with pytest.raises(ValueError, match="trace"):
+            decode_envelope(frame[: ENVELOPE_BYTES + SPAN_CONTEXT_BYTES - 4])
+
+    def test_stream_decoder_reframes_traced_envelopes(self):
+        envelopes = [
+            data_envelope(seq=1),
+            Envelope(
+                kind=KIND_DATA,
+                site_id=3,
+                seq=2,
+                payload=data_envelope().payload,
+                trace=SpanContext(trace_id=9, span_id=10),
+            ),
+            Envelope(kind=KIND_ACK, site_id=3, seq=2),
+        ]
+        stream = b"".join(encode_envelope(e) for e in envelopes)
+        decoder = StreamDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == envelopes
+        assert out[1].trace == SpanContext(trace_id=9, span_id=10)
 
 
 class TestStreamDecoder:
