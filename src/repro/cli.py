@@ -221,6 +221,95 @@ def build_parser() -> argparse.ArgumentParser:
         "the records beyond its recorded position",
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="deploy a multi-level aggregation tree as real processes",
+    )
+    cluster.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="load the topology from a JSON spec file (see --write-spec); "
+        "overrides the shape flags below",
+    )
+    cluster.add_argument(
+        "--write-spec",
+        default=None,
+        metavar="PATH",
+        help="write the resolved spec as JSON and exit without launching",
+    )
+    cluster.add_argument(
+        "--sites", type=int, default=None,
+        help="number of leaf sites (default: 8; soak mode: 1000)",
+    )
+    cluster.add_argument(
+        "--fanin", type=int, default=None,
+        help="max children per aggregator (default: 4; soak mode: 32)",
+    )
+    cluster.add_argument(
+        "--depth", type=int, default=None,
+        help="force this many aggregator levels (default: derived from "
+        "--sites/--fanin; 1 = flat star)",
+    )
+    cluster.add_argument(
+        "--records", type=int, default=None,
+        help="records per site (default: 2000; soak mode: 300)",
+    )
+    cluster.add_argument("--clusters", type=int, default=3, help="K")
+    cluster.add_argument("--dim", type=int, default=2)
+    cluster.add_argument("--epsilon", type=float, default=0.05)
+    cluster.add_argument("--delta", type=float, default=0.05)
+    cluster.add_argument("--chunk", type=int, default=500)
+    cluster.add_argument(
+        "--stream", choices=("synthetic", "netflow"), default="synthetic"
+    )
+    cluster.add_argument("--p-new", type=float, default=0.1, help="P_d")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--base-port", type=int, default=0,
+        help="assign consecutive aggregator ports starting here "
+        "(0 = ephemeral, actually bound ports printed at startup)",
+    )
+    cluster.add_argument(
+        "--upload-threshold", type=float, default=0.05,
+        help="mixture-change score above which an aggregator uploads "
+        "to its parent",
+    )
+    cluster.add_argument(
+        "--merge-method", choices=("simplex", "moment"), default="simplex",
+        help="coordinator merge refit (paper default: simplex)",
+    )
+    cluster.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up waiting for completion after this many seconds",
+    )
+    cluster.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="each aggregator writes its checkpoint and an endpoint "
+        "manifest under DIR on exit",
+    )
+    cluster.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart aggregators from checkpoints in --checkpoint-dir "
+        "(including ARQ edge state)",
+    )
+    cluster.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the in-process soak harness (tree vs flat reference "
+        "on identical streams) instead of spawning processes",
+    )
+    cluster.add_argument(
+        "--soak-tolerance", type=float, default=0.5,
+        help="max acceptable avg log-likelihood gap, nats per holdout "
+        "record (soak mode)",
+    )
+    _add_telemetry_flags(cluster)
+
     stats = sub.add_parser(
         "stats",
         help="summarise a JSONL trace written with --trace-file",
@@ -488,16 +577,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             component_count=lambda: coordinator.n_components,
             accounting=runtime.accounting,
         )
-        server = TelemetryServer(
-            observer,
-            health=health,
-            spans=span_collector,
-            snapshot=lambda: system_snapshot(
-                sites, coordinator, runtime.accounting()
-            ),
-            port=args.serve_telemetry,
-        ).start()
+        try:
+            server = TelemetryServer(
+                observer,
+                health=health,
+                spans=span_collector,
+                snapshot=lambda: system_snapshot(
+                    sites, coordinator, runtime.accounting()
+                ),
+                port=args.serve_telemetry,
+            ).start()
+        except OSError as error:
+            print(
+                f"cannot bind telemetry port {args.serve_telemetry}: {error}",
+                file=sys.stderr,
+            )
+            return 1
         print(f"telemetry: {server.url}", flush=True)
+        # Record the *bound* endpoint (port 0 resolves at bind time) so
+        # checkpoint manifests point at the live server.
+        runtime.endpoints["telemetry"] = {
+            "port": server.port,
+            "url": server.url,
+        }
     report = runtime.run(streams, max_records_per_site=args.records)
     if args.simulate:
         print(
@@ -755,13 +857,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             from repro.obs import TelemetryServer, system_snapshot
 
             health.bind(component_count=lambda: coordinator.n_components)
-            telemetry = TelemetryServer(
-                observer,
-                health=health,
-                spans=span_collector,
-                snapshot=lambda: system_snapshot([], coordinator),
-                port=args.serve_telemetry,
-            ).start()
+            try:
+                telemetry = TelemetryServer(
+                    observer,
+                    health=health,
+                    spans=span_collector,
+                    snapshot=lambda: system_snapshot([], coordinator),
+                    port=args.serve_telemetry,
+                ).start()
+            except OSError as error:
+                print(
+                    f"cannot bind telemetry port {args.serve_telemetry}: "
+                    f"{error}",
+                    file=sys.stderr,
+                )
+                return 1
             print(f"telemetry: {telemetry.url}", flush=True)
         server = CoordinatorServer(
             coordinator,
@@ -769,8 +879,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config=ReliabilityConfig(stale_after=args.stale_after),
             observer=observer,
         )
-        await server.start(args.host, args.port)
-        print(f"listening on {args.host}:{server.port}", flush=True)
+        try:
+            await server.start(args.host, args.port)
+        except OSError as error:
+            if telemetry is not None:
+                telemetry.close()
+            print(
+                f"cannot bind {args.host}:{args.port}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        # The bound port outlives the server object's socket (the
+        # manifest is written after close), so read it out now.
+        bound_port = server.port
+        print(f"listening on {args.host}:{bound_port}", flush=True)
         completed = await server.wait_done(timeout=args.timeout)
         stale = server.stale_sites()
         await server.close()
@@ -779,11 +901,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 await asyncio.sleep(args.telemetry_hold)
             telemetry.close()
         if args.checkpoint_dir:
+            import json
+
             from repro.io.checkpoint import save_coordinator
 
             target = Path(args.checkpoint_dir)
             target.mkdir(parents=True, exist_ok=True)
             save_coordinator(coordinator, target / "coordinator.json")
+            endpoints = {"tcp": {"host": args.host, "port": bound_port}}
+            if telemetry is not None:
+                endpoints["telemetry"] = {
+                    "port": telemetry.port,
+                    "url": telemetry.url,
+                }
+            (target / "manifest.json").write_text(
+                json.dumps(
+                    {
+                        "format": 1,
+                        "kind": "coordinator_server",
+                        "endpoints": endpoints,
+                    },
+                    indent=2,
+                )
+            )
             print(f"coordinator checkpoint written to {target}")
         stats = server.receiver.stats
         print(
@@ -918,6 +1058,164 @@ def _cmd_site(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import build_spec, load_spec, save_spec, soak_spec
+
+    if args.spec:
+        try:
+            spec = load_spec(args.spec)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
+            return 1
+    elif args.soak:
+        # Soak defaults are tuned for the 1000-site CI budget (small
+        # dim/K, moment merges); shape flags still apply.
+        spec = soak_spec(
+            sites=args.sites if args.sites is not None else 1000,
+            fanin=args.fanin if args.fanin is not None else 32,
+            records_per_site=(
+                args.records if args.records is not None else 300
+            ),
+            seed=args.seed,
+        )
+    else:
+        try:
+            spec = build_spec(
+                args.sites if args.sites is not None else 8,
+                args.fanin if args.fanin is not None else 4,
+                depth=args.depth,
+                base_port=args.base_port,
+                host=args.host,
+                seed=args.seed,
+                clusters=args.clusters,
+                dim=6 if args.stream == "netflow" else args.dim,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                chunk=args.chunk,
+                stream=args.stream,
+                records_per_site=(
+                    args.records if args.records is not None else 2000
+                ),
+                p_new=args.p_new,
+                upload_threshold=args.upload_threshold,
+                merge_method=args.merge_method,
+            )
+        except ValueError as error:
+            print(f"invalid topology: {error}", file=sys.stderr)
+            return 2
+
+    if args.write_spec:
+        path = save_spec(spec, args.write_spec)
+        print(f"spec written to {path}")
+        return 0
+
+    if args.soak:
+        return _run_cluster_soak(spec, args)
+    return _run_cluster_launch(spec, args)
+
+
+def _run_cluster_soak(args_spec, args: argparse.Namespace) -> int:
+    from repro.cluster import run_soak
+
+    print(args_spec.describe(), flush=True)
+    last_decile = -1
+
+    def progress(done: int, total: int) -> None:
+        nonlocal last_decile
+        decile = (10 * done) // max(total, 1)
+        if decile > last_decile:
+            last_decile = decile
+            print(f"  fed {done}/{total} records", flush=True)
+
+    report = run_soak(
+        spec=args_spec,
+        tolerance=args.soak_tolerance,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def _run_cluster_launch(spec, args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.cluster import ClusterLaunchError, ClusterLauncher
+
+    launcher = ClusterLauncher(
+        spec,
+        serve_telemetry=args.serve_telemetry,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    def _stop_cluster() -> int:
+        # A repeat Ctrl-C must not abort the cleanup mid-fan-out and
+        # orphan the tree: ignore further signals while shutting down.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        print("stopping cluster (leaves first)...", flush=True)
+        launcher.shutdown()
+        print("cluster stopped")
+        return 0
+
+    def _sigterm(*_: object) -> None:
+        raise KeyboardInterrupt
+
+    # SIGTERM behaves like Ctrl-C: orderly leaves-first shutdown.  The
+    # handler goes in *before* launch() so a signal arriving while
+    # workers are still spawning tears the partial tree down instead of
+    # killing only the launcher and orphaning it.
+    signal.signal(signal.SIGTERM, _sigterm)
+    print(spec.describe(), flush=True)
+    try:
+        ports = launcher.launch()
+    except ClusterLaunchError as error:
+        print(f"cluster launch failed: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return _stop_cluster()
+    for agg in spec.aggregators:
+        role = "root" if agg.is_root else f"level {agg.level}"
+        print(
+            f"aggregator {agg.node_id} ({role}) listening on "
+            f"{spec.host}:{ports[agg.node_id]}",
+            flush=True,
+        )
+    if launcher.telemetry_port is not None:
+        print(
+            f"telemetry: http://{spec.host}:{launcher.telemetry_port}",
+            flush=True,
+        )
+
+    try:
+        result = launcher.wait(timeout=args.timeout)
+    except KeyboardInterrupt:
+        return _stop_cluster()
+    if launcher.alive():
+        print(
+            f"timeout: nodes still running: {sorted(launcher.alive())}",
+            file=sys.stderr,
+        )
+        launcher.shutdown()
+        return 1
+    summary = result.root_summary or {}
+    if summary:
+        weights = ", ".join(f"{w:.3f}" for w in summary.get("weights", ()))
+        print(
+            f"root mixture: K={summary.get('components')} "
+            f"weights=[{weights}]"
+        )
+    failed = {
+        node_id: code
+        for node_id, code in result.exit_codes.items()
+        if code != 0
+    }
+    if failed:
+        print(f"nodes exited non-zero: {failed}", file=sys.stderr)
+        return 1
+    print("cluster completed cleanly")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -1047,6 +1345,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "serve": _cmd_serve,
         "site": _cmd_site,
+        "cluster": _cmd_cluster,
         "stats": _cmd_stats,
         "monitor": _cmd_monitor,
         "bench": _cmd_bench,

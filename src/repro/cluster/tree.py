@@ -1,0 +1,472 @@
+"""The §7 tree over the real transport stack, in one process.
+
+:class:`TransportTree` carries the exact semantics of
+:class:`repro.multilayer.tree.TreeNetwork` -- every internal node runs
+coordinator merge/split over its children and uploads to its parent only
+on :func:`~repro.multilayer.tree.mixture_change` -- but every tree edge
+is a real :mod:`repro.transport` link: serde-encoded payloads inside
+``TPT1`` envelopes, a :class:`~repro.transport.reliability.ReliableSender`
+per child, a :class:`~repro.transport.reliability.ReliableReceiver` per
+aggregator, and optional seeded fault injection per subnet.  The same
+object therefore backs three jobs:
+
+* the multilayer test suite ported onto the transport stack (loopback
+  and lossy links must reproduce the simulated-network results);
+* the aggregator crash/resume suite (an internal node is snapshotted
+  with its ARQ edge state and rebuilt mid-run);
+* the 1000-site soak harness (:mod:`repro.cluster.soak`), which needs
+  per-level byte accounting straight off the wire.
+
+Each aggregator owns one *subnet*: the transport instance its children
+(sites or lower aggregators) send into.  Spans adopt the envelope's
+propagated context on delivery and re-propagate from the upload path,
+so a chunk test at a leaf, the aggregation at its gateway and the merge
+at the root land on one causally linked trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.coordinator import Coordinator, CoordinatorConfig
+from repro.core.mixture import GaussianMixture
+from repro.core.remote import RemoteSite, RemoteSiteConfig
+from repro.core.serde import decode_message, encode_message
+from repro.io.checkpoint import restore_aggregator, snapshot_aggregator
+from repro.multilayer.tree import InternalNode
+from repro.obs.observer import Observer, ensure_observer
+from repro.transport.base import DatagramTransport
+from repro.transport.clock import ManualClock
+from repro.transport.loopback import LoopbackTransport
+from repro.transport.lossy import FaultConfig, LossyTransport
+from repro.transport.reliability import (
+    ReliabilityConfig,
+    ReliableReceiver,
+    ReliableSender,
+)
+
+__all__ = ["LevelStats", "TransportTree"]
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Wire accounting of all edges whose child sits at one tree level.
+
+    ``bytes_per_record`` divides the level's wire bytes by the total
+    records fed into the tree -- the §6 communication gauge, split by
+    hop so a deployment can see where its upload budget actually goes.
+    """
+
+    level: int
+    edges: int
+    messages: int
+    payload_bytes: int
+    wire_bytes: int
+    retransmissions: int
+    bytes_per_record: float
+
+    def as_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "edges": self.edges,
+            "messages": self.messages,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "retransmissions": self.retransmissions,
+            "bytes_per_record": self.bytes_per_record,
+        }
+
+
+@dataclass
+class _InternalWiring:
+    node: InternalNode
+    level: int
+    transport: DatagramTransport
+    receiver: ReliableReceiver
+    uplink: ReliableSender | None = None
+
+
+@dataclass
+class _LeafWiring:
+    site: RemoteSite
+    parent_id: int
+    level: int
+    sender: ReliableSender
+
+
+class TransportTree:
+    """A communication tree whose every edge is a transport link.
+
+    The topology API mirrors :class:`~repro.multilayer.tree.TreeNetwork`
+    (:meth:`add_internal` / :meth:`add_leaf` / :meth:`feed` /
+    :meth:`global_mixture`), so the simulated-network suite ports over
+    unchanged.
+
+    Parameters
+    ----------
+    site_config / coordinator_config / seed:
+        Templates for leaf sites and internal coordinators.
+    reliability:
+        ARQ tuning shared by every edge; the default disables jitter so
+        a seeded lossy run stays deterministic.
+    faults:
+        Optional :class:`~repro.transport.lossy.FaultConfig` applied to
+        every subnet (each aggregator's subnet gets its own
+        deterministic fault stream derived from ``seed``).  ``None``
+        runs over loopback: synchronous, loss-free, nothing in flight.
+    clock:
+        Shared :class:`~repro.transport.clock.ManualClock`; owned by the
+        tree when omitted.
+    observer:
+        Optional observer shared by all senders/receivers; aggregation
+        emits ``cluster.aggregate`` spans causally linked across hops.
+    """
+
+    def __init__(
+        self,
+        site_config: RemoteSiteConfig | None = None,
+        coordinator_config: CoordinatorConfig | None = None,
+        seed: int = 0,
+        reliability: ReliabilityConfig | None = None,
+        faults: FaultConfig | None = None,
+        clock: ManualClock | None = None,
+        observer: Observer | None = None,
+    ) -> None:
+        self._site_config = site_config or RemoteSiteConfig()
+        self._coordinator_config = coordinator_config or CoordinatorConfig()
+        self._seed = seed
+        self._reliability = reliability or ReliabilityConfig(
+            jitter=0.0, heartbeat_interval=None
+        )
+        self._faults = faults
+        self.clock = clock or ManualClock()
+        self._obs = ensure_observer(observer)
+        self._internals: dict[int, _InternalWiring] = {}
+        self._leaves: dict[int, _LeafWiring] = {}
+        self._root_id: int | None = None
+        self.records_fed = 0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        faults: FaultConfig | None = None,
+        observer: Observer | None = None,
+        reliability: ReliabilityConfig | None = None,
+    ) -> "TransportTree":
+        """Instantiate a :class:`~repro.cluster.spec.ClusterSpec` in-process."""
+        tree = cls(
+            site_config=spec.site_config(),
+            coordinator_config=spec.coordinator_config(),
+            seed=spec.seed,
+            reliability=reliability,
+            faults=faults,
+            observer=observer,
+        )
+        for agg in spec.aggregators:
+            tree.add_internal(
+                agg.node_id,
+                parent_id=agg.parent_id,
+                upload_threshold=spec.node_upload_threshold(agg),
+            )
+        for site in spec.site_nodes:
+            tree.add_leaf(site.node_id, site.parent_id)
+        return tree
+
+    def add_internal(
+        self,
+        node_id: int,
+        parent_id: int | None = None,
+        upload_threshold: float = 0.05,
+    ) -> InternalNode:
+        """Add an aggregator; ``parent_id=None`` makes it the root."""
+        self._check_new_id(node_id)
+        if parent_id is None:
+            if self._root_id is not None:
+                raise ValueError("tree already has a root")
+            level = 0
+            self._root_id = node_id
+        else:
+            level = self._require_internal(parent_id).level + 1
+        node = InternalNode(
+            node_id=node_id,
+            coordinator=Coordinator(
+                self._coordinator_config,
+                rng=np.random.default_rng(self._seed + 50_000 + node_id),
+                observer=self._obs,
+            ),
+            parent_id=parent_id,
+            upload_threshold=upload_threshold,
+        )
+        wiring = _InternalWiring(
+            node=node,
+            level=level,
+            transport=self._make_subnet(node_id),
+            receiver=None,  # type: ignore[arg-type]  (set just below)
+        )
+        wiring.receiver = self._make_receiver(wiring)
+        if parent_id is not None:
+            wiring.uplink = self._make_uplink(node_id, parent_id)
+        self._internals[node_id] = wiring
+        return node
+
+    def add_leaf(self, node_id: int, parent_id: int) -> RemoteSite:
+        """Add a leaf site under an aggregator; returns the site."""
+        self._check_new_id(node_id)
+        parent = self._require_internal(parent_id)
+        sender = self._make_uplink(node_id, parent_id)
+        site = RemoteSite(
+            site_id=node_id,
+            config=self._site_config,
+            rng=np.random.default_rng(self._seed + node_id),
+            emit=lambda message: sender.send_payload(
+                encode_message(message), trace=self._obs.span_context()
+            ),
+            observer=self._obs,
+        )
+        self._leaves[node_id] = _LeafWiring(
+            site=site, parent_id=parent_id, level=parent.level + 1, sender=sender
+        )
+        return site
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> InternalNode:
+        if self._root_id is None:
+            raise ValueError("tree has no root")
+        return self._internals[self._root_id].node
+
+    @property
+    def internals(self) -> tuple[InternalNode, ...]:
+        return tuple(w.node for w in self._internals.values())
+
+    @property
+    def sites(self) -> tuple[RemoteSite, ...]:
+        return tuple(w.site for w in self._leaves.values())
+
+    def internal(self, node_id: int) -> InternalNode:
+        return self._require_internal(node_id).node
+
+    @property
+    def depth(self) -> int:
+        """Deepest level in the tree (root = 0)."""
+        levels = [w.level for w in self._internals.values()]
+        levels += [w.level for w in self._leaves.values()]
+        return max(levels, default=0)
+
+    def global_mixture(self) -> GaussianMixture:
+        """The root's view of the union of all leaf streams."""
+        return self.root.coordinator.global_mixture()
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+    def feed(self, leaf_id: int, record: np.ndarray) -> None:
+        """Deliver one record to a leaf; uploads ride the transport."""
+        leaf = self._leaves.get(leaf_id)
+        if leaf is None:
+            raise KeyError(f"unknown leaf {leaf_id}")
+        leaf.site.process_record(record)
+        self.records_fed += 1
+        if self._faults is not None:
+            self.drain()
+
+    def drain(self, step: float = 0.25, limit: float = 600.0) -> float:
+        """Advance the clock until every edge's outbox is empty."""
+        senders = [w.sender for w in self._leaves.values()]
+        senders += [
+            w.uplink for w in self._internals.values() if w.uplink is not None
+        ]
+        spent = 0.0
+        while any(sender.outstanding() for sender in senders):
+            if spent >= limit:
+                raise RuntimeError(
+                    f"tree transport failed to drain within {limit} clock "
+                    "seconds"
+                )
+            self.clock.advance(step)
+            spent += step
+        return spent
+
+    def close(self) -> None:
+        """Cancel timers and release transport bindings."""
+        for wiring in self._leaves.values():
+            wiring.site._emit = None
+            wiring.sender.close()
+        for wiring in self._internals.values():
+            if wiring.uplink is not None:
+                wiring.uplink.close()
+            wiring.transport.close()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def total_uplink_bytes(self) -> int:
+        """Application bytes crossing all tree edges (leaf + internal)."""
+        leaf_bytes = sum(
+            w.site.stats.bytes_sent for w in self._leaves.values()
+        )
+        internal_bytes = sum(
+            w.node.bytes_up for w in self._internals.values()
+        )
+        return leaf_bytes + internal_bytes
+
+    def level_stats(self) -> tuple[LevelStats, ...]:
+        """Per-level wire accounting, level 1 (root's children) down."""
+        per_level: dict[int, list[ReliableSender]] = {}
+        for wiring in self._leaves.values():
+            per_level.setdefault(wiring.level, []).append(wiring.sender)
+        for wiring in self._internals.values():
+            if wiring.uplink is not None:
+                per_level.setdefault(wiring.level, []).append(wiring.uplink)
+        records = max(1, self.records_fed)
+        stats = []
+        for level in sorted(per_level):
+            senders = per_level[level]
+            wire = sum(s.stats.wire_bytes for s in senders)
+            stats.append(
+                LevelStats(
+                    level=level,
+                    edges=len(senders),
+                    messages=sum(s.stats.payloads_sent for s in senders),
+                    payload_bytes=sum(s.stats.payload_bytes for s in senders),
+                    wire_bytes=wire,
+                    retransmissions=sum(
+                        s.stats.retransmissions for s in senders
+                    ),
+                    bytes_per_record=wire / records,
+                )
+            )
+        return tuple(stats)
+
+    def receiver_stats(self, node_id: int):
+        """Delivery counters of one aggregator's subnet receiver."""
+        return self._require_internal(node_id).receiver.stats
+
+    # ------------------------------------------------------------------
+    # Crash / resume of one aggregator
+    # ------------------------------------------------------------------
+    def aggregator_snapshot(self, node_id: int) -> dict:
+        """Checkpoint one aggregator including its ARQ edge state."""
+        wiring = self._require_internal(node_id)
+        arq = {
+            "uplink_next_seq": (
+                wiring.uplink.last_seq + 1 if wiring.uplink is not None else 1
+            ),
+            "cursors": wiring.receiver.cursor_snapshot(),
+        }
+        return snapshot_aggregator(wiring.node, arq=arq)
+
+    def restore_aggregator(self, payload: Mapping) -> InternalNode:
+        """Rebuild one aggregator in place from a snapshot (crash path).
+
+        Everything in the node's memory is discarded -- coordinator,
+        upload gate, receiver -- and replaced by the checkpointed state;
+        the subnet transport and the surviving peers (children's
+        senders, the parent's receiver cursor) are left untouched,
+        exactly like a process restart on a live deployment.  The
+        restored receiver resumes the recorded per-child cursors and
+        the restored uplink continues the recorded sequence numbers.
+        """
+        node_id = payload["node_id"]
+        wiring = self._require_internal(node_id)
+        node, arq = restore_aggregator(payload, observer=self._obs)
+        wiring.node = node
+        wiring.receiver = self._make_receiver(wiring)
+        if arq is not None:
+            for child_id, expected in arq["cursors"].items():
+                wiring.receiver.restore_cursor(child_id, expected)
+        if wiring.uplink is not None:
+            wiring.uplink.close()
+            assert node.parent_id is not None
+            wiring.uplink = self._make_uplink(
+                node_id,
+                node.parent_id,
+                first_seq=arq["uplink_next_seq"] if arq is not None else 1,
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_subnet(self, node_id: int) -> DatagramTransport:
+        transport: DatagramTransport = LoopbackTransport()
+        if self._faults is not None:
+            transport = LossyTransport(
+                transport,
+                self.clock,
+                self._faults,
+                seed=self._seed + 90_000 + node_id,
+                observer=self._obs,
+            )
+        return transport
+
+    def _make_receiver(self, wiring: _InternalWiring) -> ReliableReceiver:
+        receiver = ReliableReceiver(
+            deliver_traced=self._make_deliver(wiring),
+            send_ack=wiring.transport.send_to_site,
+            clock=self.clock,
+            config=self._reliability,
+            observer=self._obs,
+        )
+        wiring.transport.bind_coordinator(receiver.handle_datagram)
+        return receiver
+
+    def _make_deliver(
+        self, wiring: _InternalWiring
+    ) -> Callable[[int, bytes, object], None]:
+        def deliver(child_id: int, payload: bytes, trace=None) -> None:
+            message = decode_message(payload)
+            obs = self._obs
+            with obs.remote_parent(trace):
+                with obs.span(
+                    "cluster.aggregate",
+                    node=wiring.node.node_id,
+                    child=child_id,
+                    level=wiring.level,
+                ):
+                    uploads = wiring.node.handle_child_message(message)
+                    if wiring.uplink is not None:
+                        for upload in uploads:
+                            wiring.uplink.send_payload(
+                                encode_message(upload),
+                                trace=obs.span_context(),
+                            )
+
+        return deliver
+
+    def _make_uplink(
+        self, node_id: int, parent_id: int, first_seq: int = 1
+    ) -> ReliableSender:
+        parent = self._require_internal(parent_id)
+        sender = ReliableSender(
+            site_id=node_id,
+            transmit=lambda data: parent.transport.send_to_coordinator(
+                node_id, data
+            ),
+            clock=self.clock,
+            config=self._reliability,
+            rng=np.random.default_rng(self._seed + 70_000 + node_id),
+            observer=self._obs,
+            first_seq=first_seq,
+        )
+        parent.transport.bind_site(node_id, sender.handle_datagram)
+        return sender
+
+    def _check_new_id(self, node_id: int) -> None:
+        if node_id in self._internals or node_id in self._leaves:
+            raise ValueError(f"node id {node_id} already used")
+
+    def _require_internal(self, node_id: int) -> _InternalWiring:
+        wiring = self._internals.get(node_id)
+        if wiring is None:
+            raise ValueError(f"parent {node_id} is not an internal node")
+        return wiring

@@ -235,11 +235,15 @@ class GaussianMixture:
         ``M_split`` / ``M_remerge`` criteria compare components against.
         """
         if not self._pooled:
-            mean = np.einsum("k,kd->d", self.weights, self._means_matrix())
-            cov = np.zeros((self.dim, self.dim))
-            for weight, component in self:
-                delta = component.mean - mean
-                cov += weight * (component.covariance + np.outer(delta, delta))
+            means = self._means_matrix()
+            covariances = np.stack(
+                [component.covariance for component in self.components]
+            )
+            mean = self.weights @ means
+            deltas = means - mean
+            cov = np.einsum(
+                "k,kij->ij", self.weights, covariances
+            ) + np.einsum("k,ki,kj->ij", self.weights, deltas, deltas)
             self._pooled.append(Gaussian(mean, cov))
         return self._pooled[0]
 

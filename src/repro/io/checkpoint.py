@@ -32,12 +32,16 @@ from repro.core.testing import LikelihoodVariant
 from repro.obs.observer import Observer
 
 __all__ = [
+    "load_aggregator",
     "load_coordinator",
     "load_site",
+    "restore_aggregator",
     "restore_coordinator",
     "restore_site",
+    "save_aggregator",
     "save_coordinator",
     "save_site",
+    "snapshot_aggregator",
     "snapshot_coordinator",
     "snapshot_site",
 ]
@@ -318,5 +322,99 @@ def load_coordinator(
 ) -> Coordinator:
     """Read a coordinator checkpoint written by :func:`save_coordinator`."""
     return restore_coordinator(
+        json.loads(Path(path).read_text()), observer=observer
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregator (tree internal node)
+# ----------------------------------------------------------------------
+def snapshot_aggregator(node, arq: Mapping | None = None) -> dict:
+    """Serialise a :class:`~repro.multilayer.tree.InternalNode`.
+
+    The snapshot covers the wrapped coordinator, the upload gate (last
+    uploaded mixture, next model id, uplink counters) and, optionally,
+    the ARQ edge state under ``arq``: ``{"uplink_next_seq": int,
+    "cursors": {child_id: next_expected_seq}}``.  With the ARQ state
+    restored, a crashed aggregator resumes mid-deployment against peers
+    that never restarted -- its parent keeps accepting its uploads and
+    it keeps suppressing children's already-applied synopses.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "kind": "aggregator",
+        "node_id": node.node_id,
+        "parent_id": node.parent_id,
+        "upload_threshold": node.upload_threshold,
+        "coordinator": snapshot_coordinator(node.coordinator),
+        "last_uploaded": (
+            node._last_uploaded.to_dict()
+            if node._last_uploaded is not None
+            else None
+        ),
+        "next_model_id": node._next_model_id,
+        "messages_up": node.messages_up,
+        "bytes_up": node.bytes_up,
+    }
+    if arq is not None:
+        payload["arq"] = {
+            "uplink_next_seq": int(arq.get("uplink_next_seq", 1)),
+            "cursors": {
+                str(site_id): int(expected)
+                for site_id, expected in arq.get("cursors", {}).items()
+            },
+        }
+    return payload
+
+
+def restore_aggregator(payload: Mapping, observer: Observer | None = None):
+    """Rebuild an ``InternalNode`` (plus ARQ state) from a snapshot.
+
+    Returns ``(node, arq)`` where ``arq`` is the dict passed to
+    :func:`snapshot_aggregator` (cursor keys back as ints), or ``None``
+    when the snapshot carried no edge state.
+    """
+    from repro.multilayer.tree import InternalNode
+
+    if payload.get("kind") != "aggregator":
+        raise ValueError("payload is not an aggregator checkpoint")
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format {payload.get('format')}")
+    node = InternalNode(
+        node_id=payload["node_id"],
+        coordinator=restore_coordinator(payload["coordinator"], observer=observer),
+        parent_id=payload["parent_id"],
+        upload_threshold=payload["upload_threshold"],
+    )
+    node._last_uploaded = (
+        GaussianMixture.from_dict(payload["last_uploaded"])
+        if payload["last_uploaded"] is not None
+        else None
+    )
+    node._next_model_id = payload["next_model_id"]
+    node.messages_up = payload["messages_up"]
+    node.bytes_up = payload["bytes_up"]
+    arq = payload.get("arq")
+    if arq is not None:
+        arq = {
+            "uplink_next_seq": int(arq["uplink_next_seq"]),
+            "cursors": {
+                int(site_id): int(expected)
+                for site_id, expected in arq["cursors"].items()
+            },
+        }
+    return node, arq
+
+
+def save_aggregator(node, path: str | Path, arq: Mapping | None = None) -> Path:
+    """Write an aggregator checkpoint to ``path`` (JSON)."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot_aggregator(node, arq=arq)))
+    return path
+
+
+def load_aggregator(path: str | Path, observer: Observer | None = None):
+    """Read an aggregator checkpoint written by :func:`save_aggregator`."""
+    return restore_aggregator(
         json.loads(Path(path).read_text()), observer=observer
     )

@@ -40,7 +40,12 @@ from repro.obs.export import (
     to_json,
     to_prometheus,
 )
-from repro.obs.health import HealthMonitor, SiteHealth, system_snapshot
+from repro.obs.health import (
+    HealthMonitor,
+    SiteHealth,
+    publish_cluster_levels,
+    system_snapshot,
+)
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -102,6 +107,7 @@ __all__ = [
     "SpanContext",
     "SpanRecord",
     "TelemetryServer",
+    "publish_cluster_levels",
     "TraceEvent",
     "TraceSink",
     "TruncatedTraceWarning",

@@ -30,7 +30,12 @@ from typing import Callable, Sequence
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceEvent, TraceSink
 
-__all__ = ["HealthMonitor", "SiteHealth", "system_snapshot"]
+__all__ = [
+    "HealthMonitor",
+    "SiteHealth",
+    "publish_cluster_levels",
+    "system_snapshot",
+]
 
 
 @dataclass
@@ -352,3 +357,35 @@ def system_snapshot(
                 "duplicated": getattr(accounting, "duplicated", 0),
             }
     return out
+
+
+def publish_cluster_levels(
+    registry: MetricsRegistry, levels: Sequence[object]
+) -> None:
+    """Push per-tree-level wire gauges into ``registry``.
+
+    ``levels`` is an iterable of :class:`repro.cluster.tree.LevelStats`
+    (or anything with the same attributes).  Designed as a
+    ``TelemetryServer`` publisher::
+
+        TelemetryServer(obs, publish=(
+            lambda reg: publish_cluster_levels(reg, tree.level_stats()),
+        ))
+
+    so the root's ``/metrics`` endpoint always reports current per-level
+    messages, wire bytes and bytes-per-record for the whole tree.
+    """
+    for stats in levels:
+        labels = {"level": getattr(stats, "level", 0)}
+        registry.gauge("cluster.level_edges", **labels).set(
+            getattr(stats, "edges", 0)
+        )
+        registry.gauge("cluster.level_messages", **labels).set(
+            getattr(stats, "messages", 0)
+        )
+        registry.gauge("cluster.level_wire_bytes", **labels).set(
+            getattr(stats, "wire_bytes", 0)
+        )
+        registry.gauge("cluster.level_bytes_per_record", **labels).set(
+            getattr(stats, "bytes_per_record", 0.0)
+        )

@@ -100,6 +100,12 @@ class TelemetryServer:
     host / port:
         Bind address.  ``port=0`` (the default) picks a free ephemeral
         port; read it back from :attr:`port` / :attr:`url`.
+    publish:
+        Extra publishers called with the metrics registry right before
+        every ``/metrics`` render (after the health monitor publishes),
+        e.g. :func:`repro.obs.health.publish_cluster_levels` bound to a
+        live tree -- lets components push point-in-time gauges without
+        holding a background thread.
     """
 
     def __init__(
@@ -110,11 +116,13 @@ class TelemetryServer:
         snapshot: Callable[[], dict] | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        publish: tuple[Callable, ...] = (),
     ) -> None:
         self.observer = observer
         self.health = health
         self.spans = spans
         self.snapshot = snapshot
+        self.publish = tuple(publish)
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.telemetry = self  # type: ignore[attr-defined]
@@ -164,6 +172,8 @@ class TelemetryServer:
     def render_metrics(self) -> str:
         if self.health is not None:
             self.health.publish(self.observer.registry)
+        for publisher in self.publish:
+            publisher(self.observer.registry)
         return to_prometheus(self.observer.registry)
 
     def render_health(self) -> dict:

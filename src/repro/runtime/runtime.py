@@ -114,6 +114,11 @@ class Runtime:
         )
         self.checkpoint_every = checkpoint_every
         self._by_id = {site.site_id: site for site in self.sites}
+        #: Live endpoint descriptors (``{"telemetry": {"host", "port",
+        #: "url"}, ...}``) recorded verbatim in the checkpoint manifest
+        #: so tooling can find the actually bound ports of a run --
+        #: callers fill this in after binding (port 0 resolves late).
+        self.endpoints: dict[str, dict] = {}
         #: Stream rounds already consumed (> 0 after a resume).
         self._round = 0
         self._opened = False
@@ -299,6 +304,8 @@ class Runtime:
                 "round": self._round,
                 "site_ids": [site.site_id for site in self.sites],
             }
+            if self.endpoints:
+                manifest["endpoints"] = self.endpoints
             (target / MANIFEST_NAME).write_text(json.dumps(manifest))
         obs.finish_span(span)
         if obs.enabled:

@@ -156,6 +156,12 @@ class ReliableSender:
         Optional :class:`~repro.obs.observer.Observer` emitting
         ``transport.send`` / ``transport.retransmit`` /
         ``transport.heartbeat`` / ``transport.expired`` trace events.
+    first_seq:
+        Sequence number of the first payload sent (keyword-only,
+        default ``1``).  A process resuming from a checkpoint passes
+        the recorded next sequence number here so its peer's cursor --
+        which survived the crash -- keeps accepting its payloads
+        instead of suppressing them as duplicates.
     """
 
     def __init__(
@@ -166,14 +172,18 @@ class ReliableSender:
         config: ReliabilityConfig | None = None,
         rng: np.random.Generator | None = None,
         observer: Observer | None = None,
+        *,
+        first_seq: int = 1,
     ) -> None:
+        if first_seq < 1:
+            raise ValueError("first_seq must be at least 1")
         self.site_id = site_id
         self._transmit = transmit
         self._clock = clock
         self.config = config or ReliabilityConfig()
         self._obs = ensure_observer(observer)
         self._rng = rng if rng is not None else np.random.default_rng(site_id)
-        self._next_seq = 1
+        self._next_seq = first_seq
         self._outbox: dict[int, _OutboxEntry] = {}
         self._heartbeat_timer: TimerHandle | None = None
         self._closed = False
@@ -487,6 +497,35 @@ class ReliableReceiver:
         """``True`` once ``site_id`` sent DONE and all its data arrived."""
         cursor = self._cursors.get(site_id)
         return cursor is not None and cursor.done
+
+    # ------------------------------------------------------------------
+    # Cursor checkpointing
+    # ------------------------------------------------------------------
+    def cursor_snapshot(self) -> dict[int, int]:
+        """Per-site next expected sequence numbers (for checkpoints).
+
+        Only the in-order cursor is recorded: payloads buffered out of
+        order are deliberately dropped from the snapshot -- the sender's
+        retransmission recovers them after a restore, which keeps the
+        checkpoint free of undelivered application payloads.
+        """
+        return {
+            site_id: cursor.expected
+            for site_id, cursor in self._cursors.items()
+        }
+
+    def restore_cursor(self, site_id: int, expected: int) -> None:
+        """Resume ``site_id``'s cursor at ``expected`` (from a snapshot).
+
+        A receiver restored this way keeps suppressing payloads its
+        pre-crash incarnation already delivered, so crash/resume never
+        double-applies a synopsis.
+        """
+        if expected < 1:
+            raise ValueError("expected sequence must be at least 1")
+        cursor = self._cursors.setdefault(site_id, _SiteCursor())
+        cursor.expected = expected
+        cursor.buffer.clear()
 
     def all_done(self, expected_sites: int) -> bool:
         """``True`` once ``expected_sites`` distinct sites completed."""

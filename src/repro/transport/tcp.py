@@ -18,6 +18,7 @@ coordinator flag sites whose process died while holding the socket open.
 from __future__ import annotations
 
 import asyncio
+import sys
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -72,6 +73,7 @@ class CoordinatorServer:
         self._server: asyncio.base_events.Server | None = None
         self._done = asyncio.Event()
         self._handlers: set[asyncio.Task] = set()
+        self._closing = False
         self.receiver: ReliableReceiver | None = None
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
@@ -102,6 +104,10 @@ class CoordinatorServer:
 
     async def close(self) -> None:
         assert self._server is not None
+        # Handlers poll this between envelopes: an interrupted shutdown
+        # must not wait for the backlog of buffered synopses to be
+        # absorbed at EM-merge speed before the process can exit.
+        self._closing = True
         self._server.close()
         await self._server.wait_closed()
         for writer in self._writers.values():
@@ -118,9 +124,28 @@ class CoordinatorServer:
         assert self.receiver is not None
         return self.receiver.stale_sites(stale_after)
 
+    def request_stop(self) -> None:
+        """Make handlers stop absorbing envelopes.
+
+        Safe to call from a raw ``signal.signal`` handler: handlers
+        check the flag between envelopes, so a stop interrupts even a
+        connection whose buffered backlog would take many EM merges to
+        absorb (an asyncio signal handler would wait for the current
+        chunk's whole batch).  Follow up with :meth:`close`.
+        """
+        self._closing = True
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _check_done(self) -> None:
+        if (
+            self.expected_sites is not None
+            and self.receiver is not None
+            and self.receiver.all_done(self.expected_sites)
+        ):
+            self._done.set()
+
     def _deliver(self, site_id: int, payload: bytes, trace=None) -> None:
         message = decode_message(payload)
         with self._obs.remote_parent(trace):
@@ -140,21 +165,33 @@ class CoordinatorServer:
             self._handlers.add(task)
         decoder = StreamDecoder()
         try:
-            while True:
+            while not self._closing:
                 chunk = await reader.read(_READ_CHUNK)
                 if not chunk:
                     break
                 for envelope in decoder.feed(chunk):
+                    if self._closing:
+                        break
                     self._writers[envelope.site_id] = writer
                     self.receiver.handle_envelope(envelope)
+                # Check completion BEFORE draining acks: a site may
+                # close its socket right after DONE, making the drain
+                # raise -- the DONE is already registered by then and
+                # must still release wait_done().
+                self._check_done()
                 await writer.drain()
-                if (
-                    self.expected_sites is not None
-                    and self.receiver.all_done(self.expected_sites)
-                ):
-                    self._done.set()
-        except (ConnectionResetError, asyncio.IncompleteReadError):
-            pass
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self._check_done()
+        except Exception:  # noqa: BLE001  -- a dead handler stops acks
+            # A handler that dies silently strands every site on this
+            # connection (their sender retransmits forever against a
+            # closed pipe); surface the error instead.
+            import traceback
+
+            print(
+                "coordinator connection handler failed:", file=sys.stderr
+            )
+            traceback.print_exc()
         finally:
             if task is not None:
                 self._handlers.discard(task)
@@ -258,6 +295,19 @@ async def run_site_client(
             await asyncio.sleep(0.02)
         sender.send_done()
         await writer.drain()
+        # DONE is best-effort on the ARQ layer, so its delivery must be
+        # guaranteed by the close sequence: closing while unread acks
+        # sit in our receive buffer turns the close into a TCP RST,
+        # which can destroy the just-sent DONE in the coordinator's
+        # receive queue.  Half-close instead -- FIN is ordered after
+        # the DONE bytes -- and linger until the coordinator has read
+        # everything and closed its side (the ack pump sees EOF).
+        sender.close()
+        try:
+            writer.write_eof()
+            await asyncio.wait_for(ack_task, drain_timeout)
+        except (OSError, RuntimeError, asyncio.TimeoutError):
+            pass
     finally:
         sender.close()
         ack_task.cancel()

@@ -1,0 +1,166 @@
+"""Tests for the declarative cluster topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    NodeSpec,
+    build_spec,
+    load_spec,
+    save_spec,
+    with_ports,
+)
+
+
+class TestBuildSpec:
+    def test_small_tree_shape(self):
+        spec = build_spec(8, 4)
+        assert len(spec.site_nodes) == 8
+        assert len(spec.aggregators) == 3  # root + two gateways
+        assert spec.depth == 2
+        assert spec.root.node_id == 0
+
+    def test_star_when_sites_fit_fanin(self):
+        spec = build_spec(4, 8)
+        assert len(spec.aggregators) == 1
+        assert spec.depth == 1
+        assert all(n.parent_id == 0 for n in spec.site_nodes)
+
+    def test_thousand_site_tree_is_two_levels(self):
+        spec = build_spec(1000, 32)
+        assert len(spec.site_nodes) == 1000
+        assert spec.depth == 2
+        assert len(spec.aggregators) == 1 + 32
+        # Every gateway's fan-in stays near the requested value.
+        fanins = [len(spec.children(a.node_id)) for a in spec.aggregators
+                  if not a.is_root]
+        assert max(fanins) <= 32
+
+    def test_forced_depth_one_is_flat(self):
+        spec = build_spec(64, 4, depth=1)
+        assert len(spec.aggregators) == 1
+        assert all(n.parent_id == 0 for n in spec.site_nodes)
+
+    def test_base_port_assigns_consecutive_ports(self):
+        spec = build_spec(8, 4, base_port=9100)
+        ports = {a.node_id: a.port for a in spec.aggregators}
+        assert ports == {0: 9100, 1: 9101, 2: 9102}
+        assert all(n.port == 0 for n in spec.site_nodes)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError, match="sites"):
+            build_spec(0, 4)
+        with pytest.raises(ValueError, match="fanin"):
+            build_spec(4, 1)
+        with pytest.raises(ValueError, match="depth"):
+            build_spec(4, 2, depth=0)
+
+
+class TestValidation:
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError, match="exactly one root"):
+            ClusterSpec(
+                nodes=(
+                    NodeSpec(node_id=0, role="aggregator"),
+                    NodeSpec(node_id=1, role="aggregator"),
+                )
+            )
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterSpec(
+                nodes=(
+                    NodeSpec(node_id=0, role="aggregator"),
+                    NodeSpec(
+                        node_id=0, role="site", parent_id=0, level=1
+                    ),
+                )
+            )
+
+    def test_site_needs_aggregator_parent(self):
+        with pytest.raises(ValueError, match="not an aggregator"):
+            ClusterSpec(
+                nodes=(
+                    NodeSpec(node_id=0, role="aggregator"),
+                    NodeSpec(node_id=1, role="site", parent_id=0, level=1),
+                    NodeSpec(node_id=2, role="site", parent_id=1, level=2),
+                )
+            )
+
+    def test_level_must_follow_parent(self):
+        with pytest.raises(ValueError, match="level"):
+            ClusterSpec(
+                nodes=(
+                    NodeSpec(node_id=0, role="aggregator"),
+                    NodeSpec(node_id=1, role="site", parent_id=0, level=3),
+                )
+            )
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="role"):
+            NodeSpec(node_id=0, role="coordinator")
+
+
+class TestAccessors:
+    def test_per_node_overrides(self):
+        spec = build_spec(2, 2, records_per_site=500, upload_threshold=0.1)
+        site = spec.site_nodes[0]
+        assert spec.node_records(site) == 500
+        custom = NodeSpec(
+            node_id=99, role="site", parent_id=0,
+            level=site.level, records=7, stream="netflow",
+        )
+        assert spec.node_records(custom) == 7
+        assert spec.node_stream(custom) == "netflow"
+        assert spec.node_upload_threshold(spec.root) == 0.1
+
+    def test_derived_configs(self):
+        spec = build_spec(2, 2, clusters=4, dim=3, chunk=123,
+                          merge_method="moment")
+        site_config = spec.site_config()
+        assert site_config.dim == 3
+        assert site_config.em.n_components == 4
+        assert site_config.chunk_override == 123
+        coord = spec.coordinator_config()
+        assert coord.max_components == 8
+        assert coord.merge_method == "moment"
+
+    def test_describe_mentions_shape(self):
+        text = build_spec(8, 4).describe()
+        assert "8 sites" in text
+        assert "depth 2" in text
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        spec = build_spec(
+            8, 4, seed=3, clusters=4, stream="netflow", dim=6,
+            merge_method="moment", upload_threshold=0.2,
+        )
+        assert ClusterSpec.from_dict(spec.to_dict()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = build_spec(4, 2, seed=11)
+        path = save_spec(spec, tmp_path / "spec.json")
+        assert load_spec(path) == spec
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a cluster spec"):
+            ClusterSpec.from_dict({"kind": "something", "format": 1})
+
+    def test_unknown_format_rejected(self):
+        payload = build_spec(2, 2).to_dict()
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            ClusterSpec.from_dict(payload)
+
+    def test_with_ports_fills_aggregators(self):
+        spec = build_spec(4, 2)
+        bound = with_ports(spec, {0: 9000, 1: 9001, 2: 9002})
+        assert {a.node_id: a.port for a in bound.aggregators} == {
+            0: 9000, 1: 9001, 2: 9002,
+        }
+        # Original spec untouched.
+        assert all(a.port == 0 for a in spec.aggregators)

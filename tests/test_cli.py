@@ -400,6 +400,143 @@ class TestMonitorCommand:
         assert "cannot reach" in capsys.readouterr().out
 
 
+class TestServeFailures:
+    """Bind failures must exit non-zero with a clear message, not a
+    traceback (ISSUE satellite 2)."""
+
+    def test_occupied_port_exits_one(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        try:
+            port = blocker.getsockname()[1]
+            status = main(["serve", "--port", str(port), "--timeout", "5"])
+        finally:
+            blocker.close()
+        assert status == 1
+        assert f"cannot bind 127.0.0.1:{port}" in capsys.readouterr().err
+
+    def test_occupied_telemetry_port_exits_one(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        try:
+            port = blocker.getsockname()[1]
+            status = main(
+                ["serve", "--serve-telemetry", str(port), "--timeout", "5"]
+            )
+        finally:
+            blocker.close()
+        assert status == 1
+        assert f"cannot bind telemetry port {port}" in capsys.readouterr().err
+
+    def test_site_connect_failure_exits_one(self, capsys):
+        import socket
+
+        # Grab an ephemeral port and release it: nothing is listening.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        status = main(
+            ["site", "--port", str(port), "--records", "100", "--chunk", "50"]
+        )
+        assert status == 1
+        err = capsys.readouterr().err
+        assert f"cannot reach coordinator at 127.0.0.1:{port}" in err
+
+
+class TestServeEndpointManifest:
+    """``serve --checkpoint-dir`` records the actually bound endpoints
+    (ISSUE satellite 1: port 0 must surface the real port)."""
+
+    def test_manifest_carries_bound_port(self, tmp_path, capsys):
+        import json as json_module
+
+        status = main(
+            [
+                "serve",
+                "--port", "0",
+                "--timeout", "0.5",
+                "--checkpoint-dir", str(tmp_path),
+            ]
+        )
+        # No sites ever connect: the run times out, but the manifest
+        # and the banner still carry the real ephemeral port.
+        assert status == 1
+        out = capsys.readouterr().out
+        banner = next(
+            line for line in out.splitlines()
+            if line.startswith("listening on 127.0.0.1:")
+        )
+        port = int(banner.rsplit(":", 1)[1])
+        assert port > 0
+        manifest = json_module.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["kind"] == "coordinator_server"
+        assert manifest["endpoints"]["tcp"] == {
+            "host": "127.0.0.1",
+            "port": port,
+        }
+
+
+class TestClusterCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.sites is None
+        assert args.fanin is None
+        assert args.base_port == 0
+        assert args.host == "127.0.0.1"
+        assert not args.soak
+
+    def test_write_spec_round_trip(self, tmp_path, capsys):
+        from repro.cluster import load_spec
+
+        path = tmp_path / "tree.json"
+        status = main(
+            [
+                "cluster",
+                "--sites", "8",
+                "--fanin", "4",
+                "--seed", "3",
+                "--write-spec", str(path),
+            ]
+        )
+        assert status == 0
+        assert f"spec written to {path}" in capsys.readouterr().out
+        spec = load_spec(path)
+        assert len(spec.site_nodes) == 8
+        assert len(spec.aggregators) == 3
+
+    def test_missing_spec_file_exits_one(self, tmp_path, capsys):
+        status = main(["cluster", "--spec", str(tmp_path / "absent.json")])
+        assert status == 1
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_invalid_topology_exits_two(self, capsys):
+        status = main(["cluster", "--sites", "0"])
+        assert status == 2
+        assert "invalid topology" in capsys.readouterr().err
+
+    def test_small_soak_passes(self, capsys):
+        status = main(
+            [
+                "cluster",
+                "--soak",
+                "--sites", "8",
+                "--fanin", "4",
+                "--records", "120",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "8 sites" in out
+        assert "PASS" in out
+
+
 class TestCheckpointResume:
     """``run --checkpoint-dir`` / ``--resume`` round-trips through the
     runtime layer and converges to the uninterrupted result."""
