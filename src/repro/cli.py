@@ -308,6 +308,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="max acceptable avg log-likelihood gap, nats per holdout "
         "record (soak mode)",
     )
+    cluster.add_argument(
+        "--telemetry-interval", type=float, default=None, metavar="SECONDS",
+        help="seconds between federated telemetry flushes up the tree "
+        "(default: spec value, 2.0); with --serve-telemetry the root "
+        "additionally serves /cluster/health, /cluster/nodes and "
+        "/cluster/spans",
+    )
     _add_telemetry_flags(cluster)
 
     stats = sub.add_parser(
@@ -356,6 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-clear",
         action="store_true",
         help="do not clear the screen between refreshes",
+    )
+    monitor.add_argument(
+        "--cluster",
+        action="store_true",
+        help="render the federated cluster dashboard (tree topology, "
+        "per-node health tiles, per-level wire cost) from the root's "
+        "/cluster/* endpoints instead of the single-run view",
     )
 
     bench = sub.add_parser(
@@ -1104,6 +1118,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print(f"invalid topology: {error}", file=sys.stderr)
             return 2
 
+    if args.telemetry_interval is not None:
+        if args.telemetry_interval <= 0:
+            print("invalid --telemetry-interval: must be positive",
+                  file=sys.stderr)
+            return 2
+        from dataclasses import replace
+
+        spec = replace(spec, telemetry_interval=args.telemetry_interval)
+
     if args.write_spec:
         path = save_spec(spec, args.write_spec)
         print(f"spec written to {path}")
@@ -1185,6 +1208,14 @@ def _run_cluster_launch(spec, args: argparse.Namespace) -> int:
             f"telemetry: http://{spec.host}:{launcher.telemetry_port}",
             flush=True,
         )
+        if launcher.federate:
+            print(
+                "cluster view: "
+                f"http://{spec.host}:{launcher.telemetry_port}"
+                "/cluster/health (watch with "
+                "'cludistream monitor --cluster --url ...')",
+                flush=True,
+            )
 
     try:
         result = launcher.wait(timeout=args.timeout)
@@ -1246,12 +1277,20 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cluster and args.url is None:
+        print(
+            "monitor: --cluster needs --url (the federated root's "
+            "telemetry server)",
+            file=sys.stderr,
+        )
+        return 2
     return run_monitor(
         url=args.url,
         trace=args.trace,
         interval=args.interval,
         iterations=args.iterations,
         clear=not args.no_clear,
+        cluster=args.cluster,
     )
 
 

@@ -58,6 +58,10 @@ class AggregatorServer(CoordinatorServer):
         uplink's next sequence number and the children's receive
         cursors so a restarted aggregator keeps talking to peers that
         never went down.
+    on_telemetry:
+        Optional ``(child_id, payload)`` tap for TELEMETRY envelopes
+        from children -- feeds the federation relay (interior nodes) or
+        collector (root).
     """
 
     def __init__(
@@ -68,12 +72,14 @@ class AggregatorServer(CoordinatorServer):
         config: ReliabilityConfig | None = None,
         observer: Observer | None = None,
         arq: Mapping | None = None,
+        on_telemetry=None,
     ) -> None:
         super().__init__(
             node.coordinator,
             expected_sites=expected_children,
             config=config,
             observer=observer,
+            on_telemetry=on_telemetry,
         )
         self.node = node
         self.level = level

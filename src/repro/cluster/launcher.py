@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import signal
 import sys
+import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
@@ -94,7 +95,7 @@ def _worker_signals() -> None:
 
 
 def _site_worker(
-    spec_payload: dict, node_id: int, host: str, port: int
+    spec_payload: dict, node_id: int, host: str, port: int, federate: bool
 ) -> None:
     _worker_signals()
     from repro.cluster.data import site_records
@@ -102,6 +103,30 @@ def _site_worker(
 
     spec = ClusterSpec.from_dict(spec_payload)
     node = spec.node(node_id)
+    observer = publisher = None
+    if federate:
+        import os
+
+        from repro.obs import (
+            FederationPublisher,
+            HealthMonitor,
+            MultiSink,
+            Observer,
+            SpanCollector,
+        )
+
+        health, spans = HealthMonitor(), SpanCollector()
+        observer = Observer(
+            sink=MultiSink([health, spans]), span_origin=node_id
+        )
+        publisher = FederationPublisher(
+            node_id,
+            "site",
+            node.level,
+            health=health,
+            spans=spans,
+            pid=os.getpid(),
+        )
     try:
         asyncio.run(
             run_site_client(
@@ -111,6 +136,9 @@ def _site_worker(
                 port,
                 site_config=spec.site_config(),
                 seed=spec.seed,
+                observer=observer,
+                federation=publisher,
+                telemetry_interval=spec.telemetry_interval,
             )
         )
     except (ConnectionRefusedError, OSError) as exc:
@@ -129,6 +157,7 @@ def _aggregator_worker(
     telemetry_port: int | None,
     checkpoint_dir: str | None,
     resume: bool,
+    federate: bool,
 ) -> None:
     _worker_signals()
     spec = ClusterSpec.from_dict(spec_payload)
@@ -141,6 +170,7 @@ def _aggregator_worker(
             telemetry_port,
             Path(checkpoint_dir) if checkpoint_dir else None,
             resume,
+            federate,
         )
     )
     sys.exit(code)
@@ -158,27 +188,53 @@ async def _aggregator_main(
     telemetry_port: int | None,
     checkpoint_dir: Path | None,
     resume: bool,
+    federate: bool = False,
 ) -> int:
+    import os
+
     from repro.cluster.aggregator import AggregatorServer
     from repro.core.coordinator import Coordinator
     from repro.io.checkpoint import load_aggregator, save_aggregator
     from repro.multilayer.tree import InternalNode
     from repro.obs import (
+        FederationCollector,
+        FederationPublisher,
         HealthMonitor,
         MultiSink,
         Observer,
         SpanCollector,
+        TelemetryRelay,
         TelemetryServer,
+        publish_process_resources,
+        topology_from_spec,
     )
     from repro.obs.observer import ensure_observer
 
     node_id = node_spec.node_id
     health = spans = None
     observer = None
-    if telemetry_port is not None:
+    if telemetry_port is not None or federate:
         health, spans = HealthMonitor(), SpanCollector()
-        observer = Observer(sink=MultiSink([health, spans]))
+        observer = Observer(
+            sink=MultiSink([health, spans]), span_origin=node_id
+        )
     obs = ensure_observer(observer)
+
+    # Federation plumbing: the root collects, everyone else relays.
+    collector = relay = on_telemetry = None
+    if federate:
+        if node_spec.is_root:
+            # Three flush intervals, floored: a worker's event loop can
+            # go quiet for seconds while EM absorbs a chunk's synopses,
+            # and that must read as "busy", not "dead".
+            collector = FederationCollector(
+                topology=topology_from_spec(spec),
+                stale_after=max(3.0 * spec.telemetry_interval, 10.0),
+            )
+            on_telemetry = lambda _child, payload: collector.ingest(payload)  # noqa: E731
+        else:
+            relay = TelemetryRelay()
+            on_telemetry = lambda _child, payload: relay.add(payload)  # noqa: E731
 
     arq = None
     if resume and checkpoint_dir is not None:
@@ -211,6 +267,7 @@ async def _aggregator_main(
         level=node_spec.level,
         observer=observer,
         arq=arq,
+        on_telemetry=on_telemetry,
     )
     try:
         await server.start(spec.host, node_spec.port)
@@ -257,7 +314,8 @@ async def _aggregator_main(
                 snapshot=_snapshot,
                 host=spec.host,
                 port=telemetry_port,
-                publish=(_publish,),
+                publish=(_publish, publish_process_resources),
+                federation=collector,
             ).start()
         except OSError as exc:
             await server.close()
@@ -290,6 +348,66 @@ async def _aggregator_main(
                 }
             )
             return 1
+
+    # The aggregator's own federated self-report, plus the flush loop
+    # shipping it (and any relayed child reports) toward the root every
+    # telemetry_interval seconds.
+    publisher = flush_task = None
+    if federate:
+        endpoints: dict = {"tcp": {"host": spec.host, "port": server.port}}
+        if telemetry is not None:
+            endpoints["telemetry"] = {
+                "host": spec.host,
+                "port": telemetry.port,
+            }
+        publisher = FederationPublisher(
+            node_id,
+            "aggregator",
+            node_spec.level,
+            health=health,
+            spans=spans,
+            uplink_stats=lambda: (
+                server.uplink.stats if server.uplink is not None else None
+            ),
+            gauges=lambda: {
+                "messages_up": node.messages_up,
+                "bytes_up": node.bytes_up,
+                "components": node.coordinator.n_components,
+            },
+            endpoints=endpoints,
+            pid=os.getpid(),
+        )
+
+        def _flush_telemetry() -> None:
+            if collector is not None:
+                # The root ingests its own report directly.
+                collector.ingest_report(publisher.collect_report())
+            elif server.uplink is not None:
+                for payload in relay.drain():
+                    server.uplink.send_telemetry(payload)
+                server.uplink.send_telemetry(publisher.collect())
+
+        async def _flush_loop() -> None:
+            while True:
+                await asyncio.sleep(spec.telemetry_interval)
+                _flush_telemetry()
+
+        next_flush = time.monotonic() + spec.telemetry_interval
+
+        def _maybe_flush() -> None:
+            # Time-gated flush driven off the envelope-handling path.
+            # The async loop above covers idle stretches, but a busy
+            # aggregator can starve asyncio timers for minutes (one
+            # read batch = many EM merges), so the cadence must ride
+            # the traffic itself -- child telemetry arrivals included.
+            nonlocal next_flush
+            if time.monotonic() >= next_flush:
+                _flush_telemetry()
+                next_flush = time.monotonic() + spec.telemetry_interval
+
+        _flush_telemetry()
+        server.on_progress = _maybe_flush
+        flush_task = asyncio.ensure_future(_flush_loop())
 
     events.put(
         {
@@ -325,6 +443,13 @@ async def _aggregator_main(
     await asyncio.gather(done_task, stop_task, return_exceptions=True)
 
     code = 0
+    if flush_task is not None:
+        flush_task.cancel()
+        await asyncio.gather(flush_task, return_exceptions=True)
+    if publisher is not None:
+        # Final report: children are done, so it covers the whole run
+        # -- and it is written before DONE goes up the same stream.
+        _flush_telemetry()
     if completed and parent_port is not None:
         try:
             await server.finish_uplink()
@@ -403,7 +528,15 @@ class ClusterLauncher:
     serve_telemetry:
         When not ``None``, the root aggregator serves live telemetry on
         this port (``0`` = ephemeral; read back from
-        :attr:`telemetry_port` after :meth:`launch`).
+        :attr:`telemetry_port` after :meth:`launch`), every other
+        aggregator serves on an ephemeral port of its own, and -- unless
+        ``federate=False`` -- the whole tree federates: each node ships
+        telemetry reports up the existing ARQ edges, so the root also
+        serves ``/cluster/health``, ``/cluster/nodes`` and
+        ``/cluster/spans``.
+    federate:
+        Tri-state: ``None`` (default) federates exactly when
+        ``serve_telemetry`` is set; ``True`` / ``False`` force it.
     checkpoint_dir:
         When set, every aggregator writes its checkpoint and an
         endpoint manifest here on exit (and on SIGTERM).
@@ -421,11 +554,15 @@ class ClusterLauncher:
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
         start_timeout: float = 30.0,
+        federate: bool | None = None,
     ) -> None:
         if not spec.nodes:
             raise ValueError("cannot launch an empty spec")
         self.spec = spec
         self.serve_telemetry = serve_telemetry
+        self.federate = (
+            serve_telemetry is not None if federate is None else federate
+        )
         self.checkpoint_dir = (
             str(checkpoint_dir) if checkpoint_dir is not None else None
         )
@@ -457,7 +594,15 @@ class ClusterLauncher:
                     if agg.parent_id is not None
                     else None
                 )
-                telemetry = self.serve_telemetry if agg.is_root else None
+                if agg.is_root:
+                    telemetry = self.serve_telemetry
+                elif self.serve_telemetry is not None:
+                    # Interior aggregators get their own ephemeral
+                    # telemetry server; the bound port lands in the
+                    # node manifest and /cluster/nodes.
+                    telemetry = 0
+                else:
+                    telemetry = None
                 process = self._ctx.Process(
                     target=_aggregator_worker,
                     args=(
@@ -468,6 +613,7 @@ class ClusterLauncher:
                         telemetry,
                         self.checkpoint_dir,
                         self.resume,
+                        self.federate,
                     ),
                     name=f"aggregator-{agg.node_id}",
                 )
@@ -488,6 +634,7 @@ class ClusterLauncher:
                         site.node_id,
                         self.spec.host,
                         self.ports[site.parent_id],
+                        self.federate,
                     ),
                     name=f"site-{site.node_id}",
                 )

@@ -114,8 +114,11 @@ class ClusterSpec:
     p_new: float = 0.1
     upload_threshold: float = 0.05
     merge_method: str = "simplex"
+    telemetry_interval: float = 2.0
 
     def __post_init__(self) -> None:
+        if self.telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
         if not self.nodes:
             return
         by_id: dict[int, NodeSpec] = {}
@@ -257,6 +260,7 @@ class ClusterSpec:
             "p_new": self.p_new,
             "upload_threshold": self.upload_threshold,
             "merge_method": self.merge_method,
+            "telemetry_interval": self.telemetry_interval,
             "nodes": [
                 {
                     "node_id": n.node_id,
@@ -307,6 +311,7 @@ class ClusterSpec:
             p_new=payload.get("p_new", 0.1),
             upload_threshold=payload.get("upload_threshold", 0.05),
             merge_method=payload.get("merge_method", "simplex"),
+            telemetry_interval=payload.get("telemetry_interval", 2.0),
         )
 
 

@@ -37,6 +37,11 @@ from repro.core.remote import RemoteSite, RemoteSiteConfig
 from repro.core.serde import decode_message, encode_message
 from repro.io.checkpoint import restore_aggregator, snapshot_aggregator
 from repro.multilayer.tree import InternalNode
+from repro.obs.federation import (
+    FederationCollector,
+    FederationPublisher,
+    TelemetryRelay,
+)
 from repro.obs.observer import Observer, ensure_observer
 from repro.transport.base import DatagramTransport
 from repro.transport.clock import ManualClock
@@ -87,6 +92,8 @@ class _InternalWiring:
     transport: DatagramTransport
     receiver: ReliableReceiver
     uplink: ReliableSender | None = None
+    relay: TelemetryRelay | None = None
+    publisher: FederationPublisher | None = None
 
 
 @dataclass
@@ -95,6 +102,7 @@ class _LeafWiring:
     parent_id: int
     level: int
     sender: ReliableSender
+    publisher: FederationPublisher | None = None
 
 
 class TransportTree:
@@ -123,6 +131,14 @@ class TransportTree:
     observer:
         Optional observer shared by all senders/receivers; aggregation
         emits ``cluster.aggregate`` spans causally linked across hops.
+    federate:
+        Give every node a :class:`~repro.obs.federation.FederationPublisher`,
+        every internal node a relay, and the root a
+        :class:`~repro.obs.federation.FederationCollector` (exposed as
+        :attr:`federation`).  :meth:`flush_telemetry` then ships a round
+        of reports up the same transport edges -- in TELEMETRY
+        envelopes, outside the ARQ window, so :meth:`level_stats` stays
+        identical to a non-federated run.
     """
 
     def __init__(
@@ -134,6 +150,7 @@ class TransportTree:
         faults: FaultConfig | None = None,
         clock: ManualClock | None = None,
         observer: Observer | None = None,
+        federate: bool = False,
     ) -> None:
         self._site_config = site_config or RemoteSiteConfig()
         self._coordinator_config = coordinator_config or CoordinatorConfig()
@@ -148,6 +165,14 @@ class TransportTree:
         self._leaves: dict[int, _LeafWiring] = {}
         self._root_id: int | None = None
         self.records_fed = 0
+        self._federate = federate
+        #: Root-side collector (``federate=True`` only); drives the same
+        #: rollup the deployed root serves at ``/cluster/health``.
+        self.federation: FederationCollector | None = None
+        if federate:
+            self.federation = FederationCollector(
+                clock=lambda: self.clock.now
+            )
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -159,6 +184,7 @@ class TransportTree:
         faults: FaultConfig | None = None,
         observer: Observer | None = None,
         reliability: ReliabilityConfig | None = None,
+        federate: bool = False,
     ) -> "TransportTree":
         """Instantiate a :class:`~repro.cluster.spec.ClusterSpec` in-process."""
         tree = cls(
@@ -168,6 +194,7 @@ class TransportTree:
             reliability=reliability,
             faults=faults,
             observer=observer,
+            federate=federate,
         )
         for agg in spec.aggregators:
             tree.add_internal(
@@ -210,6 +237,26 @@ class TransportTree:
             transport=self._make_subnet(node_id),
             receiver=None,  # type: ignore[arg-type]  (set just below)
         )
+        if self._federate:
+            assert self.federation is not None
+            self.federation.add_topology_node(
+                node_id, "aggregator", level, parent_id
+            )
+            if parent_id is not None:
+                wiring.relay = TelemetryRelay()
+            wiring.publisher = FederationPublisher(
+                node_id,
+                "aggregator",
+                level,
+                uplink_stats=lambda w=wiring: (
+                    w.uplink.stats if w.uplink is not None else None
+                ),
+                gauges=lambda n=node: {
+                    "messages_up": n.messages_up,
+                    "bytes_up": n.bytes_up,
+                    "components": n.coordinator.n_components,
+                },
+            )
         wiring.receiver = self._make_receiver(wiring)
         if parent_id is not None:
             wiring.uplink = self._make_uplink(node_id, parent_id)
@@ -230,9 +277,23 @@ class TransportTree:
             ),
             observer=self._obs,
         )
-        self._leaves[node_id] = _LeafWiring(
+        wiring = _LeafWiring(
             site=site, parent_id=parent_id, level=parent.level + 1, sender=sender
         )
+        if self._federate:
+            assert self.federation is not None
+            self.federation.add_topology_node(
+                node_id, "site", wiring.level, parent_id
+            )
+            wiring.publisher = FederationPublisher(
+                node_id,
+                "site",
+                wiring.level,
+                uplink_stats=lambda s=sender: s.stats,
+                records=lambda s=site: s.stats.records_seen,
+                gauges=lambda s=site: {"models": len(s.all_models)},
+            )
+        self._leaves[node_id] = wiring
         return site
 
     # ------------------------------------------------------------------
@@ -352,6 +413,51 @@ class TransportTree:
         return self._require_internal(node_id).receiver.stats
 
     # ------------------------------------------------------------------
+    # Telemetry federation
+    # ------------------------------------------------------------------
+    def flush_telemetry(self) -> int:
+        """One round of federated reports up the tree; returns sends.
+
+        Deepest level first: every leaf ships its report, then each
+        interior aggregator forwards whatever its relay holds plus its
+        own report, the root last (ingesting its own report directly).
+        On loopback delivery is synchronous, so a single round lands
+        every node's report at the root; under fault injection telemetry
+        is subject to the same loss/delay as data -- advance the clock
+        and flush again until the collector converges (reports are
+        idempotent snapshots, so re-sends never double count).
+        """
+        if not self._federate:
+            raise ValueError("tree was not built with federate=True")
+        assert self.federation is not None
+        sent = 0
+        entries: list[tuple[int, int, object]] = [
+            (w.level, 0, w) for w in self._leaves.values()
+        ]
+        entries += [(w.level, 1, w) for w in self._internals.values()]
+        for _level, kind, wiring in sorted(
+            entries, key=lambda e: (-e[0], e[1])
+        ):
+            if kind == 0:  # leaf
+                assert wiring.publisher is not None
+                wiring.sender.send_telemetry(wiring.publisher.collect())
+                sent += 1
+                continue
+            assert wiring.publisher is not None
+            if wiring.uplink is None:  # root
+                self.federation.ingest_report(
+                    wiring.publisher.collect_report()
+                )
+                continue
+            if wiring.relay is not None:
+                for payload in wiring.relay.drain():
+                    wiring.uplink.send_telemetry(payload)
+                    sent += 1
+            wiring.uplink.send_telemetry(wiring.publisher.collect())
+            sent += 1
+        return sent
+
+    # ------------------------------------------------------------------
     # Crash / resume of one aggregator
     # ------------------------------------------------------------------
     def aggregator_snapshot(self, node_id: int) -> dict:
@@ -410,12 +516,26 @@ class TransportTree:
         return transport
 
     def _make_receiver(self, wiring: _InternalWiring) -> ReliableReceiver:
+        on_telemetry = None
+        if self._federate:
+            # The root ingests child reports straight into the
+            # collector; interior nodes buffer the raw payloads for the
+            # next flush up their own uplink.  ``wiring`` is captured,
+            # not its fields, so a restored aggregator keeps the tap.
+            def on_telemetry(_child: int, payload: bytes, w=wiring) -> None:
+                if w.node.parent_id is None:
+                    assert self.federation is not None
+                    self.federation.ingest(payload)
+                elif w.relay is not None:
+                    w.relay.add(payload)
+
         receiver = ReliableReceiver(
             deliver_traced=self._make_deliver(wiring),
             send_ack=wiring.transport.send_to_site,
             clock=self.clock,
             config=self._reliability,
             observer=self._obs,
+            on_telemetry=on_telemetry,
         )
         wiring.transport.bind_coordinator(receiver.handle_datagram)
         return receiver

@@ -40,6 +40,15 @@ from repro.obs.export import (
     to_json,
     to_prometheus,
 )
+from repro.obs.federation import (
+    FederationCollector,
+    FederationPublisher,
+    NodeTelemetry,
+    TelemetryRelay,
+    process_resources,
+    publish_process_resources,
+    topology_from_spec,
+)
 from repro.obs.health import (
     HealthMonitor,
     SiteHealth,
@@ -54,7 +63,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
 )
-from repro.obs.monitor import render_dashboard, run_monitor
+from repro.obs.monitor import (
+    render_cluster_dashboard,
+    render_dashboard,
+    run_monitor,
+)
 from repro.obs.observer import NULL_OBSERVER, Observer, ensure_observer
 from repro.obs.server import TelemetryServer
 from repro.obs.spans import (
@@ -87,6 +100,8 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FederationCollector",
+    "FederationPublisher",
     "Gauge",
     "HealthMonitor",
     "Histogram",
@@ -96,6 +111,7 @@ __all__ = [
     "MultiSink",
     "NULL_OBSERVER",
     "NULL_REGISTRY",
+    "NodeTelemetry",
     "NullTraceSink",
     "Observer",
     "RingBufferSink",
@@ -106,8 +122,11 @@ __all__ = [
     "SpanCollector",
     "SpanContext",
     "SpanRecord",
+    "TelemetryRelay",
     "TelemetryServer",
     "publish_cluster_levels",
+    "publish_process_resources",
+    "process_resources",
     "TraceEvent",
     "TraceSink",
     "TruncatedTraceWarning",
@@ -116,8 +135,10 @@ __all__ = [
     "json_snapshot",
     "parse_prometheus",
     "read_trace",
+    "render_cluster_dashboard",
     "render_dashboard",
     "run_monitor",
+    "topology_from_spec",
     "spans_from_events",
     "summarize_events",
     "summarize_trace",

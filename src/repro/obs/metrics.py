@@ -159,7 +159,14 @@ class Histogram:
                 if upper <= lower:
                     return upper
                 fraction = (target - cumulative) / in_bucket
-                return lower + fraction * (upper - lower)
+                value = lower + fraction * (upper - lower)
+                # Degenerate edges (an infinite bound or min/max from a
+                # rebuilt scrape) can push the interpolation out of the
+                # bucket or to NaN; clamp to the bucket bound so a tile
+                # renders a number instead of silently going blank.
+                if not math.isfinite(value):
+                    return upper if math.isfinite(upper) else lower
+                return min(max(value, lower), upper)
             cumulative += in_bucket
         return self.maximum
 

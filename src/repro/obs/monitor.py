@@ -32,6 +32,7 @@ from repro.obs.trace import read_trace
 
 __all__ = [
     "histogram_from_samples",
+    "render_cluster_dashboard",
     "render_dashboard",
     "run_monitor",
 ]
@@ -57,9 +58,13 @@ def histogram_from_samples(
     of the last occupied finite bucket.  Quantile estimates from it are
     therefore bucket-resolution approximations -- exactly what a
     dashboard tile needs.
+
+    A scrape may expose the same histogram name under several label
+    sets (one per site or node -- exactly what a federated ``/metrics``
+    produces); those series are merged by summing the cumulative count
+    per ``le`` bound and summing ``_sum`` / ``_count`` across series.
     """
-    bounds: list[float] = []
-    cumulative: list[float] = []
+    per_bound: dict[float, float] = {}
     total = 0.0
     count = 0
     seen = False
@@ -68,17 +73,15 @@ def histogram_from_samples(
             seen = True
             le = labels.get("le", "+Inf")
             bound = math.inf if le == "+Inf" else float(le)
-            bounds.append(bound)
-            cumulative.append(value)
+            per_bound[bound] = per_bound.get(bound, 0.0) + value
         elif sample_name == f"{name}_sum":
-            total = value
+            total += value
         elif sample_name == f"{name}_count":
-            count = int(value)
+            count += int(value)
     if not seen or not count:
         return None
-    order = sorted(range(len(bounds)), key=lambda i: bounds[i])
-    bounds = [bounds[i] for i in order]
-    cumulative = [cumulative[i] for i in order]
+    bounds = sorted(per_bound)
+    cumulative = [per_bound[b] for b in bounds]
     finite = [b for b in bounds if math.isfinite(b)]
     if not finite:
         return None
@@ -86,7 +89,7 @@ def histogram_from_samples(
     previous = 0.0
     counts = []
     for value in cumulative:
-        counts.append(int(value - previous))
+        counts.append(max(0, int(value - previous)))
         previous = value
     while len(counts) < len(finite) + 1:
         counts.append(0)
@@ -103,7 +106,7 @@ def histogram_from_samples(
 
 
 def _format_seconds(value: float | None) -> str:
-    if value is None:
+    if value is None or not math.isfinite(value):
         return "    n/a"
     if value < 1e-3:
         return f"{value * 1e6:6.1f}µs"
@@ -190,6 +193,135 @@ def render_dashboard(
     return "\n".join(lines) + "\n"
 
 
+def _format_bytes(value: float | None) -> str:
+    if value is None:
+        return "n/a"
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024.0 or unit == "GB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GB"
+
+
+def _node_tile(entry: dict) -> str:
+    marker = "●" if entry.get("live") else "◌"
+    role = entry.get("role") or "?"
+    label = f"{marker} node {entry.get('node'):>3} {role:<10}"
+    if entry.get("age_seconds") is None:
+        return f"{label} (never reported)"
+    parts: list[str] = []
+    if role == "site":
+        margin = entry.get("margin")
+        rate = entry.get("pass_rate")
+        parts.append(
+            f"margin={margin:+.4f}" if margin is not None else "margin=n/a"
+        )
+        parts.append(
+            f"pass={rate * 100.0:.0f}%" if rate is not None else "pass=n/a"
+        )
+        parts.append(f"rec={entry.get('records', 0)}")
+    else:
+        components = entry.get("components")
+        parts.append(f"K={components}" if components is not None else "K=n/a")
+        parts.append(
+            f"merges={entry.get('merges', 0)} splits={entry.get('splits', 0)}"
+        )
+        uplink = entry.get("uplink") or {}
+        if uplink:
+            parts.append(f"up={_format_bytes(uplink.get('wire_bytes', 0))}")
+    resources = entry.get("resources") or {}
+    rss = resources.get("rss_bytes")
+    cpu = resources.get("cpu_seconds")
+    fds = resources.get("open_fds")
+    if rss is not None:
+        parts.append(f"rss={_format_bytes(rss)}")
+    if cpu is not None:
+        parts.append(f"cpu={cpu:.1f}s")
+    if fds is not None:
+        parts.append(f"fds={fds}")
+    status = entry.get("status", "ok")
+    if status not in ("ok", None):
+        parts.append(status.upper())
+    return f"{label} {'  '.join(parts)}"
+
+
+def render_cluster_dashboard(
+    cluster: dict,
+    nodes: dict | None = None,
+    source: str = "",
+) -> str:
+    """Render a federated ``/cluster/health`` payload as a dashboard.
+
+    ``cluster`` is the root's rollup; ``nodes`` the optional
+    ``/cluster/nodes`` view (used for parent links when the rollup
+    lacks them).  Pure function, same contract as
+    :func:`render_dashboard`: the tests drive it directly.
+    """
+    lines: list[str] = []
+    status = cluster.get("status", "unknown")
+    marker = "●" if status == "ok" else "◌"
+    counts = cluster.get("nodes", {})
+    lines.append(
+        f"{marker} cludistream cluster monitor  status={status}  "
+        f"nodes={counts.get('live', 0)}/{counts.get('expected', 0)} live  "
+        f"records={cluster.get('records', 0)}"
+        + (f"  [{source}]" if source else "")
+    )
+
+    entries = {e.get("node"): dict(e) for e in cluster.get("per_node", [])}
+    if nodes:
+        for raw in nodes.get("nodes", []):
+            entry = entries.setdefault(raw.get("node"), dict(raw))
+            for key in ("role", "level", "parent", "live", "age_seconds"):
+                entry.setdefault(key, raw.get(key))
+
+    # Topology: indent children under parents when parent links exist,
+    # otherwise group by level.
+    children: dict[object, list[int]] = {}
+    for node_id, entry in entries.items():
+        children.setdefault(entry.get("parent"), []).append(node_id)
+    for siblings in children.values():
+        siblings.sort()
+
+    lines.append("")
+    if None in children:
+        printed: set = set()
+
+        def walk(node_id: int, depth: int) -> None:
+            printed.add(node_id)
+            lines.append("  " + "   " * depth + _node_tile(entries[node_id]))
+            for child in children.get(node_id, ()):
+                walk(child, depth + 1)
+
+        for root_id in children[None]:
+            walk(root_id, 0)
+        for node_id in sorted(set(entries) - printed):
+            lines.append("  " + _node_tile(entries[node_id]))
+    else:
+        for node_id in sorted(
+            entries, key=lambda n: (entries[n].get("level") or 0, n)
+        ):
+            level = entries[node_id].get("level") or 0
+            lines.append("  " + "   " * level + _node_tile(entries[node_id]))
+
+    levels = cluster.get("levels", [])
+    if levels:
+        lines.append("")
+        lines.append(
+            f"  {'level':>5}  {'edges':>5}  {'msgs':>7}  {'wire':>10}  "
+            f"{'B/rec':>8}  {'rexmit':>6}"
+        )
+        for stats in levels:
+            lines.append(
+                f"  {stats.get('level'):>5}  {stats.get('edges', 0):>5}  "
+                f"{stats.get('messages', 0):>7}  "
+                f"{stats.get('wire_bytes', 0):>9}B  "
+                f"{stats.get('bytes_per_record', 0.0):>8.1f}  "
+                f"{stats.get('retransmissions', 0):>6}"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def _fetch(url: str, timeout: float = 5.0) -> bytes:
     with urllib.request.urlopen(url, timeout=timeout) as response:
         return response.read()
@@ -214,6 +346,16 @@ def _collect_from_trace(path: str) -> tuple[dict, list]:
     return monitor.report(), []
 
 
+def _collect_cluster(url: str) -> tuple[dict, dict | None]:
+    base = url.rstrip("/")
+    cluster = json.loads(_fetch(f"{base}/cluster/health"))
+    try:
+        nodes = json.loads(_fetch(f"{base}/cluster/nodes"))
+    except (urllib.error.URLError, ValueError, OSError):
+        nodes = None
+    return cluster, nodes
+
+
 def run_monitor(
     url: str | None = None,
     trace: str | None = None,
@@ -221,6 +363,7 @@ def run_monitor(
     iterations: int | None = None,
     clear: bool = True,
     out: IO[str] | None = None,
+    cluster: bool = False,
 ) -> int:
     """The poll-render-print loop behind ``repro monitor``.
 
@@ -238,11 +381,17 @@ def run_monitor(
         Emit an ANSI clear-screen before each refresh.
     out:
         Output stream (stdout by default; tests pass a ``StringIO``).
+    cluster:
+        Poll the federated ``/cluster/health`` + ``/cluster/nodes``
+        endpoints instead of the single-process ``/health`` and render
+        the tree topology dashboard (server mode only).
 
     Returns a process exit code.
     """
     if (url is None) == (trace is None):
         raise ValueError("exactly one of url or trace is required")
+    if cluster and url is None:
+        raise ValueError("cluster mode needs a server url")
     stream = out if out is not None else sys.stdout
     if trace is not None and iterations is None:
         iterations = 1
@@ -251,7 +400,10 @@ def run_monitor(
         while iterations is None or count < iterations:
             if url is not None:
                 try:
-                    health, samples = _collect_from_server(url)
+                    if cluster:
+                        cluster_health, nodes = _collect_cluster(url)
+                    else:
+                        health, samples = _collect_from_server(url)
                     source = url
                 except (urllib.error.URLError, OSError, ValueError) as error:
                     stream.write(f"monitor: cannot reach {url}: {error}\n")
@@ -262,7 +414,14 @@ def run_monitor(
                 source = trace
             if clear:
                 stream.write("\x1b[2J\x1b[H")
-            stream.write(render_dashboard(health, samples, source=source))
+            if cluster:
+                stream.write(
+                    render_cluster_dashboard(
+                        cluster_health, nodes, source=source
+                    )
+                )
+            else:
+                stream.write(render_dashboard(health, samples, source=source))
             stream.flush()
             count += 1
             if iterations is None or count < iterations:

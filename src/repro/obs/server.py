@@ -20,6 +20,24 @@ thread, so a live run can be inspected while it streams:
 ``/spans``
     Chrome trace-event JSON of the collected spans (load in Perfetto or
     ``chrome://tracing``), via :func:`repro.obs.spans.to_chrome_trace`.
+    Accepts ``?since=<id>&limit=<n>`` for incremental polling: only
+    spans with collector id beyond ``since`` are returned, and the
+    response carries ``lastId`` to resume from.
+
+With a :class:`~repro.obs.federation.FederationCollector` attached
+(the root of a federated cluster deployment), three more endpoints
+serve the cluster-wide view:
+
+``/cluster/health``
+    Per-node and per-level rollups: ε−J_fit margin, pass rate,
+    bytes/record, merge/split churn, component counts, liveness from
+    report staleness.
+``/cluster/nodes``
+    Tree topology plus each node's endpoints, pid and report age.
+``/cluster/spans``
+    Cross-process traces reassembled at the root, exported as one
+    Chrome/Perfetto file with real-pid tracks and cross-process flow
+    arrows; supports the same ``?since=&limit=`` paging as ``/spans``.
 
 Everything is standard library; there is nothing to install on the
 scrape side either -- ``curl`` and a browser suffice.
@@ -29,10 +47,12 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
 from repro.obs.export import to_prometheus
+from repro.obs.federation import FederationCollector
 from repro.obs.health import HealthMonitor
 from repro.obs.observer import Observer
 from repro.obs.spans import SpanCollector, to_chrome_trace
@@ -50,8 +70,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802  (http.server API)
         telemetry: "TelemetryServer" = self.server.telemetry  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         try:
+            since, limit = _paging(query)
             if path in ("/", "/metrics"):
                 body = telemetry.render_metrics().encode("utf-8")
                 content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -62,7 +84,16 @@ class _Handler(BaseHTTPRequestHandler):
                 body = _json_bytes(telemetry.render_snapshot())
                 content_type = "application/json"
             elif path == "/spans":
-                body = _json_bytes(telemetry.render_spans())
+                body = _json_bytes(telemetry.render_spans(since, limit))
+                content_type = "application/json"
+            elif path == "/cluster/health" and telemetry.federation is not None:
+                body = _json_bytes(telemetry.render_cluster_health())
+                content_type = "application/json"
+            elif path == "/cluster/nodes" and telemetry.federation is not None:
+                body = _json_bytes(telemetry.render_cluster_nodes())
+                content_type = "application/json"
+            elif path == "/cluster/spans" and telemetry.federation is not None:
+                body = _json_bytes(telemetry.render_cluster_spans(since, limit))
                 content_type = "application/json"
             else:
                 self.send_error(404, "unknown endpoint")
@@ -79,6 +110,26 @@ class _Handler(BaseHTTPRequestHandler):
 
 def _json_bytes(payload: object) -> bytes:
     return json.dumps(payload, indent=2, default=str).encode("utf-8")
+
+
+def _paging(query: str) -> tuple[int, int | None]:
+    """Parse ``since`` / ``limit`` from a query string (0 / None default).
+
+    Unparseable values fall back to the defaults rather than erroring:
+    the endpoints are for humans with ``curl`` as much as for the
+    monitor's poll loop.
+    """
+    params = urllib.parse.parse_qs(query)
+    since, limit = 0, None
+    try:
+        since = max(0, int(params["since"][0]))
+    except (KeyError, ValueError, IndexError):
+        pass
+    try:
+        limit = max(1, int(params["limit"][0]))
+    except (KeyError, ValueError, IndexError):
+        pass
+    return since, limit
 
 
 class TelemetryServer:
@@ -106,6 +157,10 @@ class TelemetryServer:
         e.g. :func:`repro.obs.health.publish_cluster_levels` bound to a
         live tree -- lets components push point-in-time gauges without
         holding a background thread.
+    federation:
+        Optional :class:`~repro.obs.federation.FederationCollector`;
+        when present the ``/cluster/*`` endpoints come alive (the root
+        of a federated tree attaches its collector here).
     """
 
     def __init__(
@@ -117,12 +172,14 @@ class TelemetryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         publish: tuple[Callable, ...] = (),
+        federation: FederationCollector | None = None,
     ) -> None:
         self.observer = observer
         self.health = health
         self.spans = spans
         self.snapshot = snapshot
         self.publish = tuple(publish)
+        self.federation = federation
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.telemetry = self  # type: ignore[attr-defined]
@@ -186,7 +243,25 @@ class TelemetryServer:
             return {"detail": "no snapshot provider attached"}
         return self.snapshot()
 
-    def render_spans(self) -> dict:
+    def render_spans(self, since: int = 0, limit: int | None = None) -> dict:
         if self.spans is None:
-            return {"traceEvents": []}
-        return to_chrome_trace(self.spans.spans())
+            return {"traceEvents": [], "lastId": 0, "count": 0}
+        records, last = self.spans.spans_since(since, limit)
+        trace = to_chrome_trace(records)
+        trace["lastId"] = last
+        trace["count"] = len(records)
+        return trace
+
+    def render_cluster_health(self) -> dict:
+        assert self.federation is not None
+        return self.federation.rollup()
+
+    def render_cluster_nodes(self) -> dict:
+        assert self.federation is not None
+        return self.federation.nodes_view()
+
+    def render_cluster_spans(
+        self, since: int = 0, limit: int | None = None
+    ) -> dict:
+        assert self.federation is not None
+        return self.federation.render_spans(since, limit)

@@ -395,20 +395,56 @@ class SpanCollector(TraceSink):
     Wire it into an observer (alone or through a
     :class:`~repro.obs.trace.MultiSink`) and the telemetry server's
     ``/spans`` endpoint exports whatever has been collected so far.
+
+    Every collected span event gets a collector-local monotone id
+    (1, 2, ...) so consumers can poll incrementally: ``/spans?since=N``
+    and the federation flush both use :meth:`events_since` to ship only
+    what arrived after the last poll, even as the bounded deque evicts
+    old entries.
     """
 
     def __init__(self, capacity: int = 65536) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
-        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._events: deque[tuple[int, TraceEvent]] = deque(maxlen=capacity)
+        self._next_id = 1
 
     def write(self, event: TraceEvent) -> None:
         if event.type == "span":
-            self._events.append(event)
+            self._events.append((self._next_id, event))
+            self._next_id += 1
+
+    @property
+    def last_id(self) -> int:
+        """Id of the most recently collected span (0 before any)."""
+        return self._next_id - 1
 
     def spans(self) -> list[SpanRecord]:
         """Parsed snapshot of the collected spans."""
-        return spans_from_events(tuple(self._events))
+        return spans_from_events(tuple(e for _, e in self._events))
+
+    def events_since(
+        self, since: int = 0, limit: int | None = None
+    ) -> list[tuple[int, TraceEvent]]:
+        """``(id, event)`` pairs with ``id > since``, oldest first.
+
+        ``limit`` caps the page size; the caller continues from the last
+        returned id.  Entries evicted by the capacity bound are simply
+        gone -- the ids still advance, so a slow poller skips rather
+        than stalls.
+        """
+        page = [(i, e) for i, e in tuple(self._events) if i > since]
+        if limit is not None:
+            page = page[:limit]
+        return page
+
+    def spans_since(
+        self, since: int = 0, limit: int | None = None
+    ) -> tuple[list[SpanRecord], int]:
+        """Parsed spans after ``since`` plus the id to resume from."""
+        page = self.events_since(since, limit)
+        last = page[-1][0] if page else max(since, 0)
+        return spans_from_events([e for _, e in page]), last
 
     def __len__(self) -> int:
         return len(self._events)
@@ -429,7 +465,10 @@ def _process_of(span: SpanRecord) -> tuple[int, str]:
     return 1_000, "runtime"
 
 
-def to_chrome_trace(spans: Iterable[SpanRecord]) -> dict:
+def to_chrome_trace(
+    spans: Iterable[SpanRecord],
+    process_of: Callable[[SpanRecord], tuple[int, str]] | None = None,
+) -> dict:
     """Export spans as a Chrome trace-event / Perfetto JSON object.
 
     Each span becomes one complete (``"ph": "X"``) event whose ``args``
@@ -438,13 +477,20 @@ def to_chrome_trace(spans: Iterable[SpanRecord]) -> dict:
     Perfetto draws the causal edge from a site's chunk-test span to the
     coordinator work it triggered.  Timestamps are microseconds, as the
     format requires.
+
+    ``process_of`` overrides the default span-to-process mapping with a
+    ``span -> (pid, process name)`` callable; the cluster federation
+    uses it to place every span on the track of the OS process (real
+    pid) that recorded it.
     """
+    if process_of is None:
+        process_of = _process_of
     spans = list(spans)
     by_id = {span.span_id: span for span in spans}
     events: list[dict] = []
     processes: dict[int, str] = {}
     for span in spans:
-        pid, process_name = _process_of(span)
+        pid, process_name = process_of(span)
         processes.setdefault(pid, process_name)
         args: dict = {
             "trace": _hex(span.trace_id),
@@ -482,9 +528,9 @@ def to_chrome_trace(spans: Iterable[SpanRecord]) -> dict:
                 }
             )
         parent = by_id.get(span.parent_id) if span.parent_id is not None else None
-        if parent is not None and _process_of(parent)[0] != pid:
+        if parent is not None and process_of(parent)[0] != pid:
             flow_id = span.span_id & 0xFFFFFFFF
-            parent_pid, parent_name = _process_of(parent)
+            parent_pid, parent_name = process_of(parent)
             processes.setdefault(parent_pid, parent_name)
             events.append(
                 {

@@ -9,20 +9,25 @@ when envelopes are concatenated onto a byte stream (TCP).
 Layout (little endian)::
 
     magic    4  b"TPT1"
-    kind     1  DATA / ACK / HEARTBEAT / DONE
+    kind     1  DATA / ACK / HEARTBEAT / DONE / TELEMETRY
     flags    1  bit 0 (FLAG_TRACE): a 16-byte span context follows the
                 header; remaining bits reserved (0)
     site_id  4  int32
     seq      8  uint64 -- DATA: message seq; ACK: cumulative ack;
-                HEARTBEAT/DONE: highest seq assigned so far
+                HEARTBEAT/DONE/TELEMETRY: highest seq assigned so far
     length   4  uint32 payload length (0 for control kinds)
     [trace  16  optional span context (trace id + span id, uint64 LE
                 each) when FLAG_TRACE is set -- Dapper-style context
                 propagation; see :mod:`repro.obs.spans`]
 
-Control envelopes (ACK, HEARTBEAT, DONE) never carry a payload.  The
-trace extension is only ever attached to DATA envelopes and only when
-an enabled observer has an active span, so runs with observability off
+Control envelopes (ACK, HEARTBEAT, DONE) never carry a payload.
+TELEMETRY envelopes carry one (an encoded
+:class:`~repro.obs.federation.NodeTelemetry` report) but sit outside
+the ARQ state machine: unsequenced, unacked, never retransmitted --
+best-effort freight riding an existing uplink without perturbing the
+section 6 byte accounting of the application stream.  The trace
+extension is only ever attached to DATA envelopes and only when an
+enabled observer has an active span, so runs with observability off
 (the :data:`~repro.obs.NULL_OBSERVER` default) stay byte-identical to
 the pre-extension wire format.  :class:`StreamDecoder` incrementally
 re-frames envelopes out of an arbitrary chunking of the byte stream.
@@ -48,6 +53,7 @@ __all__ = [
     "KIND_DATA",
     "KIND_DONE",
     "KIND_HEARTBEAT",
+    "KIND_TELEMETRY",
     "StreamDecoder",
     "decode_envelope",
     "encode_envelope",
@@ -59,8 +65,12 @@ KIND_DATA = 1
 KIND_ACK = 2
 KIND_HEARTBEAT = 3
 KIND_DONE = 4
+KIND_TELEMETRY = 5
 
-_KINDS = (KIND_DATA, KIND_ACK, KIND_HEARTBEAT, KIND_DONE)
+_KINDS = (KIND_DATA, KIND_ACK, KIND_HEARTBEAT, KIND_DONE, KIND_TELEMETRY)
+
+#: Kinds allowed to carry an application payload.
+_PAYLOAD_KINDS = (KIND_DATA, KIND_TELEMETRY)
 
 #: Flags bit 0: a 16-byte span context follows the fixed header.
 FLAG_TRACE = 0x01
@@ -99,10 +109,12 @@ def encode_envelope(envelope: Envelope) -> bytes:
     """Serialise an envelope (header [+ trace context] + payload)."""
     if envelope.kind not in _KINDS:
         raise ValueError(f"unknown envelope kind {envelope.kind}")
-    if envelope.kind != KIND_DATA and envelope.payload:
+    if envelope.kind not in _PAYLOAD_KINDS and envelope.payload:
         raise ValueError("control envelopes cannot carry a payload")
     if envelope.kind != KIND_DATA and envelope.trace is not None:
-        raise ValueError("control envelopes cannot carry a trace context")
+        raise ValueError(
+            "control/telemetry envelopes cannot carry a trace context"
+        )
     if envelope.seq < 0:
         raise ValueError("sequence numbers are non-negative")
     if not -(2**31) <= envelope.site_id < 2**31:

@@ -36,6 +36,7 @@ from repro.transport.framing import (
     KIND_DATA,
     KIND_DONE,
     KIND_HEARTBEAT,
+    KIND_TELEMETRY,
     Envelope,
     decode_envelope,
     encode_envelope,
@@ -113,7 +114,14 @@ class ReliabilityConfig:
 # ----------------------------------------------------------------------
 @dataclass
 class SenderStats:
-    """Site-side delivery counters."""
+    """Site-side delivery counters.
+
+    ``telemetry_*`` counts best-effort TELEMETRY freight separately:
+    it never enters ``wire_bytes``, so the section 6 communication
+    accounting (and everything derived from it, e.g.
+    :class:`repro.cluster.tree.LevelStats`) is identical whether or not
+    a run federates its telemetry.
+    """
 
     payloads_sent: int = 0
     payload_bytes: int = 0
@@ -123,6 +131,8 @@ class SenderStats:
     acked: int = 0
     expired: int = 0
     heartbeats_sent: int = 0
+    telemetry_sent: int = 0
+    telemetry_bytes: int = 0
 
 
 @dataclass
@@ -266,6 +276,34 @@ class ReliableSender:
             )
         )
 
+    def send_telemetry(self, payload: bytes) -> bool:
+        """Ship one telemetry report upward, fire and forget.
+
+        TELEMETRY envelopes are unsequenced, never acked and never
+        retransmitted -- a lost report is simply superseded by the next
+        flush.  They bypass the ``wire_bytes`` accounting entirely (see
+        :class:`SenderStats`), so federating telemetry does not perturb
+        the application stream's byte budget.  Returns ``False`` when
+        the sender is already closed (shutdown race: drop, don't raise).
+        """
+        if self._closed:
+            return False
+        frame = encode_envelope(
+            Envelope(
+                kind=KIND_TELEMETRY,
+                site_id=self.site_id,
+                seq=self.last_seq,
+                payload=payload,
+            )
+        )
+        self.stats.telemetry_sent += 1
+        self.stats.telemetry_bytes += len(frame)
+        try:
+            self._transmit(frame)
+        except (ConnectionError, OSError):
+            return False
+        return True
+
     # ------------------------------------------------------------------
     # Receiving (the ack path)
     # ------------------------------------------------------------------
@@ -394,6 +432,8 @@ class ReceiverStats:
     acks_sent: int = 0
     ack_wire_bytes: int = 0
     heartbeats_received: int = 0
+    telemetry_received: int = 0
+    telemetry_bytes_received: int = 0
 
 
 @dataclass
@@ -435,6 +475,12 @@ class ReliableReceiver:
         context propagated in the envelope header (``None`` when the
         sender had no active span).  Exactly one of ``deliver`` /
         ``deliver_traced`` must be given.
+    on_telemetry:
+        Optional keyword-only callback receiving ``(site_id, payload)``
+        for every TELEMETRY envelope -- best-effort federation freight,
+        outside the dedupe/reorder machinery (duplicates reach the
+        callback; the federation collector dedupes by flush sequence).
+        A TELEMETRY envelope still refreshes the site's liveness cursor.
     """
 
     def __init__(
@@ -446,6 +492,7 @@ class ReliableReceiver:
         observer: Observer | None = None,
         *,
         deliver_traced: Callable[[int, bytes, SpanContext | None], None] | None = None,
+        on_telemetry: Callable[[int, bytes], None] | None = None,
     ) -> None:
         if send_ack is None or clock is None:
             raise TypeError("send_ack and clock are required")
@@ -463,6 +510,7 @@ class ReliableReceiver:
         self._clock = clock
         self.config = config or ReliabilityConfig()
         self._obs = ensure_observer(observer)
+        self._on_telemetry = on_telemetry
         self._cursors: dict[int, _SiteCursor] = {}
         self.stats = ReceiverStats()
 
@@ -539,6 +587,17 @@ class ReliableReceiver:
         self.handle_envelope(decode_envelope(data))
 
     def handle_envelope(self, envelope: Envelope) -> None:
+        if envelope.kind == KIND_TELEMETRY:
+            # Best-effort federation freight: refresh liveness, hand
+            # the payload over, and keep it out of the wire accounting
+            # so federated and plain runs report identical byte costs.
+            self.stats.telemetry_received += 1
+            self.stats.telemetry_bytes_received += envelope.wire_bytes()
+            cursor = self._cursors.setdefault(envelope.site_id, _SiteCursor())
+            cursor.last_seen = self._clock.now
+            if self._on_telemetry is not None:
+                self._on_telemetry(envelope.site_id, envelope.payload)
+            return
         self.stats.datagrams_received += 1
         self.stats.wire_bytes_received += envelope.wire_bytes()
         cursor = self._cursors.setdefault(envelope.site_id, _SiteCursor())

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.coordinator import Coordinator
 from repro.core.remote import RemoteSite, RemoteSiteConfig
 from repro.core.serde import decode_message, encode_message
+from repro.obs.federation import FederationPublisher
 from repro.obs.observer import Observer, ensure_observer
 from repro.transport.clock import AsyncioClock
 from repro.transport.framing import StreamDecoder
@@ -56,6 +57,19 @@ class CoordinatorServer:
     observer:
         Optional :class:`~repro.obs.observer.Observer`, forwarded to the
         :class:`~repro.transport.reliability.ReliableReceiver`.
+    on_telemetry:
+        Optional ``(site_id, payload)`` callback for TELEMETRY envelopes
+        arriving on any connection -- how a federated aggregator's relay
+        (or the root's collector) taps the uplink without touching the
+        sequenced DATA path.
+    on_progress:
+        Optional zero-arg callback invoked between envelopes while a
+        handler works through a read batch.  One 64 KB read can hold
+        dozens of synopses each costing an EM merge, starving asyncio
+        timer tasks for many seconds -- anything that must keep a
+        cadence while the loop is busy (the federated telemetry flush)
+        hooks in here, with its own time gate.  May also be assigned
+        after construction.
     """
 
     def __init__(
@@ -64,10 +78,14 @@ class CoordinatorServer:
         expected_sites: int | None = None,
         config: ReliabilityConfig | None = None,
         observer: Observer | None = None,
+        on_telemetry=None,
+        on_progress=None,
     ) -> None:
         self.coordinator = coordinator
         self.expected_sites = expected_sites
         self.config = config or ReliabilityConfig()
+        self.on_telemetry = on_telemetry
+        self.on_progress = on_progress
         self._obs = ensure_observer(observer)
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._server: asyncio.base_events.Server | None = None
@@ -85,6 +103,7 @@ class CoordinatorServer:
             clock=AsyncioClock(loop),
             config=self.config,
             observer=self._obs,
+            on_telemetry=self.on_telemetry,
         )
         self._server = await asyncio.start_server(self._handle, host, port)
 
@@ -174,6 +193,8 @@ class CoordinatorServer:
                         break
                     self._writers[envelope.site_id] = writer
                     self.receiver.handle_envelope(envelope)
+                    if self.on_progress is not None:
+                        self.on_progress()
                 # Check completion BEFORE draining acks: a site may
                 # close its socket right after DONE, making the drain
                 # raise -- the DONE is already registered by then and
@@ -222,6 +243,8 @@ async def run_site_client(
     drain_timeout: float = 60.0,
     observer: Observer | None = None,
     site: RemoteSite | None = None,
+    federation: FederationPublisher | None = None,
+    telemetry_interval: float = 2.0,
 ) -> tuple[RemoteSite, SiteRunReport]:
     """Run one remote site against a TCP coordinator.
 
@@ -230,6 +253,13 @@ async def run_site_client(
     semantics; returns once every message is acknowledged and DONE has
     been sent.  The optional ``observer`` instruments both the site and
     its reliable sender.
+
+    With a ``federation`` publisher, the site piggybacks a telemetry
+    report on the uplink every ``telemetry_interval`` seconds (checked
+    at the ``yield_every`` drain points) plus one final report right
+    before DONE, so the last snapshot the tree sees covers the whole
+    run.  Telemetry rides in unsequenced TELEMETRY envelopes and never
+    perturbs the DATA stream or its accounting.
 
     Pass a prebuilt ``site`` (e.g. restored with
     :func:`repro.io.checkpoint.load_site`) to continue an interrupted
@@ -247,6 +277,8 @@ async def run_site_client(
         rng=np.random.default_rng(seed + 70_000 + site_id),
         observer=observer,
     )
+    if federation is not None:
+        federation.bind_uplink(lambda: sender.stats)
     if site is None:
         site = RemoteSite(
             site_id,
@@ -277,12 +309,16 @@ async def run_site_client(
 
     ack_task = asyncio.ensure_future(pump_acks())
     processed = 0
+    next_flush = loop.time() + telemetry_interval
     try:
         for record in records:
             site.process_record(record)
             processed += 1
             if processed % yield_every == 0:
                 # Let the reader task absorb acks and the writer flush.
+                if federation is not None and loop.time() >= next_flush:
+                    sender.send_telemetry(federation.collect())
+                    next_flush = loop.time() + telemetry_interval
                 await writer.drain()
                 await asyncio.sleep(0)
         deadline = loop.time() + drain_timeout
@@ -293,6 +329,9 @@ async def run_site_client(
                     "still unacknowledged"
                 )
             await asyncio.sleep(0.02)
+        if federation is not None:
+            # Final report: every record processed, all uploads acked.
+            sender.send_telemetry(federation.collect())
         sender.send_done()
         await writer.drain()
         # DONE is best-effort on the ARQ layer, so its delivery must be

@@ -1,0 +1,151 @@
+"""Federated telemetry on the in-process tree (satellite of ISSUE 7).
+
+The key accounting invariant: the per-level bytes/record the root's
+collector computes from federated reports must agree with the tree's
+own :meth:`~repro.cluster.tree.TransportTree.level_stats` -- which
+reads the senders directly -- on both loopback and seeded-lossy trees.
+Telemetry rides in unsequenced TELEMETRY envelopes outside the ARQ
+window, so federation must also leave the §6 wire accounting
+byte-identical to a non-federated run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.tree import TransportTree
+from repro.core.coordinator import CoordinatorConfig
+from repro.core.em import EMConfig
+from repro.core.remote import RemoteSiteConfig
+from repro.transport.lossy import FaultConfig
+
+LOSSY = FaultConfig(drop_rate=0.2, duplicate_rate=0.1, delay=0.05)
+
+_LEVEL_KEYS = (
+    "edges",
+    "messages",
+    "payload_bytes",
+    "wire_bytes",
+    "retransmissions",
+)
+
+
+def build_tree(
+    faults: FaultConfig | None = None, federate: bool = True
+) -> TransportTree:
+    """root(0) <- internal(1), internal(2); two leaves under each."""
+    tree = TransportTree(
+        site_config=RemoteSiteConfig(
+            dim=2,
+            epsilon=0.3,
+            delta=0.05,
+            em=EMConfig(n_components=2, n_init=1, max_iter=25, tol=1e-3),
+            chunk_override=250,
+        ),
+        coordinator_config=CoordinatorConfig(
+            max_components=4, merge_method="moment"
+        ),
+        seed=0,
+        faults=faults,
+        federate=federate,
+    )
+    tree.add_internal(0)
+    tree.add_internal(1, parent_id=0)
+    tree.add_internal(2, parent_id=0)
+    tree.add_leaf(10, parent_id=1)
+    tree.add_leaf(11, parent_id=1)
+    tree.add_leaf(20, parent_id=2)
+    tree.add_leaf(21, parent_id=2)
+    return tree
+
+
+def feed_leaf(tree: TransportTree, leaf_id: int, n: int, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    for row in rng.normal(size=(n, 2)):
+        tree.feed(leaf_id, row)
+    tree.drain()
+
+
+def levels_agree(tree: TransportTree) -> bool:
+    """Does the federated rollup match the senders' own accounting?"""
+    assert tree.federation is not None
+    rollup = tree.federation.rollup()
+    fed = {entry["level"]: entry for entry in rollup["levels"]}
+    truth = {stats.level: stats.as_dict() for stats in tree.level_stats()}
+    if set(fed) != set(truth) or rollup["records"] != tree.records_fed:
+        return False
+    return all(
+        fed[level][key] == truth[level][key]
+        for level in truth
+        for key in _LEVEL_KEYS
+    )
+
+
+class TestLoopbackAgreement:
+    def test_single_flush_matches_level_stats(self):
+        tree = build_tree()
+        feed_leaf(tree, 10, 300, seed=1)
+        feed_leaf(tree, 20, 300, seed=2)
+        # Loopback delivery is synchronous: one flush lands every
+        # node's report at the root.
+        assert tree.flush_telemetry() >= 7
+        assert levels_agree(tree)
+        rollup = tree.federation.rollup()
+        truth = {s.level: s for s in tree.level_stats()}
+        for entry in rollup["levels"]:
+            assert entry["bytes_per_record"] == pytest.approx(
+                truth[entry["level"]].bytes_per_record
+            )
+        assert rollup["nodes"] == {"expected": 7, "reporting": 7, "live": 7}
+        assert rollup["status"] == "ok"
+        tree.close()
+
+    def test_flush_requires_federate(self):
+        tree = build_tree(federate=False)
+        assert tree.federation is None
+        with pytest.raises(ValueError, match="federate"):
+            tree.flush_telemetry()
+        tree.close()
+
+
+class TestLossyAgreement:
+    def test_rollup_converges_to_level_stats(self):
+        """Telemetry is best-effort: flush until the snapshots land.
+
+        Reports are idempotent state snapshots, so droppy/duplicating
+        links only delay convergence -- once every node's final report
+        reaches the root, the rollup equals the senders' accounting
+        exactly (telemetry bytes are tracked outside ``wire_bytes``).
+        """
+        tree = build_tree(LOSSY)
+        feed_leaf(tree, 10, 300, seed=1)
+        feed_leaf(tree, 21, 300, seed=2)
+        for _ in range(30):
+            tree.flush_telemetry()
+            # Let the fault injector's delayed deliveries fire.
+            tree.clock.advance(1.0)
+            tree.flush_telemetry()
+            if levels_agree(tree):
+                break
+        else:
+            pytest.fail("federated rollup never converged on lossy links")
+        tree.close()
+
+
+class TestByteIdentity:
+    def test_federation_leaves_wire_accounting_untouched(self):
+        """A federated run's §6 accounting is byte-identical (tentpole)."""
+        results = []
+        for federate in (False, True):
+            tree = build_tree(LOSSY, federate=federate)
+            feed_leaf(tree, 10, 300, seed=1)
+            feed_leaf(tree, 20, 300, seed=2)
+            if federate:
+                tree.flush_telemetry()
+                tree.clock.advance(1.0)
+                tree.flush_telemetry()
+            results.append(tree.level_stats())
+            tree.close()
+        plain, federated = results
+        assert plain == federated

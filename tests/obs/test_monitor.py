@@ -4,14 +4,17 @@ from __future__ import annotations
 
 import io
 import json
+import math
 
 import pytest
 
 from repro.obs.export import parse_prometheus, to_prometheus
+from repro.obs.federation import FederationCollector, NodeTelemetry
 from repro.obs.health import HealthMonitor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import (
     histogram_from_samples,
+    render_cluster_dashboard,
     render_dashboard,
     run_monitor,
 )
@@ -90,6 +93,52 @@ class TestHistogramFromSamples:
     def test_missing_name_returns_none(self):
         assert histogram_from_samples([], "absent") is None
 
+    def test_merges_labelled_series_per_bound(self):
+        """A federated /metrics exposes one series per node; the
+        rebuild must sum cumulative counts per ``le`` bound instead of
+        letting the last series win."""
+        samples = [
+            ("h_bucket", {"node": "0", "le": "1.0"}, 2.0),
+            ("h_bucket", {"node": "0", "le": "+Inf"}, 2.0),
+            ("h_sum", {"node": "0"}, 1.0),
+            ("h_count", {"node": "0"}, 2.0),
+            ("h_bucket", {"node": "1", "le": "1.0"}, 1.0),
+            ("h_bucket", {"node": "1", "le": "+Inf"}, 3.0),
+            ("h_sum", {"node": "1"}, 9.0),
+            ("h_count", {"node": "1"}, 3.0),
+        ]
+        rebuilt = histogram_from_samples(samples, "h")
+        assert rebuilt.count == 5
+        assert rebuilt.total == pytest.approx(10.0)
+        # 3 of 5 observations at or below 1.0, 2 above.
+        assert rebuilt.bucket_counts == [3, 2]
+        for q in (0.5, 0.9, 0.99):
+            assert math.isfinite(rebuilt.quantile(q))
+
+    def test_single_occupied_bucket_quantile_is_finite(self):
+        """Regression: all observations in one interior bucket used to
+        make the latency tile print NaN (satellite 6)."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(4):
+            histogram.observe(1.5)
+        rebuilt = histogram_from_samples(
+            parse_prometheus(to_prometheus(registry)), "h"
+        )
+        for source in (histogram, rebuilt):
+            for q in (0.5, 0.9, 0.99):
+                value = source.quantile(q)
+                assert math.isfinite(value)
+                assert 1.0 <= value <= 2.0
+
+    def test_latency_tile_never_prints_nan(self):
+        registry = MetricsRegistry()
+        registry.histogram("profile.em_fit").observe(0.02)
+        samples = parse_prometheus(to_prometheus(registry))
+        text = render_dashboard(sample_health(), samples)
+        assert "EM fit" in text
+        assert "nan" not in text.lower()
+
 
 class TestRunMonitor:
     def test_polls_a_live_server(self):
@@ -144,3 +193,74 @@ class TestRunMonitor:
             out = io.StringIO()
             run_monitor(url=server.url, iterations=1, clear=True, out=out)
         assert out.getvalue().startswith("\x1b[2J")
+
+
+def sample_cluster() -> FederationCollector:
+    collector = FederationCollector(
+        topology=[
+            {"node_id": 0, "role": "aggregator", "level": 0,
+             "parent_id": None},
+            {"node_id": 1, "role": "aggregator", "level": 1, "parent_id": 0},
+            {"node_id": 10, "role": "site", "level": 2, "parent_id": 1},
+        ]
+    )
+    collector.ingest_report(NodeTelemetry(
+        node_id=0, role="aggregator", level=0, pid=100, seq=1,
+        gauges={"components": 4.0},
+    ))
+    collector.ingest_report(NodeTelemetry(
+        node_id=1, role="aggregator", level=1, pid=101, seq=1,
+        uplink={"payloads_sent": 2, "payload_bytes": 150,
+                "wire_bytes": 200, "retransmissions": 0},
+    ))
+    collector.ingest_report(NodeTelemetry(
+        node_id=10, role="site", level=2, pid=102, seq=1, records=400,
+        uplink={"payloads_sent": 4, "payload_bytes": 700,
+                "wire_bytes": 800, "retransmissions": 1},
+    ))
+    return collector
+
+
+class TestRenderClusterDashboard:
+    def test_renders_topology_and_levels(self):
+        collector = sample_cluster()
+        text = render_cluster_dashboard(
+            collector.rollup(), collector.nodes_view()
+        )
+        assert "status=ok" in text
+        assert "nodes=3/3 live" in text
+        assert "records=400" in text
+        lines = text.splitlines()
+        # Children indent under their parents: site 10 under agg 1.
+        (root_line,) = [l for l in lines if "node   0 aggregator" in l]
+        (site_line,) = [l for l in lines if "node  10 site" in l]
+        indent = len(site_line) - len(site_line.lstrip())
+        assert indent > len(root_line) - len(root_line.lstrip())
+        # Per-level byte table rides along.
+        assert "B/rec" in text
+        assert "800B" in text
+
+    def test_tolerates_missing_nodes_view(self):
+        text = render_cluster_dashboard(sample_cluster().rollup(), None)
+        assert "status=ok" in text
+
+
+class TestRunMonitorCluster:
+    def test_polls_cluster_endpoints(self):
+        collector = sample_cluster()
+        server = TelemetryServer(Observer(), federation=collector).start()
+        try:
+            out = io.StringIO()
+            code = run_monitor(
+                url=server.url, cluster=True, iterations=1,
+                clear=False, out=out,
+            )
+        finally:
+            server.close()
+        assert code == 0
+        assert "cluster monitor" in out.getvalue()
+        assert "nodes=3/3 live" in out.getvalue()
+
+    def test_cluster_mode_requires_url(self):
+        with pytest.raises(ValueError, match="cluster"):
+            run_monitor(trace="x", cluster=True)

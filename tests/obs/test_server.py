@@ -104,6 +104,6 @@ class TestLifecycle:
             health = json.loads(fetch(server, "/health"))
             assert health["status"] == "ok"
             spans = json.loads(fetch(server, "/spans"))
-            assert spans == {"traceEvents": []}
+            assert spans == {"traceEvents": [], "lastId": 0, "count": 0}
             snapshot = json.loads(fetch(server, "/snapshot"))
             assert "detail" in snapshot
