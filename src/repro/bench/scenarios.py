@@ -92,6 +92,96 @@ def _build_fit_em(seed: int) -> Callable[[], float]:
 
 
 # ----------------------------------------------------------------------
+# Incremental EM: warm-start refit and suffstat absorption vs cold fits
+# ----------------------------------------------------------------------
+_WARM_N = 600
+
+
+def _warm_workload(seed: int):
+    """A fitted model plus a slightly drifted next chunk.
+
+    This is the refit-ladder rung-2 situation: the distribution moved
+    enough to fail the fit test but the old model is still in the right
+    basin, so a few stepwise updates should recover what a cold restart
+    re-derives from scratch.
+    """
+    from repro.core.em import EMConfig, fit_em
+
+    data = make_chunk(seed, _WARM_N)
+    config = EMConfig(
+        n_components=5, n_init=1, max_iter=30, incremental=True
+    )
+    warm = fit_em(data, config, rng=np.random.default_rng(seed + 1))
+    drifted = make_chunk(seed + 2, _WARM_N) + 0.4
+    return config, warm.mixture, drifted
+
+
+def _build_fit_em_warm(seed: int) -> Callable[[], float]:
+    from repro.core.em import incremental_em
+
+    config, mixture, drifted = _warm_workload(seed)
+
+    def run() -> float:
+        result = incremental_em(drifted, mixture, config)
+        return result.log_likelihood
+
+    return run
+
+
+def _build_fit_em_cold_refit(seed: int) -> Callable[[], float]:
+    from repro.core.em import fit_em
+
+    config, _, drifted = _warm_workload(seed)
+
+    def run() -> float:
+        # What the site paid before the ladder existed: a full cold
+        # fit on the drifted chunk, warm model discarded.
+        result = fit_em(
+            drifted, config, rng=np.random.default_rng(seed + 3)
+        )
+        return result.log_likelihood
+
+    return run
+
+
+def _build_incremental_absorb(seed: int) -> Callable[[], float]:
+    from repro.core.em import absorb_chunk
+    from repro.core.suffstats import SufficientStats
+
+    config, mixture, _ = _warm_workload(seed)
+    passing = make_chunk(seed + 2, _WARM_N)
+    stats = SufficientStats.from_mixture(mixture, float(_WARM_N))
+
+    def run() -> float:
+        # Pass-case absorption: one posterior pass, suffstat merge,
+        # closed-form materialisation.  No EM iterations at all.
+        result = absorb_chunk(passing, mixture, config, stats=stats)
+        return result.log_likelihood
+
+    return run
+
+
+def _build_incremental_absorb_cold(seed: int) -> Callable[[], float]:
+    from repro.core.em import fit_em
+
+    config, mixture, _ = _warm_workload(seed)
+    passing = make_chunk(seed + 2, _WARM_N)
+
+    def run() -> float:
+        # Refreshing the model on a passing chunk without suffstats
+        # means full EM sweeps over the chunk.
+        result = fit_em(
+            passing,
+            config,
+            rng=np.random.default_rng(seed + 4),
+            warm_start=mixture,
+        )
+        return result.log_likelihood
+
+    return run
+
+
+# ----------------------------------------------------------------------
 # E-step / likelihood kernel: batched GEMM vs per-component loop
 # ----------------------------------------------------------------------
 _ESTEP_N = 4000
@@ -405,6 +495,32 @@ SCENARIOS: dict[str, Scenario] = {
             build=_build_fit_em,
         ),
         Scenario(
+            name="fit_em_warm",
+            summary="refit-ladder rung 2: stepwise incremental EM from "
+            "the drifted warm model",
+            build=_build_fit_em_warm,
+            baseline="fit_em_cold_refit",
+        ),
+        Scenario(
+            name="fit_em_cold_refit",
+            summary="same drifted chunk refit cold (the pre-ladder "
+            "site path)",
+            build=_build_fit_em_cold_refit,
+        ),
+        Scenario(
+            name="incremental_absorb",
+            summary="pass-case absorption: one posterior pass + "
+            "suffstat merge + materialise",
+            build=_build_incremental_absorb,
+            baseline="incremental_absorb_cold",
+        ),
+        Scenario(
+            name="incremental_absorb_cold",
+            summary="same model refresh via full warm-start EM sweeps "
+            "(no suffstats)",
+            build=_build_incremental_absorb_cold,
+        ),
+        Scenario(
             name="estep_batched",
             summary="posterior + AvgPr via the batched (n,k) GEMM kernel",
             build=_build_estep_batched,
@@ -488,6 +604,10 @@ SUITES: dict[str, tuple[str, ...]] = {
     "core": tuple(SCENARIOS),
     "smoke": (
         "calibration",
+        "fit_em_warm",
+        "fit_em_cold_refit",
+        "incremental_absorb",
+        "incremental_absorb_cold",
         "estep_batched",
         "estep_legacy",
         "logdensity_batched",

@@ -104,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--p-new", type=float, default=0.1, help="P_d")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
+        "--incremental",
+        action="store_true",
+        help="enable the incremental EM refit ladder at every site "
+        "(reactivate -> warm-start EM -> cold refit)",
+    )
+    run.add_argument(
         "--simulate",
         action="store_true",
         help="run on the discrete-event engine (reports virtual time)",
@@ -209,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
     site.add_argument("--p-new", type=float, default=0.1, help="P_d")
     site.add_argument("--seed", type=int, default=0)
     site.add_argument(
+        "--incremental",
+        action="store_true",
+        help="enable the incremental EM refit ladder on this site",
+    )
+    site.add_argument(
         "--checkpoint-dir",
         default=None,
         metavar="DIR",
@@ -279,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--merge-method", choices=("simplex", "moment"), default="simplex",
         help="coordinator merge refit (paper default: simplex)",
+    )
+    cluster.add_argument(
+        "--incremental",
+        action="store_true",
+        help="enable the incremental EM refit ladder at every site "
+        "(per-node overrides in a JSON spec take precedence)",
     )
     cluster.add_argument(
         "--timeout", type=float, default=None,
@@ -541,7 +558,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             dim=dim,
             epsilon=args.epsilon,
             delta=args.delta,
-            em=EMConfig(n_components=args.clusters, n_init=1, max_iter=40),
+            em=EMConfig(
+                n_components=args.clusters,
+                n_init=1,
+                max_iter=40,
+                incremental=args.incremental,
+            ),
             chunk_override=args.chunk,
         ),
         coordinator=CoordinatorConfig(max_components=2 * args.clusters),
@@ -1013,7 +1035,12 @@ def _cmd_site(args: argparse.Namespace) -> int:
         dim=dim,
         epsilon=args.epsilon,
         delta=args.delta,
-        em=EMConfig(n_components=args.clusters, n_init=1, max_iter=40),
+        em=EMConfig(
+            n_components=args.clusters,
+            n_init=1,
+            max_iter=40,
+            incremental=args.incremental,
+        ),
         chunk_override=args.chunk,
     )
     observer = _build_observer(args)
@@ -1113,6 +1140,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 p_new=args.p_new,
                 upload_threshold=args.upload_threshold,
                 merge_method=args.merge_method,
+                incremental=args.incremental,
             )
         except ValueError as error:
             print(f"invalid topology: {error}", file=sys.stderr)

@@ -134,7 +134,7 @@ def _site_worker(
                 site_records(spec, node),
                 host,
                 port,
-                site_config=spec.site_config(),
+                site_config=spec.site_config_for(node),
                 seed=spec.seed,
                 observer=observer,
                 federation=publisher,

@@ -66,6 +66,11 @@ class NodeSpec:
     stream / records:
         Sites only: per-node overrides of the spec-wide stream kind and
         record budget (``None`` = use the spec default).
+    incremental:
+        Sites only: per-node override of the spec-wide incremental
+        refit-ladder switch (``None`` = use the spec default).  Lets a
+        deployment pin hot leaves to the cheap warm path while keeping
+        cold-refit leaves as a quality control group.
     """
 
     node_id: int
@@ -76,6 +81,7 @@ class NodeSpec:
     upload_threshold: float | None = None
     stream: str | None = None
     records: int | None = None
+    incremental: bool | None = None
 
     def __post_init__(self) -> None:
         if self.role not in (ROLE_AGGREGATOR, ROLE_SITE):
@@ -115,6 +121,7 @@ class ClusterSpec:
     upload_threshold: float = 0.05
     merge_method: str = "simplex"
     telemetry_interval: float = 2.0
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.telemetry_interval <= 0:
@@ -207,17 +214,37 @@ class ClusterSpec:
     def node_stream(self, node: NodeSpec) -> str:
         return node.stream if node.stream is not None else self.stream
 
+    def node_incremental(self, node: NodeSpec) -> bool:
+        return (
+            node.incremental
+            if node.incremental is not None
+            else self.incremental
+        )
+
     # ------------------------------------------------------------------
     # Derived configs
     # ------------------------------------------------------------------
-    def site_config(self) -> RemoteSiteConfig:
+    def site_config(self, incremental: bool | None = None) -> RemoteSiteConfig:
+        """Spec-wide site parameters (``incremental`` overrides the
+        spec default; prefer :meth:`site_config_for` per node)."""
+        if incremental is None:
+            incremental = self.incremental
         return RemoteSiteConfig(
             dim=self.dim,
             epsilon=self.epsilon,
             delta=self.delta,
-            em=EMConfig(n_components=self.clusters, n_init=1, max_iter=40),
+            em=EMConfig(
+                n_components=self.clusters,
+                n_init=1,
+                max_iter=40,
+                incremental=incremental,
+            ),
             chunk_override=self.chunk,
         )
+
+    def site_config_for(self, node: NodeSpec) -> RemoteSiteConfig:
+        """Site parameters for one leaf, per-node overrides applied."""
+        return self.site_config(incremental=self.node_incremental(node))
 
     def coordinator_config(self) -> CoordinatorConfig:
         return CoordinatorConfig(
@@ -261,6 +288,7 @@ class ClusterSpec:
             "upload_threshold": self.upload_threshold,
             "merge_method": self.merge_method,
             "telemetry_interval": self.telemetry_interval,
+            "incremental": self.incremental,
             "nodes": [
                 {
                     "node_id": n.node_id,
@@ -271,6 +299,7 @@ class ClusterSpec:
                     "upload_threshold": n.upload_threshold,
                     "stream": n.stream,
                     "records": n.records,
+                    "incremental": n.incremental,
                 }
                 for n in self.nodes
             ],
@@ -294,6 +323,7 @@ class ClusterSpec:
                 upload_threshold=raw.get("upload_threshold"),
                 stream=raw.get("stream"),
                 records=raw.get("records"),
+                incremental=raw.get("incremental"),
             )
             for raw in payload["nodes"]
         )
@@ -312,6 +342,7 @@ class ClusterSpec:
             upload_threshold=payload.get("upload_threshold", 0.05),
             merge_method=payload.get("merge_method", "simplex"),
             telemetry_interval=payload.get("telemetry_interval", 2.0),
+            incremental=payload.get("incremental", False),
         )
 
 

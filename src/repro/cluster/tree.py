@@ -203,7 +203,11 @@ class TransportTree:
                 upload_threshold=spec.node_upload_threshold(agg),
             )
         for site in spec.site_nodes:
-            tree.add_leaf(site.node_id, site.parent_id)
+            tree.add_leaf(
+                site.node_id,
+                site.parent_id,
+                config=spec.site_config_for(site),
+            )
         return tree
 
     def add_internal(
@@ -263,14 +267,24 @@ class TransportTree:
         self._internals[node_id] = wiring
         return node
 
-    def add_leaf(self, node_id: int, parent_id: int) -> RemoteSite:
-        """Add a leaf site under an aggregator; returns the site."""
+    def add_leaf(
+        self,
+        node_id: int,
+        parent_id: int,
+        config: RemoteSiteConfig | None = None,
+    ) -> RemoteSite:
+        """Add a leaf site under an aggregator; returns the site.
+
+        ``config`` overrides the tree-wide site configuration for this
+        leaf (how :meth:`from_spec` applies per-node spec overrides
+        such as ``incremental``).
+        """
         self._check_new_id(node_id)
         parent = self._require_internal(parent_id)
         sender = self._make_uplink(node_id, parent_id)
         site = RemoteSite(
             site_id=node_id,
-            config=self._site_config,
+            config=config if config is not None else self._site_config,
             rng=np.random.default_rng(self._seed + node_id),
             emit=lambda message: sender.send_payload(
                 encode_message(message), trace=self._obs.span_context()

@@ -79,6 +79,11 @@ class CluDistreamConfig:
     bandwidth:
         Link bandwidth in bytes per virtual second (``None`` =
         unconstrained).
+    incremental:
+        System-wide escalation policy switch for the site refit ladder
+        (DESIGN.md section 14).  ``True`` / ``False`` force
+        ``site.em.incremental`` on or off for every site; ``None``
+        (default) leaves whatever ``site`` says untouched.
     """
 
     n_sites: int = 20
@@ -87,12 +92,27 @@ class CluDistreamConfig:
     rate: float = 1000.0
     latency: float = 0.01
     bandwidth: float | None = None
+    incremental: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
             raise ValueError("need at least one remote site")
         if self.rate <= 0.0:
             raise ValueError("rate must be positive")
+        if (
+            self.incremental is not None
+            and self.incremental != self.site.em.incremental
+        ):
+            from dataclasses import replace
+
+            object.__setattr__(
+                self,
+                "site",
+                replace(
+                    self.site,
+                    em=replace(self.site.em, incremental=self.incremental),
+                ),
+            )
 
 
 @dataclass(frozen=True)

@@ -14,18 +14,44 @@ floors against component starvation, covariance regularisation against
 chunk-sized degeneracies, and an optional diagonal-covariance mode for
 the Theorem 3 memory trade-off.  Multiple restarts keep the best
 likelihood, which matters for the small chunk sizes Theorem 1 produces.
+
+Beyond the batch trainer, this module carries the incremental pipeline
+(DESIGN.md section 14) that the refit ladder in
+:mod:`repro.core.remote` runs before falling back to a cold fit:
+
+- :func:`fit_em` with ``warm_start=`` refines existing mixture
+  candidates (the current model, reactivation losers) instead of
+  burning ``n_init`` k-means++ restarts;
+- :func:`incremental_em` absorbs a failing chunk with a few stepwise
+  E-M passes (Cappé–Moulines stepsize ``(t+2)^{-α}``) over the
+  sufficient statistics in :mod:`repro.core.suffstats`;
+- :func:`absorb_chunk` folds a *passing* chunk into the running stats
+  in one pass, no EM iterations at all.
+
+All three are opt-in; with ``EMConfig.incremental`` left off the batch
+path is bit-for-bit what it was before they existed.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 import numpy as np
 
 from repro.core.gaussian import Gaussian
 from repro.core.mixture import GaussianMixture
+from repro.core.suffstats import SufficientStats
 from repro.obs.observer import Observer, ensure_observer
 
-__all__ = ["EMConfig", "EMResult", "fit_em", "kmeans_plus_plus_centers"]
+__all__ = [
+    "EMConfig",
+    "EMResult",
+    "IncrementalResult",
+    "absorb_chunk",
+    "fit_em",
+    "incremental_em",
+    "kmeans_plus_plus_centers",
+]
 
 #: Responsibility mass floor per component; components starving below it
 #: are re-seeded on the record the model currently explains worst.
@@ -56,6 +82,21 @@ class EMConfig:
         Relative ridge added to every M-step covariance.
     init:
         ``"kmeans++"`` (default) or ``"random"`` seeding.
+    incremental:
+        Opt into the incremental refit ladder: sites try
+        reactivation → warm-start stepwise E-M → cold refit instead of
+        always cold-refitting a failing chunk, and absorb passing
+        chunks through the sufficient statistics in one pass.  Off by
+        default; the default path is pinned byte-identical to the
+        pre-ladder trainer.
+    step_alpha:
+        Cappé–Moulines stepsize exponent ``α`` for
+        :func:`incremental_em` (``η_t = (t+2)^{-α}``).  Must lie in
+        ``(0.5, 1.0]`` for the stepwise updates to converge.
+    incremental_steps:
+        Stepwise E-M passes over a failing chunk before the ladder
+        judges the warm fit.  ``0`` makes warm-start incremental an
+        exact no-op (useful for ablations).
     """
 
     n_components: int = 5
@@ -65,6 +106,9 @@ class EMConfig:
     diagonal: bool = False
     covariance_ridge: float = 1e-6
     init: str = "kmeans++"
+    incremental: bool = False
+    step_alpha: float = 0.7
+    incremental_steps: int = 2
 
     def __post_init__(self) -> None:
         if self.n_components < 1:
@@ -77,6 +121,10 @@ class EMConfig:
             raise ValueError("n_init must be at least 1")
         if self.init not in ("kmeans++", "random"):
             raise ValueError(f"unknown init strategy {self.init!r}")
+        if not 0.5 < self.step_alpha <= 1.0:
+            raise ValueError("step_alpha must lie in (0.5, 1.0]")
+        if self.incremental_steps < 0:
+            raise ValueError("incremental_steps must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -201,11 +249,18 @@ def _m_step(
     return GaussianMixture(np.asarray(weights), tuple(components))
 
 
-def _run_single(
-    data: np.ndarray, config: EMConfig, rng: np.random.Generator
+def _em_loop(
+    data: np.ndarray,
+    mixture: GaussianMixture,
+    config: EMConfig,
+    rng: np.random.Generator,
 ) -> EMResult:
-    """One EM restart: iterate E/M until the ``tol`` criterion holds."""
-    mixture = _initial_mixture(data, config, rng)
+    """Iterate E/M from ``mixture`` until the ``tol`` criterion holds.
+
+    The single driver behind both cold restarts (:func:`_run_single`)
+    and warm refinement (:func:`_refine`); their loop bodies were
+    already identical, so sharing it cannot shift the default path.
+    """
     history: list[float] = []
     previous = -np.inf
     converged = False
@@ -228,12 +283,21 @@ def _run_single(
     )
 
 
+def _run_single(
+    data: np.ndarray, config: EMConfig, rng: np.random.Generator
+) -> EMResult:
+    """One EM restart: a cold k-means++ seed fed to the shared loop."""
+    return _em_loop(data, _initial_mixture(data, config, rng), config, rng)
+
+
 def fit_em(
     data: np.ndarray,
     config: EMConfig | None = None,
     rng: np.random.Generator | None = None,
     initial: GaussianMixture | None = None,
     observer: Observer | None = None,
+    *,
+    warm_start: GaussianMixture | Sequence[GaussianMixture] | None = None,
 ) -> EMResult:
     """Fit a Gaussian mixture to ``data`` with the classical EM algorithm.
 
@@ -248,15 +312,21 @@ def fit_em(
     rng:
         Randomness source for seeding and restarts.
     initial:
-        Optional warm-start mixture.  When provided it is refined as one
-        extra candidate alongside ``n_init`` cold restarts -- remote
-        sites warm-start from the current model when clustering a new
-        chunk whose distribution only drifted slightly.
+        Optional extra candidate mixture.  When provided it is refined
+        as one additional candidate *alongside* ``n_init`` cold
+        restarts -- the pre-ladder warm-start flavour kept for
+        compatibility (``RemoteSiteConfig.warm_start``).
     observer:
         Optional :class:`~repro.obs.observer.Observer`: the whole fit is
         timed into the ``profile.em_fit`` histogram and the winning
         restart's iteration count and log-likelihood trajectory are
         emitted as one ``em.fit`` trace event.
+    warm_start:
+        One mixture or a sequence of them to refine *instead of* the
+        ``n_init`` cold restarts -- no k-means++ seeding at all.  This
+        is the ladder's warm rung: candidates are the current model and
+        any archived models the reactivation scan already scored.
+        Mutually exclusive with ``initial``.
 
     Returns
     -------
@@ -276,16 +346,34 @@ def fit_em(
         )
     if not np.all(np.isfinite(data)):
         raise ValueError("data contains non-finite records")
+    if warm_start is not None:
+        if initial is not None:
+            raise ValueError("warm_start and initial are mutually exclusive")
+        if isinstance(warm_start, GaussianMixture):
+            warm_start = (warm_start,)
+        else:
+            warm_start = tuple(warm_start)
+        if not warm_start:
+            raise ValueError("warm_start must contain at least one mixture")
+        for candidate in warm_start:
+            if candidate.dim != data.shape[1]:
+                raise ValueError("warm-start mixture dimension mismatch")
 
     obs = ensure_observer(observer)
     with obs.timer("profile.em_fit"):
-        candidates = [
-            _run_single(data, config, rng) for _ in range(config.n_init)
-        ]
-        if initial is not None:
-            if initial.dim != data.shape[1]:
-                raise ValueError("warm-start mixture dimension mismatch")
-            candidates.append(_refine(data, initial, config, rng))
+        if warm_start is not None:
+            candidates = [
+                _refine(data, candidate, config, rng)
+                for candidate in warm_start
+            ]
+        else:
+            candidates = [
+                _run_single(data, config, rng) for _ in range(config.n_init)
+            ]
+            if initial is not None:
+                if initial.dim != data.shape[1]:
+                    raise ValueError("warm-start mixture dimension mismatch")
+                candidates.append(_refine(data, initial, config, rng))
         best = max(candidates, key=lambda result: result.log_likelihood)
     if obs.enabled:
         obs.inc("em.fits")
@@ -309,29 +397,7 @@ def _refine(
     rng: np.random.Generator,
 ) -> EMResult:
     """EM iterations from an existing mixture instead of a cold seed."""
-    history: list[float] = []
-    previous = -np.inf
-    converged = False
-    iterations = 0
-    current_mixture = mixture
-    for iterations in range(1, config.max_iter + 1):
-        responsibilities = current_mixture.posterior(data)
-        current_mixture = _m_step(
-            data, responsibilities, config, rng, current_mixture
-        )
-        current = current_mixture.average_log_likelihood(data)
-        history.append(current)
-        if np.isfinite(previous) and abs(current - previous) <= config.tol:
-            converged = True
-            break
-        previous = current
-    return EMResult(
-        mixture=current_mixture,
-        log_likelihood=history[-1],
-        n_iter=iterations,
-        converged=converged,
-        history=tuple(history),
-    )
+    return _em_loop(data, mixture, config, rng)
 
 
 def responsibilities_and_likelihood(
@@ -344,3 +410,211 @@ def responsibilities_and_likelihood(
     """
     data = np.atleast_2d(np.asarray(data, dtype=float))
     return mixture.posterior(data), mixture.average_log_likelihood(data)
+
+
+# ----------------------------------------------------------------------
+# Incremental pipeline (DESIGN.md section 14)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IncrementalResult:
+    """Outcome of an incremental update (:func:`incremental_em` or
+    :func:`absorb_chunk`).
+
+    Attributes
+    ----------
+    mixture:
+        The updated :class:`GaussianMixture`.
+    stats:
+        The running :class:`~repro.core.suffstats.SufficientStats` after
+        absorbing the chunk; feed it back into the next call so the
+        model's memory of past chunks survives.
+    log_likelihood:
+        Average log likelihood of ``mixture`` on the chunk it just
+        absorbed (``AvgPr`` of Definition 1).
+    n_steps:
+        Stepwise E-M passes actually performed (``0`` when the update
+        was a no-op, ``1`` for one-pass absorption).
+    history:
+        Average log likelihood after each pass.
+    """
+
+    mixture: GaussianMixture
+    stats: SufficientStats
+    log_likelihood: float
+    n_steps: int
+    history: tuple[float, ...]
+
+
+def _chunk_global_var(data: np.ndarray) -> float:
+    """The M-step's ridge scale: mean per-axis variance of the chunk."""
+    return float(np.mean(np.var(data, axis=0))) or 1.0
+
+
+def _validate_chunk(data: np.ndarray, mixture: GaussianMixture) -> np.ndarray:
+    data = np.atleast_2d(np.asarray(data, dtype=float))
+    if data.ndim != 2:
+        raise ValueError("data must be a 2-d array of records")
+    if data.shape[1] != mixture.dim:
+        raise ValueError(
+            f"chunk dimension {data.shape[1]} does not match "
+            f"mixture dimension {mixture.dim}"
+        )
+    if not np.all(np.isfinite(data)):
+        raise ValueError("data contains non-finite records")
+    return data
+
+
+def incremental_em(
+    data: np.ndarray,
+    mixture: GaussianMixture,
+    config: EMConfig | None = None,
+    *,
+    stats: SufficientStats | None = None,
+    observer: Observer | None = None,
+) -> IncrementalResult:
+    """Absorb a chunk with a few stepwise E-M passes (Cappé–Moulines).
+
+    Each pass ``t`` runs one E-step under the current mixture, folds the
+    chunk's sufficient statistics into the running ones with stepsize
+    ``η_t = (t + 2)^{-config.step_alpha}``, and re-materializes the
+    mixture.  The chunk's mass is absorbed exactly once regardless of
+    how many passes run; only the *parameters* keep moving.
+
+    ``config.incremental_steps == 0`` is an exact no-op: the input
+    mixture and stats come back untouched (the ladder's ablation case,
+    pinned by a property test).
+
+    Parameters
+    ----------
+    data:
+        The chunk, shape ``(n, d)``.
+    mixture:
+        Warm-start model -- the site's current model or a reactivation
+        candidate.
+    config:
+        Uses ``step_alpha``, ``incremental_steps``, ``diagonal`` and
+        ``covariance_ridge``; defaults to :class:`EMConfig`.
+    stats:
+        Running statistics for ``mixture``.  When ``None`` they are
+        synthesized from the mixture itself with mass equal to the
+        chunk size -- the prior model counts as one chunk's worth of
+        evidence, so a drifted chunk can actually move it.
+    observer:
+        Timed into ``profile.em_incremental``; emits an
+        ``em.incremental`` event and bumps ``em.incremental_updates``.
+
+    Raises
+    ------
+    ValueError
+        On dimension/finite-ness violations, or when a component
+        starves below materializable mass mid-update -- callers (the
+        refit ladder) treat that as "warm rung failed" and escalate.
+    """
+    config = config or EMConfig()
+    data = _validate_chunk(data, mixture)
+    n = data.shape[0]
+    if stats is None:
+        stats = SufficientStats.from_mixture(
+            mixture, float(n), diagonal=config.diagonal
+        )
+    obs = ensure_observer(observer)
+    with obs.timer("profile.em_incremental"):
+        if config.incremental_steps == 0:
+            result = IncrementalResult(
+                mixture=mixture,
+                stats=stats,
+                log_likelihood=mixture.average_log_likelihood(data),
+                n_steps=0,
+                history=(),
+            )
+        else:
+            global_var = _chunk_global_var(data)
+            target = stats.total + float(n)
+            history: list[float] = []
+            current = mixture
+            for t in range(config.incremental_steps):
+                eta = (t + 2.0) ** -config.step_alpha
+                responsibilities = current.posterior(data)
+                batch = SufficientStats.from_responsibilities(
+                    data, responsibilities, diagonal=config.diagonal
+                )
+                stats = stats.blend(batch, eta, target=target)
+                current = stats.materialize(
+                    covariance_ridge=config.covariance_ridge,
+                    global_var=global_var,
+                )
+                history.append(current.average_log_likelihood(data))
+            result = IncrementalResult(
+                mixture=current,
+                stats=stats,
+                log_likelihood=history[-1],
+                n_steps=len(history),
+                history=tuple(history),
+            )
+    if obs.enabled:
+        obs.inc("em.incremental_updates")
+        obs.event(
+            "em.incremental",
+            records=int(n),
+            n_components=result.mixture.n_components,
+            n_steps=result.n_steps,
+            log_likelihood=result.log_likelihood,
+        )
+    return result
+
+
+def absorb_chunk(
+    data: np.ndarray,
+    mixture: GaussianMixture,
+    config: EMConfig | None = None,
+    *,
+    stats: SufficientStats | None = None,
+    observer: Observer | None = None,
+) -> IncrementalResult:
+    """One-pass absorption of a *passing* chunk: no EM iterations.
+
+    When a chunk passes the fit test the model already explains it, so
+    a single E-step's sufficient statistics merged at full weight keep
+    ``(w, μ, Σ)`` current at the cost of one posterior evaluation --
+    the suffstat analogue of "the model absorbs the chunk" in
+    Algorithm 1's pass branch.
+
+    Same ``stats`` convention as :func:`incremental_em`; returns the
+    merged statistics so successive passing chunks accumulate exactly.
+    """
+    config = config or EMConfig()
+    data = _validate_chunk(data, mixture)
+    n = data.shape[0]
+    if stats is None:
+        stats = SufficientStats.from_mixture(
+            mixture, float(n), diagonal=config.diagonal
+        )
+    obs = ensure_observer(observer)
+    with obs.timer("profile.em_absorb"):
+        responsibilities = mixture.posterior(data)
+        batch = SufficientStats.from_responsibilities(
+            data, responsibilities, diagonal=config.diagonal
+        )
+        stats = stats.merge(batch)
+        updated = stats.materialize(
+            covariance_ridge=config.covariance_ridge,
+            global_var=_chunk_global_var(data),
+        )
+        likelihood = updated.average_log_likelihood(data)
+    if obs.enabled:
+        obs.inc("em.absorbed_chunks")
+        obs.event(
+            "em.absorb",
+            records=int(n),
+            n_components=updated.n_components,
+            log_likelihood=likelihood,
+        )
+    return IncrementalResult(
+        mixture=updated,
+        stats=stats,
+        log_likelihood=likelihood,
+        n_steps=1,
+        history=(likelihood,),
+    )

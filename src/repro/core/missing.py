@@ -24,6 +24,13 @@ The fit test extends naturally: :func:`average_marginal_log_likelihood`
 is Definition 1 computed on marginal densities, so the test-and-cluster
 strategy keeps working on incomplete streams
 (``RemoteSiteConfig(handle_missing=True)``).
+
+This trainer has **no incremental variant**: sufficient statistics over
+conditional expectations are pattern-dependent and do not merge across
+chunks, so the refit ladder (DESIGN §14) dispatches NaN-bearing chunks
+straight to a cold :func:`fit_em_missing` -- an explicit decision in
+``RemoteSite._refit_warm`` / ``_absorb_passing_chunk``, not a silent
+fallback.
 """
 
 from __future__ import annotations

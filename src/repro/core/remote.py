@@ -27,9 +27,11 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.core.chunking import chunk_size
-from repro.core.em import EMConfig, fit_em
+from repro.core.em import EMConfig, absorb_chunk, fit_em, incremental_em
 from repro.core.events import EventTable
+from repro.core.gaussian import Gaussian
 from repro.core.mixture import GaussianMixture
+from repro.core.suffstats import SufficientStats
 from repro.core.protocol import (
     DeletionMessage,
     Message,
@@ -103,9 +105,21 @@ class RemoteSiteConfig:
         held-out estimate removes the bias (see DESIGN.md,
         faithful-intent corrections).  ``0.0`` reproduces the paper's
         in-sample reference.
+    reactivate_limit:
+        Cap on archived candidates evaluated per failing chunk, on top
+        of the ``c_max - 1`` budget (most-recent-first).  Each
+        candidate costs a full ``J_fit`` evaluation, so deep archives
+        under churny drift turn the multi-test into its own spike;
+        ``None`` (default) keeps the paper's ``c_max``-only bound.
     chunk_override:
         Explicit chunk size ``M``; when ``None`` Theorem 1's formula is
         used.
+
+    Incremental mode (``em.incremental = True``) replaces the
+    fail-path cold restart with the DESIGN.md section 14 refit ladder
+    (reactivate → warm-start stepwise E-M → cold refit) and absorbs
+    passing chunks through sufficient statistics; with it off the site
+    is byte-identical to the pre-ladder behaviour.
     """
 
     dim: int = 4
@@ -119,6 +133,7 @@ class RemoteSiteConfig:
     handle_missing: bool = False
     auto_k: tuple[int, int] | None = None
     reference_holdout: float = 0.25
+    reactivate_limit: int | None = None
     chunk_override: int | None = None
 
     def __post_init__(self) -> None:
@@ -126,6 +141,8 @@ class RemoteSiteConfig:
             raise ValueError("dim must be at least 1")
         if self.c_max < 1:
             raise ValueError("c_max must be at least 1")
+        if self.reactivate_limit is not None and self.reactivate_limit < 0:
+            raise ValueError("reactivate_limit must be non-negative")
         if self.chunk_override is not None and self.chunk_override < 1:
             raise ValueError("chunk_override must be at least 1")
         if not 0.0 <= self.reference_holdout < 1.0:
@@ -169,6 +186,11 @@ class ModelEntry:
         model.
     trained_at:
         Stream position (records) when the model was trained.
+    stats:
+        Running sufficient statistics behind the mixture (incremental
+        mode only; ``None`` on the classic path).  They let passing
+        chunks be absorbed in one pass and warm refits resume exactly
+        where the model's evidence left off.
     """
 
     model_id: int
@@ -178,6 +200,7 @@ class ModelEntry:
     reference_size: int
     count: int
     trained_at: int
+    stats: SufficientStats | None = None
 
 
 @dataclass
@@ -185,10 +208,17 @@ class SiteStatistics:
     """Cost counters backing Theorems 3-4 and the scalability figures.
 
     ``n_tests`` counts fit-test evaluations (cost ``λC`` each in the
-    paper's model); ``n_clusterings`` counts EM runs (cost ``C``);
-    ``n_tests_passed`` counts the evaluations whose chunk fitted, so
-    ``n_tests - n_tests_passed`` is the fail count; ``n_archived``
-    counts current-model retirements into the model list.
+    paper's model); ``n_clusterings`` counts model installs after a
+    full test failure (cost ``C`` when cold; warm refits are cheaper
+    and counted again in ``n_warm_refits``); ``n_tests_passed`` counts
+    the evaluations whose chunk fitted, so ``n_tests -
+    n_tests_passed`` is the fail count; ``n_archived`` counts
+    current-model retirements into the model list.
+
+    The last three counters exist only in incremental mode
+    (``n_absorbed`` one-pass absorptions of passing chunks,
+    ``n_warm_refits`` / ``n_cold_refits`` ladder outcomes); they stay
+    zero -- and out of checkpoints -- on the classic path.
     """
 
     records_seen: int = 0
@@ -200,6 +230,9 @@ class SiteStatistics:
     n_archived: int = 0
     messages_sent: int = 0
     bytes_sent: int = 0
+    n_absorbed: int = 0
+    n_warm_refits: int = 0
+    n_cold_refits: int = 0
 
     def register_message(self, message: Message) -> None:
         self.messages_sent += 1
@@ -253,6 +286,8 @@ class RemoteSite:
         self._position = 0
         #: Stream index where the current model's reign began.
         self._current_started_at = 0
+        #: Iterations of the most recent EM fit (refit-span telemetry).
+        self._last_fit_iterations = 0
         self.events = EventTable()
         self.stats = SiteStatistics()
 
@@ -427,19 +462,198 @@ class RemoteSite:
         # Test 1: the current model (section 5.1.2).
         result = self._fit_test(self._current, chunk, target="current")
         if result.fits:
+            if self.config.em.incremental:
+                return self._absorb_passing_chunk(chunk)
             self._current.count += chunk.shape[0]
             return []
 
-        # Tests 2..c_max: archived models, most recent first (multi-test
-        # strategy, section 5.1.2).
-        reactivated = self._try_reactivate(chunk)
-        if reactivated is not None:
-            return reactivated
+        # The chunk failed the current model: climb the refit ladder.
+        return self._refit(chunk)
 
-        # Every test failed: archive the current model and re-cluster.
-        warm = self._current.mixture if self.config.warm_start else None
+    def _refit(self, chunk: np.ndarray) -> list[Message]:
+        """The refit ladder (DESIGN.md section 14).
+
+        Rungs, cheapest first:
+
+        1. *reactivate* -- tests 2..c_max against archived models, most
+           recent first (the paper's multi-test strategy);
+        2. *warm* -- stepwise E-M from the failing current model over
+           its sufficient statistics (incremental mode only), accepted
+           when the updated model passes the ε gate of
+           :meth:`_warm_acceptable`;
+        3. *cold* -- archive the current model and refit from scratch.
+
+        The classic (non-incremental) path takes rungs 1 and 3 only --
+        exactly the pre-ladder behaviour.  The enclosing ``site.refit``
+        span records which rung won and its EM effort; wall time is the
+        span's own ``start``/``end`` (stamped from the observer's time
+        source, so deterministic traces stay deterministic).
+        """
+        with self._obs.span(
+            "site.refit", site=self.site_id, records=int(chunk.shape[0])
+        ) as span:
+            # Rung 1 (tests 2..c_max): archived models, most recent
+            # first (multi-test strategy, section 5.1.2).
+            reactivated = self._try_reactivate(chunk)
+            if reactivated is not None:
+                return self._note_refit(
+                    span, "reactivated", 0, reactivated
+                )
+
+            if self.config.em.incremental:
+                # Rung 2: warm-start stepwise E-M over the suffstats.
+                warm_messages, n_steps = self._refit_warm(chunk)
+                if warm_messages is not None:
+                    self.stats.n_warm_refits += 1
+                    return self._note_refit(
+                        span, "warm", n_steps, warm_messages
+                    )
+
+            # Rung 3: archive the current model and re-cluster cold.
+            warm = self._current.mixture if self.config.warm_start else None
+            self._retire_current(chunk.shape[0])
+            messages = self._cluster_chunk(chunk, warm=warm)
+            if self.config.em.incremental:
+                self.stats.n_cold_refits += 1
+            return self._note_refit(
+                span, "cold", self._last_fit_iterations, messages
+            )
+
+    def _note_refit(
+        self, span, outcome: str, n_iter: int, messages
+    ) -> list[Message]:
+        """Stamp the refit span/counters with the winning rung.
+
+        No wall-clock here: trace events must stay pure functions of
+        the seed (the lossy-determinism pin), so latency lives in the
+        ``site.refit`` span's time-source-stamped ``start``/``end``.
+        """
+        if span is not None:
+            span.attributes["outcome"] = outcome
+            span.attributes["n_iter"] = n_iter
+        if self._obs.enabled:
+            self._obs.inc("site.refits", site=self.site_id, outcome=outcome)
+            self._obs.event(
+                "site.refit",
+                site=self.site_id,
+                outcome=outcome,
+                n_iter=n_iter,
+            )
+        return messages
+
+    def _absorb_passing_chunk(self, chunk: np.ndarray) -> list[Message]:
+        """Incremental pass branch: fold the chunk into the suffstats.
+
+        One posterior evaluation, zero EM iterations; the reference
+        statistics move with the model so the next fit test judges the
+        *updated* parameters.  Chunks with missing attributes fall back
+        to the classic counter bump (the suffstat E-step has no
+        marginal-likelihood variant).
+        """
+        current = self._current
+        assert current is not None
+        n = int(chunk.shape[0])
+        if np.isnan(chunk).any():
+            current.count += n
+            return []
+        result = absorb_chunk(
+            chunk,
+            current.mixture,
+            self.config.em,
+            stats=current.stats,
+            observer=self._obs,
+        )
+        current.mixture = result.mixture
+        current.stats = result.stats
+        current.reference_likelihood = average_log_likelihood(
+            result.mixture, chunk, self.config.variant
+        )
+        current.reference_std = log_density_spread(
+            result.mixture, chunk, self.config.variant
+        )
+        current.reference_size = n
+        current.count += n
+        self.stats.n_absorbed += 1
+        if self._obs.enabled:
+            self._obs.inc("site.absorbs", site=self.site_id)
+            self._obs.event(
+                "site.absorb",
+                site=self.site_id,
+                model=current.model_id,
+                records=n,
+                log_likelihood=result.log_likelihood,
+            )
+        return []
+
+    def _refit_warm(
+        self, chunk: np.ndarray
+    ) -> tuple[list[Message] | None, int]:
+        """Rung 2: stepwise E-M from the failing current model.
+
+        Returns ``(messages, n_steps)`` when the warm fit clears the ε
+        gate, ``(None, steps_tried)`` when the ladder must escalate to
+        a cold refit.  Chunks with missing attributes always escalate
+        (:mod:`repro.core.missing` is a cold-only trainer; the dispatch
+        is deliberately explicit here rather than inside it).
+        """
+        if np.isnan(chunk).any():
+            return None, 0
+        current = self._current
+        assert current is not None
+        train, validation = self._split_reference(chunk)
+        try:
+            result = incremental_em(
+                train,
+                current.mixture,
+                self.config.em,
+                stats=current.stats,
+                observer=self._obs,
+            )
+        except ValueError:
+            # Starved component mid-update or degenerate chunk: the
+            # warm rung has nothing usable, escalate.
+            return None, 0
+        if not self._warm_acceptable(result.log_likelihood, train):
+            return None, result.n_steps
         self._retire_current(chunk.shape[0])
-        return self._cluster_chunk(chunk, warm=warm)
+        messages = self._install_model(
+            chunk_len=chunk.shape[0],
+            mixture=result.mixture,
+            validation=validation,
+            log_likelihood=result.log_likelihood,
+            n_iter=result.n_steps,
+            converged=True,
+            stats=result.stats,
+        )
+        return messages, result.n_steps
+
+    def _warm_acceptable(
+        self, warm_likelihood: float, train: np.ndarray
+    ) -> bool:
+        """The ladder's ε gate on a warm fit.
+
+        The updated mixture must explain the chunk at least as well as
+        a moment-matched single Gaussian, within the site's ε::
+
+            AvgPr_warm ≥ AvgPr_baseline − ε
+
+        A warm start stuck in a stale basin (abrupt drift) scores far
+        below even the unimodal baseline and escalates to a cold refit;
+        a warm start that genuinely tracked the drift matches or beats
+        it.
+        """
+        if train.shape[0] < 2:
+            return False
+        try:
+            baseline = Gaussian.from_samples(
+                train, diagonal=self.config.em.diagonal
+            )
+            baseline_likelihood = float(np.mean(baseline.log_pdf(train)))
+        except (ValueError, np.linalg.LinAlgError):
+            return False
+        return bool(
+            warm_likelihood >= baseline_likelihood - self.config.epsilon
+        )
 
     def _cluster_chunk(
         self, chunk: np.ndarray, warm: GaussianMixture | None
@@ -454,6 +668,8 @@ class RemoteSite:
             "site.cluster", site=self.site_id, records=int(chunk.shape[0])
         ):
             if self.config.handle_missing and np.isnan(train).any():
+                # Explicit cold dispatch: the missing-data trainer has
+                # no incremental variant (see repro.core.missing).
                 from repro.core.missing import fit_em_missing
 
                 result = fit_em_missing(
@@ -463,7 +679,11 @@ class RemoteSite:
                 from repro.core.selection import select_k
 
                 result = select_k(
-                    train, self.config.auto_k, self.config.em, self._rng
+                    train,
+                    self.config.auto_k,
+                    self.config.em,
+                    self._rng,
+                    initial=warm,
                 ).best
             else:
                 result = fit_em(
@@ -473,40 +693,77 @@ class RemoteSite:
                     initial=warm,
                     observer=self._obs,
                 )
+        self._last_fit_iterations = result.n_iter
+        stats = None
+        if self.config.em.incremental and not np.isnan(train).any():
+            stats = SufficientStats.from_mixture(
+                result.mixture,
+                float(train.shape[0]),
+                diagonal=self.config.em.diagonal,
+            )
+        return self._install_model(
+            chunk_len=chunk.shape[0],
+            mixture=result.mixture,
+            validation=validation,
+            log_likelihood=result.log_likelihood,
+            n_iter=result.n_iter,
+            converged=result.converged,
+            stats=stats,
+        )
+
+    def _install_model(
+        self,
+        *,
+        chunk_len: int,
+        mixture: GaussianMixture,
+        validation: np.ndarray,
+        log_likelihood: float,
+        n_iter: int,
+        converged: bool,
+        stats: SufficientStats | None = None,
+    ) -> list[Message]:
+        """Install a freshly trained model and announce it.
+
+        Shared tail of the cold (:meth:`_cluster_chunk`) and warm
+        (:meth:`_refit_warm`) rungs: reference statistics on the
+        held-out slice, model-list bookkeeping, the ``site.cluster``
+        trace event and the full ``ModelUpdateMessage``.
+        """
         self.stats.n_clusterings += 1
         reference = average_log_likelihood(
-            result.mixture, validation, self.config.variant
+            mixture, validation, self.config.variant
         )
         self._current = ModelEntry(
             model_id=self._allocate_model_id(),
-            mixture=result.mixture,
+            mixture=mixture,
             reference_likelihood=reference,
             reference_std=log_density_spread(
-                result.mixture, validation, self.config.variant
+                mixture, validation, self.config.variant
             ),
             reference_size=validation.shape[0],
-            count=chunk.shape[0],
+            count=chunk_len,
             trained_at=self._position,
+            stats=stats,
         )
-        self._current_started_at = self._position - chunk.shape[0]
+        self._current_started_at = self._position - chunk_len
         if self._obs.enabled:
             self._obs.inc("site.clusterings", site=self.site_id)
             self._obs.event(
                 "site.cluster",
                 site=self.site_id,
                 model=self._current.model_id,
-                records=int(chunk.shape[0]),
-                log_likelihood=result.log_likelihood,
-                n_iter=result.n_iter,
-                converged=result.converged,
+                records=chunk_len,
+                log_likelihood=log_likelihood,
+                n_iter=n_iter,
+                converged=converged,
             )
         message = ModelUpdateMessage(
             site_id=self.site_id,
             model_id=self._current.model_id,
             time=self._position,
-            mixture=result.mixture,
+            mixture=mixture,
             count=self._current.count,
-            reference_likelihood=result.log_likelihood,
+            reference_likelihood=log_likelihood,
         )
         return self._send([message])
 
@@ -520,9 +777,18 @@ class RemoteSite:
         factors and stacked batch kernels behind each ``fit_test``
         density evaluation are computed once per model and reused
         across every chunk tested against it (measured by the
-        ``chunk_test_cached`` bench scenario).
+        ``chunk_test_cached`` bench scenario and pinned by a
+        factorization-count regression test).
+
+        Candidate evaluation is bounded: at most ``c_max - 1`` models,
+        further capped by ``reactivate_limit``, scanned most recent
+        first -- each candidate costs a full ``J_fit`` pass over the
+        chunk, so an unbounded scan of a deep archive would turn the
+        multi-test into its own latency spike.
         """
         budget = self.config.c_max - 1
+        if self.config.reactivate_limit is not None:
+            budget = min(budget, self.config.reactivate_limit)
         if budget <= 0 or not self._archive:
             return None
         for entry in reversed(self._archive[-budget:]):

@@ -28,6 +28,7 @@ from repro.core.em import EMConfig
 from repro.core.mixture import GaussianMixture
 from repro.core.gaussian import Gaussian
 from repro.core.remote import ModelEntry, RemoteSite, RemoteSiteConfig
+from repro.core.suffstats import SufficientStats
 from repro.core.testing import LikelihoodVariant
 from repro.obs.observer import Observer
 
@@ -52,8 +53,18 @@ FORMAT_VERSION = 1
 # ----------------------------------------------------------------------
 # Shared helpers
 # ----------------------------------------------------------------------
+#: Incremental-pipeline EMConfig fields, serialized only when they
+#: differ from the defaults: checkpoints written with the ladder off
+#: stay byte-identical to the pre-ladder format.
+_EM_INCREMENTAL_DEFAULTS = {
+    "incremental": False,
+    "step_alpha": 0.7,
+    "incremental_steps": 2,
+}
+
+
 def _em_config_to_dict(config: EMConfig) -> dict:
-    return {
+    payload = {
         "n_components": config.n_components,
         "tol": config.tol,
         "max_iter": config.max_iter,
@@ -62,6 +73,11 @@ def _em_config_to_dict(config: EMConfig) -> dict:
         "covariance_ridge": config.covariance_ridge,
         "init": config.init,
     }
+    for key, default in _EM_INCREMENTAL_DEFAULTS.items():
+        value = getattr(config, key)
+        if value != default:
+            payload[key] = value
+    return payload
 
 
 def _em_config_from_dict(payload: Mapping) -> EMConfig:
@@ -88,7 +104,7 @@ def _none_or_inf(value: float | None) -> float:
 
 
 def _model_entry_to_dict(entry: ModelEntry) -> dict:
-    return {
+    payload = {
         "model_id": entry.model_id,
         "mixture": entry.mixture.to_dict(),
         "reference_likelihood": entry.reference_likelihood,
@@ -97,6 +113,9 @@ def _model_entry_to_dict(entry: ModelEntry) -> dict:
         "count": entry.count,
         "trained_at": entry.trained_at,
     }
+    if entry.stats is not None:
+        payload["stats"] = entry.stats.to_dict()
+    return payload
 
 
 def _model_entry_from_dict(payload: Mapping) -> ModelEntry:
@@ -108,32 +127,49 @@ def _model_entry_from_dict(payload: Mapping) -> ModelEntry:
         reference_size=payload["reference_size"],
         count=payload["count"],
         trained_at=payload["trained_at"],
+        stats=(
+            SufficientStats.from_dict(payload["stats"])
+            if payload.get("stats") is not None
+            else None
+        ),
     )
 
 
 # ----------------------------------------------------------------------
 # Remote site
 # ----------------------------------------------------------------------
+#: Incremental-only site counters, serialized only when non-zero (see
+#: ``_EM_INCREMENTAL_DEFAULTS`` for the rationale).
+_LADDER_STAT_KEYS = ("n_absorbed", "n_warm_refits", "n_cold_refits")
+
+
 def snapshot_site(site: RemoteSite) -> dict:
     """Serialise a site's full state to a JSON-compatible dict."""
     config = site.config
+    config_payload = {
+        "dim": config.dim,
+        "epsilon": config.epsilon,
+        "delta": config.delta,
+        "c_max": config.c_max,
+        "em": _em_config_to_dict(config.em),
+        "variant": config.variant.value,
+        "warm_start": config.warm_start,
+        "adaptive_test": config.adaptive_test,
+        "handle_missing": config.handle_missing,
+        "reference_holdout": config.reference_holdout,
+        "chunk_override": config.chunk_override,
+    }
+    if config.reactivate_limit is not None:
+        config_payload["reactivate_limit"] = config.reactivate_limit
+    stats = vars(site.stats).copy()
+    for key in _LADDER_STAT_KEYS:
+        if not stats.get(key):
+            stats.pop(key, None)
     return {
         "format": FORMAT_VERSION,
         "kind": "remote_site",
         "site_id": site.site_id,
-        "config": {
-            "dim": config.dim,
-            "epsilon": config.epsilon,
-            "delta": config.delta,
-            "c_max": config.c_max,
-            "em": _em_config_to_dict(config.em),
-            "variant": config.variant.value,
-            "warm_start": config.warm_start,
-            "adaptive_test": config.adaptive_test,
-            "handle_missing": config.handle_missing,
-            "reference_holdout": config.reference_holdout,
-            "chunk_override": config.chunk_override,
-        },
+        "config": config_payload,
         "buffer": [row.tolist() for row in site._buffer],
         "current": (
             _model_entry_to_dict(site.current_model)
@@ -148,7 +184,7 @@ def snapshot_site(site: RemoteSite) -> dict:
             [record.start, record.end, record.model_id]
             for record in site.events
         ],
-        "stats": vars(site.stats).copy(),
+        "stats": stats,
         "rng": _rng_state(site._rng),
     }
 

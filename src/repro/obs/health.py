@@ -11,7 +11,11 @@ into *how the system is doing right now*, in the paper's own terms:
 * **merge/split churn** -- how often Algorithm 2 restructures the
   global model, normalised per processed record;
 * **bytes per record** -- the section 6 communication-cost headline,
-  taken from any :class:`~repro.runtime.accounting.DeliveryAccounting`.
+  taken from any :class:`~repro.runtime.accounting.DeliveryAccounting`;
+* **refit-ladder gauges** (DESIGN section 14) -- per-site and
+  cluster-wide refit rate (refits per fit test), per-rung outcome
+  counts (reactivated / warm / cold) and mean refit latency, folded
+  from ``site.refit`` events.
 
 :class:`HealthMonitor` is a :class:`~repro.obs.trace.TraceSink`, so it
 plugs into a live observer next to the JSONL file sink and stays current
@@ -55,6 +59,13 @@ class SiteHealth:
     archives: int = 0
     #: Records the site has chunk-tested so far.
     records: int = 0
+    #: Refit-ladder outcomes (DESIGN section 14): every failed fit test
+    #: resolves to exactly one of these rungs.
+    refits_reactivated: int = 0
+    refits_warm: int = 0
+    refits_cold: int = 0
+    #: Total wall-clock seconds spent inside ``site.refit`` spans.
+    refit_seconds: float = 0.0
 
     @property
     def margin(self) -> float | None:
@@ -72,6 +83,21 @@ class SiteHealth:
     def pass_rate(self) -> float | None:
         return self.tests_passed / self.tests if self.tests else None
 
+    @property
+    def refits(self) -> int:
+        """Total refit-ladder invocations (all rungs)."""
+        return self.refits_reactivated + self.refits_warm + self.refits_cold
+
+    @property
+    def refit_rate(self) -> float | None:
+        """Fraction of fit tests that escalated into the refit ladder."""
+        return self.refits / self.tests if self.tests else None
+
+    @property
+    def mean_refit_seconds(self) -> float | None:
+        """Mean wall-clock latency of one refit-ladder resolution."""
+        return self.refit_seconds / self.refits if self.refits else None
+
     def as_dict(self) -> dict:
         return {
             "site": self.site_id,
@@ -86,6 +112,13 @@ class SiteHealth:
             "reactivations": self.reactivations,
             "archives": self.archives,
             "records": self.records,
+            "refits": {
+                "reactivated": self.refits_reactivated,
+                "warm": self.refits_warm,
+                "cold": self.refits_cold,
+            },
+            "refit_rate": self.refit_rate,
+            "mean_refit_seconds": self.mean_refit_seconds,
         }
 
 
@@ -192,6 +225,25 @@ class HealthMonitor(TraceSink):
             site.model_id = fields.get("model", site.model_id)
         elif type_ == "site.archive":
             self._site(int(fields["site"])).archives += 1
+        elif type_ == "site.refit":
+            site = self._site(int(fields["site"]))
+            outcome = fields.get("outcome")
+            if outcome == "reactivated":
+                site.refits_reactivated += 1
+            elif outcome == "warm":
+                site.refits_warm += 1
+            elif outcome == "cold":
+                site.refits_cold += 1
+        elif type_ == "span" and fields.get("name") == "site.refit":
+            # Latency rides the span record, not the event: span
+            # start/end come from the observer's time source, so
+            # deterministic (manual-clock) traces stay byte-stable
+            # while live runs report real wall time.
+            attrs = fields.get("attrs") or {}
+            if "site" in attrs:
+                self._site(int(attrs["site"])).refit_seconds += float(
+                    fields.get("end", 0.0)
+                ) - float(fields.get("start", 0.0))
         elif type_ == "coord.merge":
             self._global.merges += 1
         elif type_ == "coord.split":
@@ -224,6 +276,22 @@ class HealthMonitor(TraceSink):
             return int(self._component_count())
         return self._global.last_component_count
 
+    def refit_rate(self) -> float | None:
+        """Cluster-wide fraction of fit tests that entered the ladder."""
+        tests = sum(site.tests for site in self._sites.values())
+        if not tests:
+            return None
+        refits = sum(site.refits for site in self._sites.values())
+        return refits / tests
+
+    def mean_refit_seconds(self) -> float | None:
+        """Cluster-wide mean wall-clock latency per refit resolution."""
+        refits = sum(site.refits for site in self._sites.values())
+        if not refits:
+            return None
+        seconds = sum(site.refit_seconds for site in self._sites.values())
+        return seconds / refits
+
     def bytes_per_record(self) -> float | None:
         """Section 6 communication cost: payload bytes per record."""
         if self._accounting is None or not self._global.records:
@@ -253,6 +321,15 @@ class HealthMonitor(TraceSink):
                 "weight_updates": self._global.weight_updates,
                 "deletions": self._global.deletions,
                 "churn_rate": self.churn_rate,
+            },
+            "refits": {
+                "reactivated": sum(
+                    s.refits_reactivated for s in self._sites.values()
+                ),
+                "warm": sum(s.refits_warm for s in self._sites.values()),
+                "cold": sum(s.refits_cold for s in self._sites.values()),
+                "refit_rate": self.refit_rate(),
+                "mean_seconds": self.mean_refit_seconds(),
             },
         }
         if accounting is not None:
@@ -289,12 +366,26 @@ class HealthMonitor(TraceSink):
                     site.pass_rate
                 )
             registry.gauge("health.site_records", **labels).set(site.records)
+            if site.refit_rate is not None:
+                registry.gauge("health.site_refit_rate", **labels).set(
+                    site.refit_rate
+                )
+            if site.mean_refit_seconds is not None:
+                registry.gauge("health.site_refit_seconds", **labels).set(
+                    site.mean_refit_seconds
+                )
         components = self.component_count()
         if components is not None:
             registry.gauge("health.components").set(components)
         registry.gauge("health.merges").set(self._global.merges)
         registry.gauge("health.splits").set(self._global.splits)
         registry.gauge("health.churn_rate").set(self.churn_rate)
+        refit_rate = self.refit_rate()
+        if refit_rate is not None:
+            registry.gauge("health.refit_rate").set(refit_rate)
+        mean_refit = self.mean_refit_seconds()
+        if mean_refit is not None:
+            registry.gauge("health.refit_seconds").set(mean_refit)
         bpr = self.bytes_per_record()
         if bpr is not None:
             registry.gauge("health.bytes_per_record").set(bpr)

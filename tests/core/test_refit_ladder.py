@@ -1,0 +1,191 @@
+"""Integration tests for the refit ladder (DESIGN §14).
+
+A failed fit test resolves on exactly one rung:
+
+1. **reactivate** -- an archived model still explains the chunk;
+2. **warm** -- a few stepwise EM updates on the current model's
+   sufficient statistics pass the epsilon acceptance test;
+3. **cold** -- full re-clustering, the pre-ladder behaviour.
+
+The tests here drive seeded drift streams through a
+:class:`~repro.core.remote.RemoteSite` and pin the escalation policy:
+trackable drift resolves warm, basin jumps escalate to cold, archived
+regimes reactivate without a single new Cholesky factorisation, and the
+incremental site's model quality stays within a pinned tolerance of the
+cold-only site (the CI quality gate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.core.gaussian as gaussian_module
+from repro.core.em import EMConfig
+from repro.core.remote import RemoteSite, RemoteSiteConfig
+from repro.core.testing import average_log_likelihood
+
+DIM = 3
+CHUNK = 90
+
+
+def make_config(**overrides) -> RemoteSiteConfig:
+    em = EMConfig(
+        n_components=3, n_init=1, max_iter=30, incremental=True
+    )
+    base = dict(
+        dim=DIM,
+        epsilon=0.05,
+        delta=0.05,
+        c_max=3,
+        em=em,
+        chunk_override=CHUNK,
+    )
+    base.update(overrides)
+    return RemoteSiteConfig(**base)
+
+
+def regime_chunk(rng: np.random.Generator, offset: float) -> np.ndarray:
+    """One chunk of three well-separated clusters shifted by ``offset``."""
+    centers = np.array([[0.0, 0.0, 0.0], [4.0, 4.0, 0.0], [-4.0, 0.0, 4.0]])
+    assignments = rng.integers(0, 3, size=CHUNK)
+    return centers[assignments] + offset + rng.normal(0, 0.5, (CHUNK, DIM))
+
+
+def jump_stream(rng: np.random.Generator) -> list[np.ndarray]:
+    """Abrupt basin jumps: the warm rung must flunk the epsilon test."""
+    chunks = []
+    for offset in (0.0, 6.0, 0.0, 12.0, 6.0):
+        for _ in range(2):
+            chunks.append(regime_chunk(rng, offset))
+    return chunks
+
+
+def drift_stream(rng: np.random.Generator, n_chunks: int = 15):
+    """Steady trackable drift: the warm rung should usually win."""
+    offset = 0.0
+    for _ in range(n_chunks):
+        yield regime_chunk(rng, offset)
+        offset += 0.9
+
+
+def run_site(chunks, config, seed: int = 123) -> RemoteSite:
+    site = RemoteSite(0, config, rng=np.random.default_rng(seed))
+    for chunk in chunks:
+        site.process_chunk(chunk)
+    return site
+
+
+class TestEscalation:
+    def test_abrupt_jumps_escalate_to_cold(self):
+        site = run_site(
+            jump_stream(np.random.default_rng(99)), make_config()
+        )
+        # Basin jumps leave the warm fit far below the moment-matched
+        # single-Gaussian baseline, so the epsilon acceptance test
+        # rejects it and the ladder falls through to a cold refit.
+        assert site.stats.n_cold_refits > 0
+
+    def test_steady_drift_resolves_warm(self):
+        config = make_config(
+            em=dataclasses.replace(
+                make_config().em, incremental_steps=3
+            )
+        )
+        site = run_site(drift_stream(np.random.default_rng(42)), config)
+        assert site.stats.n_warm_refits > 0
+        # Trackable drift is the warm rung's home turf: it should
+        # resolve at least as many refits as cold escalation.
+        assert site.stats.n_warm_refits >= site.stats.n_cold_refits
+        # Warm installs are still model installs.
+        assert site.stats.n_clusterings >= site.stats.n_warm_refits
+
+    def test_classic_mode_never_uses_ladder_counters(self):
+        config = make_config(
+            em=dataclasses.replace(make_config().em, incremental=False)
+        )
+        site = run_site(jump_stream(np.random.default_rng(99)), config)
+        assert site.stats.n_warm_refits == 0
+        assert site.stats.n_cold_refits == 0
+        assert site.stats.n_absorbed == 0
+
+
+class TestReactivation:
+    def two_regime_site(self, config) -> tuple[RemoteSite, np.ndarray]:
+        """A site whose first model is archived, plus a chunk that the
+        archived model (and not the current one) explains.
+
+        ``epsilon`` is loose enough that same-regime chunk-to-chunk
+        AvgPr noise (~0.1 nats at n=90) cannot flunk the archived
+        model's test, while the ~40-nat regime gap still fails the
+        current model decisively.
+        """
+        config = dataclasses.replace(config, epsilon=0.5)
+        rng = np.random.default_rng(7)
+        site = RemoteSite(0, config, rng=np.random.default_rng(11))
+        for _ in range(2):
+            site.process_chunk(regime_chunk(rng, 0.0))
+        site.process_chunk(regime_chunk(rng, 9.0))
+        assert len(site.all_models) > 1
+        return site, regime_chunk(rng, 0.0)
+
+    def test_reactivation_restores_archived_model(self):
+        site, revisit = self.two_regime_site(make_config())
+        before = site.stats.n_reactivations
+        site.process_chunk(revisit)
+        assert site.stats.n_reactivations == before + 1
+
+    def test_reactivate_limit_zero_disables_rung_one(self):
+        site, revisit = self.two_regime_site(
+            make_config(reactivate_limit=0)
+        )
+        site.process_chunk(revisit)
+        assert site.stats.n_reactivations == 0
+        # The failed test still resolved -- on a higher rung.
+        assert (
+            site.stats.n_warm_refits + site.stats.n_cold_refits
+        ) >= 2
+
+    def test_reactivation_never_refactorizes(self, monkeypatch):
+        """Candidate evaluation reuses the archived models' cached
+        Cholesky factors: reactivating must cost zero factorisations."""
+        site, revisit = self.two_regime_site(make_config())
+        calls = {"n": 0}
+        real = gaussian_module.spd_factorize
+
+        def counting(matrix, *args, **kwargs):
+            calls["n"] += 1
+            return real(matrix, *args, **kwargs)
+
+        monkeypatch.setattr(gaussian_module, "spd_factorize", counting)
+        before = site.stats.n_reactivations
+        site.process_chunk(revisit)
+        assert site.stats.n_reactivations == before + 1
+        assert calls["n"] == 0
+
+
+class TestQualityGate:
+    #: Max acceptable holdout AvgPr gap, incremental vs cold (nats).
+    #: Pinned here -- CI invokes this test, the tolerance lives in code.
+    TOLERANCE = 0.5
+
+    def test_incremental_matches_cold_avgpr(self):
+        rng = np.random.default_rng(31)
+        chunks = list(drift_stream(rng, n_chunks=12))
+        holdout = regime_chunk(np.random.default_rng(32), 0.9 * 11)
+
+        cold_config = make_config(
+            em=dataclasses.replace(make_config().em, incremental=False)
+        )
+        cold = run_site(chunks, cold_config)
+        warm = run_site(chunks, make_config())
+
+        cold_avgpr = average_log_likelihood(
+            cold.current_model.mixture, holdout
+        )
+        warm_avgpr = average_log_likelihood(
+            warm.current_model.mixture, holdout
+        )
+        assert warm_avgpr >= cold_avgpr - self.TOLERANCE

@@ -71,6 +71,60 @@ class TestHealthMonitorFolding:
         assert report["status"] == "drifting"
         assert report["drifting_sites"] == [0]
 
+    def test_refit_ladder_gauges(self):
+        monitor = HealthMonitor()
+        for _ in range(4):
+            monitor.write(
+                event("site.chunk_test", site=0, passed=False, chunk=100)
+            )
+        monitor.write(event("site.refit", site=0, outcome="warm", n_iter=2))
+        monitor.write(event("site.refit", site=0, outcome="warm", n_iter=3))
+        monitor.write(event("site.refit", site=0, outcome="cold", n_iter=9))
+        monitor.write(
+            event(
+                "site.refit", site=0, outcome="reactivated", n_iter=0
+            )
+        )
+        # Latency arrives on the span record, not the event.
+        monitor.write(
+            event(
+                "span",
+                name="site.refit",
+                start=1.0,
+                end=1.25,
+                attrs={"site": 0, "outcome": "warm", "n_iter": 2},
+            )
+        )
+        monitor.write(
+            event(
+                "span",
+                name="site.refit",
+                start=2.0,
+                end=2.75,
+                attrs={"site": 0, "outcome": "cold", "n_iter": 9},
+            )
+        )
+        site = monitor.report()["sites"][0]
+        assert site["refits"] == {"reactivated": 1, "warm": 2, "cold": 1}
+        assert site["refit_rate"] == pytest.approx(1.0)
+        assert site["mean_refit_seconds"] == pytest.approx(0.25)
+        rollup = monitor.report()["refits"]
+        assert rollup["warm"] == 2 and rollup["cold"] == 1
+        assert rollup["refit_rate"] == pytest.approx(1.0)
+        assert rollup["mean_seconds"] == pytest.approx(0.25)
+        registry = MetricsRegistry()
+        monitor.publish(registry)
+        assert registry.gauge(
+            "health.site_refit_rate", site=0
+        ).value == pytest.approx(1.0)
+        assert registry.gauge(
+            "health.site_refit_seconds", site=0
+        ).value == pytest.approx(0.25)
+        assert registry.gauge("health.refit_rate").value == pytest.approx(1.0)
+        assert registry.gauge(
+            "health.refit_seconds"
+        ).value == pytest.approx(0.25)
+
     def test_coordinator_counters_and_churn(self):
         monitor = HealthMonitor()
         monitor.write(
