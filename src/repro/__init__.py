@@ -39,6 +39,10 @@ from repro.core import (
     AnomalyDetector,
     CluDistream,
     CluDistreamConfig,
+    CodecConfig,
+    CodecError,
+    CodecNegotiationError,
+    CodecStats,
     Coordinator,
     CoordinatorConfig,
     EMConfig,
@@ -50,15 +54,19 @@ from repro.core import (
     GaussianMixture,
     RemoteSite,
     RemoteSiteConfig,
+    WireCodec,
     anomaly_scores,
+    available_codecs,
     average_log_likelihood,
     chunk_size,
     decode_message,
     encode_message,
     fit_em,
     fit_test,
+    get_codec,
     iter_chunks,
     membership_report,
+    register_codec,
     select_k,
 )
 from repro.obs import NULL_OBSERVER, Observer
@@ -73,7 +81,7 @@ from repro.runtime import (
     TransportChannel,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Bench entry points re-exported lazily (PEP 562): ``repro.bench``
 #: pulls in the stream generators and scenario registry, which plain
@@ -114,6 +122,10 @@ __all__ = [
     "run_bench",
     "CluDistream",
     "CluDistreamConfig",
+    "CodecConfig",
+    "CodecError",
+    "CodecNegotiationError",
+    "CodecStats",
     "Coordinator",
     "CoordinatorConfig",
     "EMConfig",
@@ -125,15 +137,19 @@ __all__ = [
     "GaussianMixture",
     "RemoteSite",
     "RemoteSiteConfig",
+    "WireCodec",
     "anomaly_scores",
+    "available_codecs",
     "average_log_likelihood",
     "chunk_size",
     "decode_message",
     "encode_message",
     "fit_em",
     "fit_test",
+    "get_codec",
     "iter_chunks",
     "membership_report",
+    "register_codec",
     "select_k",
     "__version__",
 ]

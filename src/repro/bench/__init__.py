@@ -11,7 +11,11 @@ A reproducible benchmark subsystem for the CluDistream reproduction:
   (timing via the :mod:`repro.obs` profiling timers) and the
   ``BENCH_<name>.json`` report format;
 * :mod:`repro.bench.compare` -- the calibration-normalised regression
-  comparator CI runs against the checked-in baseline.
+  comparator CI runs against the checked-in baseline;
+* :mod:`repro.bench.comm` -- the wire-efficiency family
+  (``repro bench --suite comm``): deterministic bytes/record and
+  holdout-AvgPr measurements per codec cell, stamped into
+  ``BENCH_comm.json``.
 
 Command-line entry point: ``repro bench`` (see ``repro bench --help``);
 :func:`run_bench` is the same thing as a library call.
@@ -24,6 +28,12 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.bench.comm import (
+    COMM_CELLS,
+    CommCell,
+    format_comm_report,
+    run_comm_bench,
+)
 from repro.bench.compare import (
     ComparisonReport,
     ScenarioDelta,
@@ -49,6 +59,8 @@ __all__ = [
     "BenchConfig",
     "BenchReport",
     "BenchRunner",
+    "COMM_CELLS",
+    "CommCell",
     "ComparisonReport",
     "SCENARIOS",
     "SUITES",
@@ -56,9 +68,11 @@ __all__ = [
     "ScenarioDelta",
     "ScenarioResult",
     "compare_benchmarks",
+    "format_comm_report",
     "get_scenario",
     "load_report",
     "run_bench",
+    "run_comm_bench",
     "suite_names",
     "trimmed_mean",
 ]

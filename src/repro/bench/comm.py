@@ -1,0 +1,331 @@
+"""The ``comm`` bench family: wire bytes per record, not seconds.
+
+Every other scenario in :mod:`repro.bench.scenarios` measures *time*;
+the codec cells here measure *bytes*.  One seeded drift workload -- a
+``K=8``, ``d=8`` full-covariance mixture in which exactly one component
+moves per refit, the steady state the CDS2 delta encoding is designed
+for -- is pushed through a real :class:`~repro.transport.wire.CodecSender`
+over the ARQ reliability layer on a loopback transport, once per codec
+cell (CDS1; CDS2 at f64/f32/f16, each with delta on and off).  Two
+numbers come out per cell:
+
+* ``bytes_per_record`` -- total encoded wire bytes divided by the
+  records the synopses stand in for (the x-axis of the Pareto table in
+  the README);
+* ``avg_pr_loss`` -- holdout ``AvgPr`` (Definition 1) of the mixture
+  the *receiver* decoded, relative to the CDS1 cell.  Quantisation is
+  only admissible while this stays negligible; delta at f64 must cost
+  exactly nothing (the decoded model is bit-identical).
+
+Bytes are deterministic under the seed, so the report needs no
+warmup/repeat protocol and no calibration scenario: the document
+reuses the ``repro.bench/v1`` shape with ``bytes_per_record`` stored in
+the ``best``/``trimmed`` slots, which makes ``BENCH_comm.json``
+directly comparable by :func:`repro.bench.compare.compare_benchmarks`
+(raw mode, smaller is better) -- the same gate CI already runs against
+``BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.bench.runner import SCHEMA, git_commit, machine_info
+from repro.bench.specs import make_mixture
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import ModelUpdateMessage
+from repro.core.serde import CodecConfig, get_codec
+from repro.core.testing import average_log_likelihood
+from repro.transport.clock import ManualClock
+from repro.transport.loopback import LoopbackTransport
+from repro.transport.reliability import ReliableReceiver, ReliableSender
+from repro.transport.wire import CodecSender
+
+__all__ = [
+    "COMM_CELLS",
+    "CommCell",
+    "CommWorkload",
+    "format_comm_report",
+    "run_comm_bench",
+]
+
+#: The cell every other cell's quality is measured against.
+REFERENCE_CELL = "comm_cds1"
+
+
+@dataclass(frozen=True, kw_only=True)
+class CommCell:
+    """One codec configuration measured by the comm bench."""
+
+    name: str
+    summary: str
+    codec: str
+    quantize: str = "f64"
+    delta: bool = False
+
+    def config(self) -> CodecConfig:
+        return CodecConfig(quantize=self.quantize, delta=self.delta)
+
+
+#: The Pareto sweep: CDS1, then CDS2 across quantisation x delta.
+COMM_CELLS: tuple[CommCell, ...] = (
+    CommCell(
+        name="comm_cds1",
+        summary="CDS1 full snapshots (the v1 wire format)",
+        codec="cds1",
+    ),
+    CommCell(
+        name="comm_cds2_full",
+        summary="CDS2 full snapshots, exact f64 covariances",
+        codec="cds2",
+    ),
+    CommCell(
+        name="comm_cds2_f32",
+        summary="CDS2 snapshots, f32 Cholesky covariances",
+        codec="cds2",
+        quantize="f32",
+    ),
+    CommCell(
+        name="comm_cds2_f16",
+        summary="CDS2 snapshots, f16 Cholesky covariances",
+        codec="cds2",
+        quantize="f16",
+    ),
+    CommCell(
+        name="comm_cds2_delta",
+        summary="CDS2 delta encoding, exact f64 covariances",
+        codec="cds2",
+        delta=True,
+    ),
+    CommCell(
+        name="comm_cds2_f32_delta",
+        summary="CDS2 delta encoding, f32 Cholesky covariances",
+        codec="cds2",
+        quantize="f32",
+        delta=True,
+    ),
+    CommCell(
+        name="comm_cds2_f16_delta",
+        summary="CDS2 delta encoding, f16 Cholesky covariances",
+        codec="cds2",
+        quantize="f16",
+        delta=True,
+    ),
+)
+
+
+@dataclass(frozen=True, kw_only=True)
+class CommWorkload:
+    """The seeded drift stream all cells share.
+
+    ``messages[t]`` is the site's ``t``-th model upload; between
+    consecutive uploads exactly one component has moved (means drift,
+    everything else is the *same array object*, hence byte-identical on
+    the wire -- the situation a refit after a localised drift produces,
+    and the one the delta codec's change detection keys on).
+    ``holdout`` is sampled from the final ground-truth mixture, so a
+    receiver that decoded the last upload correctly scores the same
+    ``AvgPr`` on it as the sender's model does.
+    """
+
+    messages: tuple[ModelUpdateMessage, ...]
+    holdout: np.ndarray
+    records_per_update: int
+
+    @property
+    def records(self) -> int:
+        return len(self.messages) * self.records_per_update
+
+
+def build_workload(
+    seed: int,
+    *,
+    updates: int = 40,
+    records_per_update: int = 250,
+    n_components: int = 8,
+    dim: int = 8,
+    holdout: int = 2000,
+) -> CommWorkload:
+    """Deterministic drift workload: one component moves per update."""
+    rng = np.random.default_rng(seed + 9_000)
+    mixture = make_mixture(
+        seed, dim=dim, n_components=n_components, separation=3.0
+    )
+    messages = []
+    for step in range(updates):
+        drifting = step % n_components
+        components = list(mixture.components)
+        moved = components[drifting]
+        components[drifting] = Gaussian(
+            moved.mean + 0.05 * rng.standard_normal(dim),
+            np.array(moved.covariance),
+            diagonal=moved.diagonal,
+        )
+        mixture = GaussianMixture(np.array(mixture.weights), tuple(components))
+        messages.append(
+            ModelUpdateMessage(
+                site_id=1,
+                model_id=step + 1,
+                time=step,
+                mixture=mixture,
+                count=(step + 1) * records_per_update,
+                reference_likelihood=-float(dim),
+            )
+        )
+    points, _ = mixture.sample(holdout, np.random.default_rng(seed + 9_500))
+    return CommWorkload(
+        messages=tuple(messages),
+        holdout=points,
+        records_per_update=records_per_update,
+    )
+
+
+def run_cell(cell: CommCell, workload: CommWorkload) -> dict[str, object]:
+    """Push the workload through one codec cell over loopback ARQ.
+
+    Loopback delivery is synchronous, so acks return before ``send``
+    does and every delta update gets to baseline against its immediate
+    predecessor -- the steady state of a healthy edge.  The decode side
+    runs the negotiated receiver codec, so ``avg_pr`` reflects what the
+    coordinator would actually see, quantisation loss included.
+    """
+    clock = ManualClock()
+    transport = LoopbackTransport()
+    encoder = get_codec(cell.codec, cell.config())
+    decoder = get_codec(cell.codec)
+    decoded: list[ModelUpdateMessage] = []
+    receiver = ReliableReceiver(
+        deliver=lambda site_id, payload: decoded.append(
+            decoder.decode(payload)
+        ),
+        send_ack=transport.send_to_site,
+        clock=clock,
+        accept_codecs={0, encoder.wire_id},
+    )
+    transport.bind_coordinator(receiver.handle_datagram)
+    sender = ReliableSender(
+        site_id=1,
+        transmit=lambda data: transport.send_to_coordinator(1, data),
+        clock=clock,
+    )
+    transport.bind_site(1, sender.handle_datagram)
+    codec_sender = CodecSender(sender, encoder)
+
+    for message in workload.messages:
+        codec_sender.send(message)
+    codec_sender.flush()
+    if sender.outstanding():  # loopback acks synchronously; belt-and-braces
+        raise RuntimeError("loopback comm cell failed to drain")
+    if len(decoded) != len(workload.messages):
+        raise RuntimeError(
+            f"comm cell {cell.name!r} delivered {len(decoded)} of "
+            f"{len(workload.messages)} updates"
+        )
+
+    stats = encoder.stats
+    avg_pr = average_log_likelihood(decoded[-1].mixture, workload.holdout)
+    bytes_per_record = stats.bytes_encoded / workload.records
+    return {
+        # `best`/`trimmed` carry bytes/record so compare_benchmarks can
+        # gate this report exactly like a timing report (smaller is
+        # better, deterministic, no calibration needed).
+        "best": bytes_per_record,
+        "trimmed": bytes_per_record,
+        "value": float(stats.bytes_encoded),
+        "bytes_per_record": bytes_per_record,
+        "bytes_total": stats.bytes_encoded,
+        "messages": stats.messages,
+        "records": workload.records,
+        "delta_updates": stats.delta_updates,
+        "snapshot_updates": stats.snapshot_updates,
+        "delta_hit_rate": stats.delta_hit_rate,
+        "components_shipped": stats.components_shipped,
+        "components_total": stats.components_total,
+        "avg_pr": float(avg_pr),
+    }
+
+
+def run_comm_bench(
+    seed: int = 0,
+    *,
+    updates: int = 40,
+    records_per_update: int = 250,
+    n_components: int = 8,
+    dim: int = 8,
+    holdout: int = 2000,
+    progress=None,
+) -> dict[str, object]:
+    """Run every cell and assemble the ``BENCH_comm.json`` document."""
+    workload = build_workload(
+        seed,
+        updates=updates,
+        records_per_update=records_per_update,
+        n_components=n_components,
+        dim=dim,
+        holdout=holdout,
+    )
+    scenarios: dict[str, dict[str, object]] = {}
+    for cell in COMM_CELLS:
+        if progress is not None:
+            progress(f"running {cell.name} ...")
+        scenarios[cell.name] = run_cell(cell, workload)
+    reference = scenarios[REFERENCE_CELL]
+    for entry in scenarios.values():
+        entry["avg_pr_loss"] = float(reference["avg_pr"]) - float(
+            entry["avg_pr"]
+        )
+        entry["reduction_vs_cds1"] = float(reference["bytes_per_record"]) / float(
+            entry["bytes_per_record"]
+        )
+    return {
+        "schema": SCHEMA,
+        "suite": "comm",
+        "config": {
+            "seed": seed,
+            "updates": updates,
+            "records_per_update": records_per_update,
+            "n_components": n_components,
+            "dim": dim,
+            "holdout": holdout,
+        },
+        "machine": machine_info(),
+        "commit": git_commit(),
+        "scenarios": scenarios,
+    }
+
+
+def format_comm_report(doc: Mapping) -> str:
+    """Human-readable Pareto table of a comm report document."""
+    config = doc.get("config", {})
+    scenarios = doc.get("scenarios", {})
+    lines = [
+        "suite 'comm': {n} codec cells, {u} updates x {r} records "
+        "(K={k}, d={d}, seed {s})".format(
+            n=len(scenarios),
+            u=config.get("updates", "?"),
+            r=config.get("records_per_update", "?"),
+            k=config.get("n_components", "?"),
+            d=config.get("dim", "?"),
+            s=config.get("seed", "?"),
+        )
+    ]
+    width = max((len(name) for name in scenarios), default=0)
+    header = (
+        f"  {'cell':<{width}}  {'bytes/rec':>9}  {'vs cds1':>8}  "
+        f"{'Δ-hit':>6}  {'AvgPr loss':>11}"
+    )
+    lines.append(header)
+    for name, entry in scenarios.items():
+        hit = entry.get("delta_hit_rate", 0.0)
+        lines.append(
+            f"  {name:<{width}}  "
+            f"{float(entry['bytes_per_record']):9.2f}  "
+            f"{float(entry.get('reduction_vs_cds1', 1.0)):7.2f}x  "
+            f"{float(hit) * 100:5.0f}%  "
+            f"{float(entry.get('avg_pr_loss', 0.0)):11.6f}"
+        )
+    return "\n".join(lines)

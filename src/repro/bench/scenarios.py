@@ -391,8 +391,9 @@ def _build_merge_fit(seed: int) -> Callable[[], float]:
 # ----------------------------------------------------------------------
 def _build_serde_roundtrip(seed: int) -> Callable[[], float]:
     from repro.core.protocol import ModelUpdateMessage
-    from repro.core.serde import decode_message, encode_message
+    from repro.core.serde import get_codec
 
+    codec = get_codec("cds1")
     message = ModelUpdateMessage(
         site_id=3,
         model_id=7,
@@ -405,8 +406,8 @@ def _build_serde_roundtrip(seed: int) -> Callable[[], float]:
     def run() -> float:
         total = 0
         for _ in range(50):
-            payload = encode_message(message)
-            decoded = decode_message(payload)
+            payload = codec.encode(message)
+            decoded = codec.decode(payload)
             total += len(payload) + decoded.count
         return float(total)
 

@@ -194,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start from the coordinator checkpoint in --checkpoint-dir",
     )
+    _add_codec_flags(serve)
     _add_telemetry_flags(serve)
 
     site = sub.add_parser(
@@ -231,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore the site from --checkpoint-dir and stream only "
         "the records beyond its recorded position",
     )
+    _add_codec_flags(site)
 
     cluster = sub.add_parser(
         "cluster",
@@ -332,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
         "additionally serves /cluster/health, /cluster/nodes and "
         "/cluster/spans",
     )
+    _add_codec_flags(cluster)
     _add_telemetry_flags(cluster)
 
     stats = sub.add_parser(
@@ -396,7 +399,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="core",
-        help="scenario suite to run (default: core)",
+        help="scenario suite to run (default: core; 'comm' runs the "
+        "wire-efficiency codec cells instead of timing scenarios)",
     )
     bench.add_argument(
         "--scenarios",
@@ -444,6 +448,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered scenarios and suites, then exit",
     )
     return parser
+
+
+def _add_codec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--wire-codec",
+        choices=("cds1", "cds2"),
+        default="cds1",
+        help="wire codec for transport edges (DESIGN.md section 15; "
+        "both ends of an edge must agree, default: cds1)",
+    )
+    parser.add_argument(
+        "--quantize",
+        choices=("f64", "f32", "f16"),
+        default="f64",
+        help="covariance precision on the wire (cds2 only; f32/f16 ship "
+        "quantized Cholesky factors, default: f64 = exact)",
+    )
+    parser.add_argument(
+        "--delta-encoding",
+        action="store_true",
+        help="cds2 only: ship only components changed since the last "
+        "acknowledged update instead of full snapshots",
+    )
+
+
+def _codec_config(args: argparse.Namespace):
+    from repro.core.serde import CodecConfig
+
+    return CodecConfig(quantize=args.quantize, delta=args.delta_encoding)
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -914,6 +947,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             expected_sites=args.expected_sites,
             config=ReliabilityConfig(stale_after=args.stale_after),
             observer=observer,
+            wire_codec=args.wire_codec,
+            codec_config=_codec_config(args),
         )
         try:
             await server.start(args.host, args.port)
@@ -1070,6 +1105,8 @@ def _cmd_site(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 observer=observer,
                 site=restored,
+                wire_codec=args.wire_codec,
+                codec_config=_codec_config(args),
             )
         )
     except OSError as error:
@@ -1141,6 +1178,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 upload_threshold=args.upload_threshold,
                 merge_method=args.merge_method,
                 incremental=args.incremental,
+                wire_codec=args.wire_codec,
+                quantize=args.quantize,
+                delta_encoding=args.delta_encoding,
             )
         except ValueError as error:
             print(f"invalid topology: {error}", file=sys.stderr)
@@ -1322,6 +1362,49 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     )
 
 
+def _bench_comm(args: argparse.Namespace) -> int:
+    """``repro bench --suite comm``: the wire-efficiency codec cells.
+
+    Bytes per record are deterministic under the seed, so the protocol
+    knobs (``--repeats``/``--warmup``/``--trim``) do not apply; the
+    report document still gates against ``BENCH_comm.json`` through the
+    standard comparator (raw mode -- no calibration scenario, none
+    needed for byte counts).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.bench import (
+        compare_benchmarks,
+        format_comm_report,
+        load_report,
+        run_comm_bench,
+    )
+
+    doc = run_comm_bench(
+        seed=args.seed, progress=lambda line: print(line, flush=True)
+    )
+    print(format_comm_report(doc))
+    if args.json:
+        path = Path(args.json)
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"report written to {path}")
+    if args.baseline:
+        try:
+            comparison = compare_benchmarks(
+                load_report(args.baseline),
+                doc,
+                threshold=args.max_regression,
+            )
+        except (OSError, ValueError) as error:
+            print(f"cannot load baseline: {error}", file=sys.stderr)
+            return 1
+        print(comparison.format())
+        if comparison.has_regressions:
+            return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         SCENARIOS,
@@ -1333,6 +1416,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     if args.list:
+        from repro.bench import COMM_CELLS
+
         print("scenarios:")
         width = max(len(name) for name in SCENARIOS)
         for name, scenario in SCENARIOS.items():
@@ -1343,6 +1428,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("suites:")
         for suite, names in SUITES.items():
             print(f"  {suite}: {', '.join(names)}")
+        print(
+            "  comm: "
+            + ", ".join(cell.name for cell in COMM_CELLS)
+            + "  (bytes/record, not seconds)"
+        )
         return 0
 
     if args.compare is not None:
@@ -1358,6 +1448,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(comparison.format())
         return 1 if comparison.has_regressions else 0
+
+    if args.suite == "comm" and not args.scenarios:
+        return _bench_comm(args)
 
     scenarios = (
         [name for name in args.scenarios.split(",") if name]

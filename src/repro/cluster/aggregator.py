@@ -25,13 +25,14 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.serde import decode_message, encode_message
+from repro.core.serde import CodecConfig, get_codec
 from repro.multilayer.tree import InternalNode
 from repro.obs.observer import Observer
 from repro.transport.clock import AsyncioClock
 from repro.transport.framing import StreamDecoder
 from repro.transport.reliability import ReliabilityConfig, ReliableSender
 from repro.transport.tcp import CoordinatorServer, _READ_CHUNK
+from repro.transport.wire import CodecSender
 
 __all__ = ["AggregatorServer"]
 
@@ -62,6 +63,13 @@ class AggregatorServer(CoordinatorServer):
         Optional ``(child_id, payload)`` tap for TELEMETRY envelopes
         from children -- feeds the federation relay (interior nodes) or
         collector (root).
+    wire_codec / codec_config:
+        Codec for *downlink* payloads from children (as for
+        :class:`~repro.transport.tcp.CoordinatorServer`).
+    uplink_wire_codec / uplink_codec_config:
+        Codec spoken on the uplink edge to the parent -- the two ends of
+        every edge negotiate independently, so a mixed-codec tree just
+        passes each node's spec values here.
     """
 
     def __init__(
@@ -73,6 +81,11 @@ class AggregatorServer(CoordinatorServer):
         observer: Observer | None = None,
         arq: Mapping | None = None,
         on_telemetry=None,
+        *,
+        wire_codec: str = "cds1",
+        codec_config: CodecConfig | None = None,
+        uplink_wire_codec: str = "cds1",
+        uplink_codec_config: CodecConfig | None = None,
     ) -> None:
         super().__init__(
             node.coordinator,
@@ -80,11 +93,16 @@ class AggregatorServer(CoordinatorServer):
             config=config,
             observer=observer,
             on_telemetry=on_telemetry,
+            wire_codec=wire_codec,
+            codec_config=codec_config,
         )
         self.node = node
         self.level = level
         self._arq = dict(arq) if arq is not None else None
         self._uplink: ReliableSender | None = None
+        self._uplink_wire_codec = uplink_wire_codec
+        self._uplink_codec_config = uplink_codec_config
+        self._uplink_codec: CodecSender | None = None
         self._uplink_writer: asyncio.StreamWriter | None = None
         self._ack_task: asyncio.Task | None = None
 
@@ -117,6 +135,10 @@ class AggregatorServer(CoordinatorServer):
             observer=self._obs,
             first_seq=first_seq,
         )
+        self._uplink_codec = CodecSender(
+            self._uplink,
+            get_codec(self._uplink_wire_codec, self._uplink_codec_config),
+        )
 
         async def pump_acks() -> None:
             decoder = StreamDecoder()
@@ -139,6 +161,10 @@ class AggregatorServer(CoordinatorServer):
     def uplink(self) -> ReliableSender | None:
         return self._uplink
 
+    @property
+    def uplink_codec(self) -> CodecSender | None:
+        return self._uplink_codec
+
     def arq_state(self) -> dict:
         """ARQ continuation state for the aggregator checkpoint."""
         cursors: dict[int, int] = {}
@@ -155,6 +181,8 @@ class AggregatorServer(CoordinatorServer):
         """Drain unacked uploads, send DONE upward, close the uplink."""
         if self._uplink is None:
             return
+        if self._uplink_codec is not None:
+            self._uplink_codec.flush()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + drain_timeout
         while self._uplink.outstanding() > 0:
@@ -203,7 +231,7 @@ class AggregatorServer(CoordinatorServer):
     # Delivery: child payload -> node -> (maybe) parent
     # ------------------------------------------------------------------
     def _deliver(self, child_id: int, payload: bytes, trace=None) -> None:
-        message = decode_message(payload)
+        message = self.codec.decode(payload)
         obs = self._obs
         with obs.remote_parent(trace):
             with obs.span(
@@ -213,11 +241,10 @@ class AggregatorServer(CoordinatorServer):
                 level=self.level,
             ):
                 uploads = self.node.handle_child_message(message)
-                if self._uplink is not None:
+                if self._uplink_codec is not None:
                     for upload in uploads:
-                        self._uplink.send_payload(
-                            encode_message(upload),
-                            trace=obs.span_context(),
+                        self._uplink_codec.send(
+                            upload, trace=obs.span_context()
                         )
         obs.gauge_set(
             "cluster.node_messages_up",

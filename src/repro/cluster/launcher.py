@@ -139,6 +139,8 @@ def _site_worker(
                 observer=observer,
                 federation=publisher,
                 telemetry_interval=spec.telemetry_interval,
+                wire_codec=spec.node_wire_codec(node),
+                codec_config=spec.node_codec_config(node),
             )
         )
     except (ConnectionRefusedError, OSError) as exc:
@@ -261,6 +263,10 @@ async def _aggregator_main(
         )
 
     children = spec.children(node_id)
+    # Downlink decode: accept CDS2 iff some child's uplink edge speaks
+    # it (a CDS2 decoder also understands CDS1 payloads, so a mixed
+    # subnet needs only the wider codec).
+    child_codecs = {spec.node_wire_codec(child) for child in children}
     server = AggregatorServer(
         node,
         expected_children=len(children),
@@ -268,6 +274,9 @@ async def _aggregator_main(
         observer=observer,
         arq=arq,
         on_telemetry=on_telemetry,
+        wire_codec="cds2" if "cds2" in child_codecs else "cds1",
+        uplink_wire_codec=spec.node_wire_codec(node_spec),
+        uplink_codec_config=spec.node_codec_config(node_spec),
     )
     try:
         await server.start(spec.host, node_spec.port)
@@ -369,6 +378,12 @@ async def _aggregator_main(
             uplink_stats=lambda: (
                 server.uplink.stats if server.uplink is not None else None
             ),
+            codec_stats=lambda: (
+                server.uplink_codec.stats
+                if server.uplink_codec is not None
+                else None
+            ),
+            uplink_codec=spec.node_wire_codec(node_spec),
             gauges=lambda: {
                 "messages_up": node.messages_up,
                 "bytes_up": node.bytes_up,

@@ -25,6 +25,7 @@ from typing import Mapping
 from repro.core.coordinator import CoordinatorConfig
 from repro.core.em import EMConfig
 from repro.core.remote import RemoteSiteConfig
+from repro.core.serde import CodecConfig, available_codecs, get_codec
 
 __all__ = [
     "ClusterSpec",
@@ -71,6 +72,12 @@ class NodeSpec:
         refit-ladder switch (``None`` = use the spec default).  Lets a
         deployment pin hot leaves to the cheap warm path while keeping
         cold-refit leaves as a quality control group.
+    wire_codec / quantize:
+        Per-node override of the wire codec spoken on this node's
+        *uplink* edge (``None`` = use the spec default).  A mixed tree
+        is legal: each edge negotiates independently, so one WAN-facing
+        aggregator can run ``cds2`` with ``f16`` quantization while LAN
+        leaves stay on ``cds1``.
     """
 
     node_id: int
@@ -82,6 +89,8 @@ class NodeSpec:
     stream: str | None = None
     records: int | None = None
     incremental: bool | None = None
+    wire_codec: str | None = None
+    quantize: str | None = None
 
     def __post_init__(self) -> None:
         if self.role not in (ROLE_AGGREGATOR, ROLE_SITE):
@@ -92,6 +101,11 @@ class NodeSpec:
             raise ValueError("node ids must be non-negative")
         if not 0 <= self.port <= 65535:
             raise ValueError("port must lie in [0, 65535]")
+        if self.wire_codec is not None and self.wire_codec not in available_codecs():
+            raise ValueError(
+                f"node {self.node_id}: unknown wire codec "
+                f"{self.wire_codec!r} (available: {available_codecs()})"
+            )
 
     @property
     def is_root(self) -> bool:
@@ -122,10 +136,24 @@ class ClusterSpec:
     merge_method: str = "simplex"
     telemetry_interval: float = 2.0
     incremental: bool = False
+    wire_codec: str = "cds1"
+    quantize: str = "f64"
+    delta_encoding: bool = False
 
     def __post_init__(self) -> None:
         if self.telemetry_interval <= 0:
             raise ValueError("telemetry_interval must be positive")
+        if self.wire_codec not in available_codecs():
+            raise ValueError(
+                f"unknown wire codec {self.wire_codec!r} "
+                f"(available: {available_codecs()})"
+            )
+        # Fail at spec build time, not mid-launch: get_codec validates
+        # the quantize level and rejects settings the codec cannot
+        # honour (e.g. f16 quantization on a cds1 edge).
+        get_codec(self.wire_codec, self.codec_config())
+        for node in self.nodes:
+            get_codec(self.node_wire_codec(node), self.node_codec_config(node))
         if not self.nodes:
             return
         by_id: dict[int, NodeSpec] = {}
@@ -221,6 +249,24 @@ class ClusterSpec:
             else self.incremental
         )
 
+    def node_wire_codec(self, node: NodeSpec) -> str:
+        """Codec spoken on ``node``'s uplink edge (override or default)."""
+        return node.wire_codec if node.wire_codec is not None else self.wire_codec
+
+    def node_codec_config(self, node: NodeSpec) -> CodecConfig:
+        """Codec tuning for ``node``'s uplink edge."""
+        quantize = node.quantize if node.quantize is not None else self.quantize
+        delta = self.delta_encoding and self.node_wire_codec(node) == "cds2"
+        return CodecConfig(quantize=quantize, delta=delta)
+
+    def codec_config(self) -> CodecConfig:
+        """Spec-wide codec tuning (per-edge overrides via
+        :meth:`node_codec_config`)."""
+        return CodecConfig(
+            quantize=self.quantize,
+            delta=self.delta_encoding and self.wire_codec == "cds2",
+        )
+
     # ------------------------------------------------------------------
     # Derived configs
     # ------------------------------------------------------------------
@@ -289,6 +335,9 @@ class ClusterSpec:
             "merge_method": self.merge_method,
             "telemetry_interval": self.telemetry_interval,
             "incremental": self.incremental,
+            "wire_codec": self.wire_codec,
+            "quantize": self.quantize,
+            "delta_encoding": self.delta_encoding,
             "nodes": [
                 {
                     "node_id": n.node_id,
@@ -300,6 +349,8 @@ class ClusterSpec:
                     "stream": n.stream,
                     "records": n.records,
                     "incremental": n.incremental,
+                    "wire_codec": n.wire_codec,
+                    "quantize": n.quantize,
                 }
                 for n in self.nodes
             ],
@@ -324,6 +375,8 @@ class ClusterSpec:
                 stream=raw.get("stream"),
                 records=raw.get("records"),
                 incremental=raw.get("incremental"),
+                wire_codec=raw.get("wire_codec"),
+                quantize=raw.get("quantize"),
             )
             for raw in payload["nodes"]
         )
@@ -343,6 +396,9 @@ class ClusterSpec:
             merge_method=payload.get("merge_method", "simplex"),
             telemetry_interval=payload.get("telemetry_interval", 2.0),
             incremental=payload.get("incremental", False),
+            wire_codec=payload.get("wire_codec", "cds1"),
+            quantize=payload.get("quantize", "f64"),
+            delta_encoding=payload.get("delta_encoding", False),
         )
 
 

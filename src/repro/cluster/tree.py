@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.coordinator import Coordinator, CoordinatorConfig
 from repro.core.mixture import GaussianMixture
 from repro.core.remote import RemoteSite, RemoteSiteConfig
-from repro.core.serde import decode_message, encode_message
+from repro.core.serde import CodecConfig, WireCodec, get_codec
 from repro.io.checkpoint import restore_aggregator, snapshot_aggregator
 from repro.multilayer.tree import InternalNode
 from repro.obs.federation import (
@@ -52,6 +52,7 @@ from repro.transport.reliability import (
     ReliableReceiver,
     ReliableSender,
 )
+from repro.transport.wire import CodecSender
 
 __all__ = ["LevelStats", "TransportTree"]
 
@@ -63,6 +64,10 @@ class LevelStats:
     ``bytes_per_record`` divides the level's wire bytes by the total
     records fed into the tree -- the §6 communication gauge, split by
     hop so a deployment can see where its upload budget actually goes.
+    ``codecs`` lists the wire codecs spoken on this level's edges;
+    ``delta_hit_rate`` is the fraction of model updates that shipped as
+    CDS2 deltas and ``bytes_saved`` the payload bytes the codec layer
+    avoided versus always-snapshot encoding.
     """
 
     level: int
@@ -72,6 +77,9 @@ class LevelStats:
     wire_bytes: int
     retransmissions: int
     bytes_per_record: float
+    codecs: tuple[str, ...] = ()
+    delta_hit_rate: float = 0.0
+    bytes_saved: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +90,9 @@ class LevelStats:
             "wire_bytes": self.wire_bytes,
             "retransmissions": self.retransmissions,
             "bytes_per_record": self.bytes_per_record,
+            "codecs": list(self.codecs),
+            "delta_hit_rate": self.delta_hit_rate,
+            "bytes_saved": self.bytes_saved,
         }
 
 
@@ -91,7 +102,11 @@ class _InternalWiring:
     level: int
     transport: DatagramTransport
     receiver: ReliableReceiver
+    decoder: WireCodec
     uplink: ReliableSender | None = None
+    uplink_codec: CodecSender | None = None
+    uplink_wire_codec: str = "cds1"
+    uplink_codec_config: CodecConfig | None = None
     relay: TelemetryRelay | None = None
     publisher: FederationPublisher | None = None
 
@@ -102,6 +117,7 @@ class _LeafWiring:
     parent_id: int
     level: int
     sender: ReliableSender
+    codec_sender: CodecSender
     publisher: FederationPublisher | None = None
 
 
@@ -151,10 +167,14 @@ class TransportTree:
         clock: ManualClock | None = None,
         observer: Observer | None = None,
         federate: bool = False,
+        wire_codec: str = "cds1",
+        codec_config: CodecConfig | None = None,
     ) -> None:
         self._site_config = site_config or RemoteSiteConfig()
         self._coordinator_config = coordinator_config or CoordinatorConfig()
         self._seed = seed
+        self._wire_codec = wire_codec
+        self._codec_config = codec_config
         self._reliability = reliability or ReliabilityConfig(
             jitter=0.0, heartbeat_interval=None
         )
@@ -195,18 +215,24 @@ class TransportTree:
             faults=faults,
             observer=observer,
             federate=federate,
+            wire_codec=spec.wire_codec,
+            codec_config=spec.codec_config(),
         )
         for agg in spec.aggregators:
             tree.add_internal(
                 agg.node_id,
                 parent_id=agg.parent_id,
                 upload_threshold=spec.node_upload_threshold(agg),
+                wire_codec=spec.node_wire_codec(agg),
+                codec_config=spec.node_codec_config(agg),
             )
         for site in spec.site_nodes:
             tree.add_leaf(
                 site.node_id,
                 site.parent_id,
                 config=spec.site_config_for(site),
+                wire_codec=spec.node_wire_codec(site),
+                codec_config=spec.node_codec_config(site),
             )
         return tree
 
@@ -215,8 +241,15 @@ class TransportTree:
         node_id: int,
         parent_id: int | None = None,
         upload_threshold: float = 0.05,
+        *,
+        wire_codec: str | None = None,
+        codec_config: CodecConfig | None = None,
     ) -> InternalNode:
-        """Add an aggregator; ``parent_id=None`` makes it the root."""
+        """Add an aggregator; ``parent_id=None`` makes it the root.
+
+        ``wire_codec``/``codec_config`` override the tree-wide codec on
+        this node's *uplink* edge only.
+        """
         self._check_new_id(node_id)
         if parent_id is None:
             if self._root_id is not None:
@@ -235,11 +268,20 @@ class TransportTree:
             parent_id=parent_id,
             upload_threshold=upload_threshold,
         )
+        uplink_wire_codec = wire_codec or self._wire_codec
+        uplink_codec_config = (
+            codec_config if codec_config is not None else self._codec_config
+        )
         wiring = _InternalWiring(
             node=node,
             level=level,
             transport=self._make_subnet(node_id),
             receiver=None,  # type: ignore[arg-type]  (set just below)
+            # The subnet decoder starts at the tree-wide codec; adding a
+            # cds2 child upgrades it (cds2 decodes cds1 payloads too).
+            decoder=get_codec(self._wire_codec),
+            uplink_wire_codec=uplink_wire_codec,
+            uplink_codec_config=uplink_codec_config,
         )
         if self._federate:
             assert self.federation is not None
@@ -255,6 +297,10 @@ class TransportTree:
                 uplink_stats=lambda w=wiring: (
                     w.uplink.stats if w.uplink is not None else None
                 ),
+                codec_stats=lambda w=wiring: (
+                    w.uplink_codec.stats if w.uplink_codec is not None else None
+                ),
+                uplink_codec=uplink_wire_codec,
                 gauges=lambda n=node: {
                     "messages_up": n.messages_up,
                     "bytes_up": n.bytes_up,
@@ -263,7 +309,12 @@ class TransportTree:
             )
         wiring.receiver = self._make_receiver(wiring)
         if parent_id is not None:
-            wiring.uplink = self._make_uplink(node_id, parent_id)
+            wiring.uplink, wiring.uplink_codec = self._make_uplink(
+                node_id,
+                parent_id,
+                wire_codec=uplink_wire_codec,
+                codec_config=uplink_codec_config,
+            )
         self._internals[node_id] = wiring
         return node
 
@@ -272,27 +323,43 @@ class TransportTree:
         node_id: int,
         parent_id: int,
         config: RemoteSiteConfig | None = None,
+        *,
+        wire_codec: str | None = None,
+        codec_config: CodecConfig | None = None,
     ) -> RemoteSite:
         """Add a leaf site under an aggregator; returns the site.
 
         ``config`` overrides the tree-wide site configuration for this
         leaf (how :meth:`from_spec` applies per-node spec overrides
-        such as ``incremental``).
+        such as ``incremental``); ``wire_codec``/``codec_config``
+        override the codec on this leaf's uplink edge.
         """
         self._check_new_id(node_id)
         parent = self._require_internal(parent_id)
-        sender = self._make_uplink(node_id, parent_id)
+        edge_codec = wire_codec or self._wire_codec
+        sender, codec_sender = self._make_uplink(
+            node_id,
+            parent_id,
+            wire_codec=edge_codec,
+            codec_config=(
+                codec_config if codec_config is not None else self._codec_config
+            ),
+        )
         site = RemoteSite(
             site_id=node_id,
             config=config if config is not None else self._site_config,
             rng=np.random.default_rng(self._seed + node_id),
-            emit=lambda message: sender.send_payload(
-                encode_message(message), trace=self._obs.span_context()
+            emit=lambda message: codec_sender.send(
+                message, trace=self._obs.span_context()
             ),
             observer=self._obs,
         )
         wiring = _LeafWiring(
-            site=site, parent_id=parent_id, level=parent.level + 1, sender=sender
+            site=site,
+            parent_id=parent_id,
+            level=parent.level + 1,
+            sender=sender,
+            codec_sender=codec_sender,
         )
         if self._federate:
             assert self.federation is not None
@@ -304,6 +371,8 @@ class TransportTree:
                 "site",
                 wiring.level,
                 uplink_stats=lambda s=sender: s.stats,
+                codec_stats=lambda cs=codec_sender: cs.stats,
+                uplink_codec=edge_codec,
                 records=lambda s=site: s.stats.records_seen,
                 gauges=lambda s=site: {"models": len(s.all_models)},
             )
@@ -356,12 +425,19 @@ class TransportTree:
 
     def drain(self, step: float = 0.25, limit: float = 600.0) -> float:
         """Advance the clock until every edge's outbox is empty."""
-        senders = [w.sender for w in self._leaves.values()]
-        senders += [
-            w.uplink for w in self._internals.values() if w.uplink is not None
+        edges: list[tuple[ReliableSender, CodecSender | None]] = [
+            (w.sender, w.codec_sender) for w in self._leaves.values()
+        ]
+        edges += [
+            (w.uplink, w.uplink_codec)
+            for w in self._internals.values()
+            if w.uplink is not None
         ]
         spent = 0.0
-        while any(sender.outstanding() for sender in senders):
+        while any(
+            sender.outstanding() or (codec is not None and codec.queued)
+            for sender, codec in edges
+        ):
             if spent >= limit:
                 raise RuntimeError(
                     f"tree transport failed to drain within {limit} clock "
@@ -396,17 +472,24 @@ class TransportTree:
 
     def level_stats(self) -> tuple[LevelStats, ...]:
         """Per-level wire accounting, level 1 (root's children) down."""
-        per_level: dict[int, list[ReliableSender]] = {}
+        per_level: dict[int, list[tuple[ReliableSender, CodecSender]]] = {}
         for wiring in self._leaves.values():
-            per_level.setdefault(wiring.level, []).append(wiring.sender)
+            per_level.setdefault(wiring.level, []).append(
+                (wiring.sender, wiring.codec_sender)
+            )
         for wiring in self._internals.values():
-            if wiring.uplink is not None:
-                per_level.setdefault(wiring.level, []).append(wiring.uplink)
+            if wiring.uplink is not None and wiring.uplink_codec is not None:
+                per_level.setdefault(wiring.level, []).append(
+                    (wiring.uplink, wiring.uplink_codec)
+                )
         records = max(1, self.records_fed)
         stats = []
         for level in sorted(per_level):
-            senders = per_level[level]
+            senders = [s for s, _ in per_level[level]]
+            codecs = [c for _, c in per_level[level]]
             wire = sum(s.stats.wire_bytes for s in senders)
+            model_updates = sum(c.stats.model_updates for c in codecs)
+            delta_updates = sum(c.stats.delta_updates for c in codecs)
             stats.append(
                 LevelStats(
                     level=level,
@@ -418,6 +501,11 @@ class TransportTree:
                         s.stats.retransmissions for s in senders
                     ),
                     bytes_per_record=wire / records,
+                    codecs=tuple(sorted({c.codec.name for c in codecs})),
+                    delta_hit_rate=(
+                        delta_updates / model_updates if model_updates else 0.0
+                    ),
+                    bytes_saved=sum(c.stats.bytes_saved for c in codecs),
                 )
             )
         return tuple(stats)
@@ -507,10 +595,15 @@ class TransportTree:
         if wiring.uplink is not None:
             wiring.uplink.close()
             assert node.parent_id is not None
-            wiring.uplink = self._make_uplink(
+            # The rebuilt codec sender starts without delta baselines, so
+            # its first uploads go out as full snapshots -- exactly the
+            # safe behaviour after losing in-memory codec state.
+            wiring.uplink, wiring.uplink_codec = self._make_uplink(
                 node_id,
                 node.parent_id,
                 first_seq=arq["uplink_next_seq"] if arq is not None else 1,
+                wire_codec=wiring.uplink_wire_codec,
+                codec_config=wiring.uplink_codec_config,
             )
         return node
 
@@ -558,7 +651,7 @@ class TransportTree:
         self, wiring: _InternalWiring
     ) -> Callable[[int, bytes, object], None]:
         def deliver(child_id: int, payload: bytes, trace=None) -> None:
-            message = decode_message(payload)
+            message = wiring.decoder.decode(payload)
             obs = self._obs
             with obs.remote_parent(trace):
                 with obs.span(
@@ -568,18 +661,22 @@ class TransportTree:
                     level=wiring.level,
                 ):
                     uploads = wiring.node.handle_child_message(message)
-                    if wiring.uplink is not None:
+                    if wiring.uplink_codec is not None:
                         for upload in uploads:
-                            wiring.uplink.send_payload(
-                                encode_message(upload),
-                                trace=obs.span_context(),
+                            wiring.uplink_codec.send(
+                                upload, trace=obs.span_context()
                             )
 
         return deliver
 
     def _make_uplink(
-        self, node_id: int, parent_id: int, first_seq: int = 1
-    ) -> ReliableSender:
+        self,
+        node_id: int,
+        parent_id: int,
+        first_seq: int = 1,
+        wire_codec: str | None = None,
+        codec_config: CodecConfig | None = None,
+    ) -> tuple[ReliableSender, CodecSender]:
         parent = self._require_internal(parent_id)
         sender = ReliableSender(
             site_id=node_id,
@@ -593,7 +690,13 @@ class TransportTree:
             first_seq=first_seq,
         )
         parent.transport.bind_site(node_id, sender.handle_datagram)
-        return sender
+        codec = get_codec(wire_codec or self._wire_codec, codec_config)
+        # Negotiate the edge: the parent's receiver accepts this codec
+        # id and its decoder is upgraded if the child speaks CDS2.
+        parent.receiver.accept_codec(codec.wire_id)
+        if codec.wire_id != 0 and parent.decoder.wire_id == 0:
+            parent.decoder = get_codec(wire_codec or self._wire_codec)
+        return sender, CodecSender(sender, codec)
 
     def _check_new_id(self, node_id: int) -> None:
         if node_id in self._internals or node_id in self._leaves:

@@ -18,7 +18,18 @@ This package holds the paper's primary contribution:
 from repro.core.chunking import chunk_size, iter_chunks
 from repro.core.scoring import AnomalyDetector, anomaly_scores, membership_report
 from repro.core.selection import select_k
-from repro.core.serde import decode_message, encode_message
+from repro.core.serde import (
+    CodecConfig,
+    CodecError,
+    CodecNegotiationError,
+    CodecStats,
+    WireCodec,
+    available_codecs,
+    decode_message,
+    encode_message,
+    get_codec,
+    register_codec,
+)
 from repro.core.cludistream import CluDistream, CluDistreamConfig
 from repro.core.coordinator import Coordinator, CoordinatorConfig
 from repro.core.em import EMConfig, EMResult, fit_em
@@ -32,6 +43,10 @@ __all__ = [
     "AnomalyDetector",
     "CluDistream",
     "CluDistreamConfig",
+    "CodecConfig",
+    "CodecError",
+    "CodecNegotiationError",
+    "CodecStats",
     "Coordinator",
     "CoordinatorConfig",
     "EMConfig",
@@ -43,14 +58,18 @@ __all__ = [
     "GaussianMixture",
     "RemoteSite",
     "RemoteSiteConfig",
+    "WireCodec",
     "anomaly_scores",
+    "available_codecs",
     "average_log_likelihood",
     "chunk_size",
     "decode_message",
     "encode_message",
     "fit_em",
     "fit_test",
+    "get_codec",
     "iter_chunks",
     "membership_report",
+    "register_codec",
     "select_k",
 ]

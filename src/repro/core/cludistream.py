@@ -84,6 +84,13 @@ class CluDistreamConfig:
         (DESIGN.md section 14).  ``True`` / ``False`` force
         ``site.em.incremental`` on or off for every site; ``None``
         (default) leaves whatever ``site`` says untouched.
+    wire_codec / quantize / delta_encoding:
+        Wire format for transport mode (DESIGN.md section 15): the
+        codec every edge speaks (``"cds1"`` or ``"cds2"``), the
+        covariance precision shipped by CDS2 (``"f64"``, ``"f32"``,
+        ``"f16"``) and whether CDS2 sends baseline deltas instead of
+        full snapshots.  The defaults reproduce the CDS1 byte
+        accounting exactly.  Direct and simulated modes ignore these.
     """
 
     n_sites: int = 20
@@ -93,12 +100,26 @@ class CluDistreamConfig:
     latency: float = 0.01
     bandwidth: float | None = None
     incremental: bool | None = None
+    wire_codec: str = "cds1"
+    quantize: str = "f64"
+    delta_encoding: bool = False
+
+    def codec_config(self):
+        """The :class:`~repro.core.serde.CodecConfig` these settings name."""
+        from repro.core.serde import CodecConfig
+
+        return CodecConfig(quantize=self.quantize, delta=self.delta_encoding)
 
     def __post_init__(self) -> None:
         if self.n_sites < 1:
             raise ValueError("need at least one remote site")
         if self.rate <= 0.0:
             raise ValueError("rate must be positive")
+        # get_codec validates both the codec name and whether the codec
+        # can honour the quantize/delta settings (CDS1 cannot).
+        from repro.core.serde import get_codec
+
+        get_codec(self.wire_codec, self.codec_config())
         if (
             self.incremental is not None
             and self.incremental != self.site.em.incremental
@@ -376,6 +397,8 @@ class CluDistream:
             drain_step=drain_step,
             drain_limit=drain_limit,
             seed=seed,
+            wire_codec=self.config.wire_codec,
+            codec_config=self.config.codec_config(),
         )
         self.runtime(channel).run(streams, max_records_per_site)
         return channel.endpoints, channel.coordinator_endpoint

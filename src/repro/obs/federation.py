@@ -241,6 +241,8 @@ class FederationPublisher:
         records: Callable[[], int] | None = None,
         endpoints: Mapping | None = None,
         pid: int | None = None,
+        codec_stats: Callable[[], object | None] | None = None,
+        uplink_codec: str = "cds1",
     ) -> None:
         self.node_id = node_id
         self.role = role
@@ -248,6 +250,9 @@ class FederationPublisher:
         self._health = health
         self._spans = spans
         self._uplink_stats = uplink_stats
+        self._codec_stats = codec_stats
+        #: Name of the wire codec this node's uplink edge speaks.
+        self.uplink_codec = uplink_codec
         self._gauges = gauges
         self._records = records
         self.endpoints = dict(endpoints or {})
@@ -261,16 +266,22 @@ class FederationPublisher:
         return self._seq
 
     def bind_uplink(
-        self, probe: Callable[[], object | None]
+        self,
+        probe: Callable[[], object | None],
+        codec_stats: Callable[[], object | None] | None = None,
     ) -> None:
         """Late-bind the uplink stats probe.
 
         For publishers built before their transport exists (a site
         worker constructs its publisher, then
         :func:`~repro.transport.tcp.run_site_client` creates the sender
-        and binds its stats here).
+        and binds its stats here).  ``codec_stats`` optionally binds the
+        uplink edge's :class:`~repro.core.serde.CodecStats` probe so
+        reports carry the wire codec's delta/quantization accounting.
         """
         self._uplink_stats = probe
+        if codec_stats is not None:
+            self._codec_stats = codec_stats
 
     def collect(self) -> bytes:
         """Produce the next report as an encoded TELEMETRY payload."""
@@ -289,6 +300,15 @@ class FederationPublisher:
             stats = self._uplink_stats()
             if stats is not None:
                 uplink = _sender_stats_dict(stats)
+        if uplink and self._codec_stats is not None:
+            codec = self._codec_stats()
+            if codec is not None:
+                uplink["codec"] = self.uplink_codec
+                uplink["model_updates"] = int(codec.model_updates)
+                uplink["delta_updates"] = int(codec.delta_updates)
+                uplink["delta_hit_rate"] = float(codec.delta_hit_rate)
+                uplink["bytes_saved"] = int(codec.bytes_saved)
+                uplink["coalesced"] = int(codec.coalesced)
         span_fields: list[dict] = []
         if self._spans is not None:
             page = self._spans.events_since(self._span_cursor)
@@ -599,26 +619,46 @@ class FederationCollector:
         for level in sorted(per_level):
             reports = per_level[level]
             wire = sum(int(r.uplink.get("wire_bytes", 0)) for r in reports)
-            levels.append(
+            entry = {
+                "level": level,
+                "edges": len(reports),
+                "messages": sum(
+                    int(r.uplink.get("payloads_sent", 0)) for r in reports
+                ),
+                "payload_bytes": sum(
+                    int(r.uplink.get("payload_bytes", 0)) for r in reports
+                ),
+                "wire_bytes": wire,
+                "retransmissions": sum(
+                    int(r.uplink.get("retransmissions", 0)) for r in reports
+                ),
+                "telemetry_bytes": sum(
+                    int(r.uplink.get("telemetry_bytes", 0)) for r in reports
+                ),
+                "bytes_per_record": wire / records,
+            }
+            codecs = sorted(
                 {
-                    "level": level,
-                    "edges": len(reports),
-                    "messages": sum(
-                        int(r.uplink.get("payloads_sent", 0)) for r in reports
-                    ),
-                    "payload_bytes": sum(
-                        int(r.uplink.get("payload_bytes", 0)) for r in reports
-                    ),
-                    "wire_bytes": wire,
-                    "retransmissions": sum(
-                        int(r.uplink.get("retransmissions", 0)) for r in reports
-                    ),
-                    "telemetry_bytes": sum(
-                        int(r.uplink.get("telemetry_bytes", 0)) for r in reports
-                    ),
-                    "bytes_per_record": wire / records,
+                    str(r.uplink["codec"])
+                    for r in reports
+                    if r.uplink.get("codec")
                 }
             )
+            if codecs:
+                entry["codecs"] = codecs
+                model_updates = sum(
+                    int(r.uplink.get("model_updates", 0)) for r in reports
+                )
+                delta_updates = sum(
+                    int(r.uplink.get("delta_updates", 0)) for r in reports
+                )
+                entry["delta_hit_rate"] = (
+                    delta_updates / model_updates if model_updates else 0.0
+                )
+                entry["bytes_saved"] = sum(
+                    int(r.uplink.get("bytes_saved", 0)) for r in reports
+                )
+            levels.append(entry)
         return levels
 
     def nodes_view(self) -> dict:

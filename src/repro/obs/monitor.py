@@ -229,6 +229,10 @@ def _node_tile(entry: dict) -> str:
         uplink = entry.get("uplink") or {}
         if uplink:
             parts.append(f"up={_format_bytes(uplink.get('wire_bytes', 0))}")
+            codec = uplink.get("codec")
+            if codec:
+                hits = uplink.get("delta_hit_rate", 0.0)
+                parts.append(f"codec={codec} Δ={hits * 100.0:.0f}%")
     resources = entry.get("resources") or {}
     rss = resources.get("rss_bytes")
     cpu = resources.get("cpu_seconds")
@@ -309,15 +313,23 @@ def render_cluster_dashboard(
         lines.append("")
         lines.append(
             f"  {'level':>5}  {'edges':>5}  {'msgs':>7}  {'wire':>10}  "
-            f"{'B/rec':>8}  {'rexmit':>6}"
+            f"{'B/rec':>8}  {'rexmit':>6}  {'codec':>10}  {'Δ-hit':>6}"
         )
         for stats in levels:
+            codecs = stats.get("codecs") or []
+            codec_cell = "+".join(codecs) if codecs else "-"
+            hit_cell = (
+                f"{stats.get('delta_hit_rate', 0.0) * 100.0:>5.0f}%"
+                if codecs
+                else "     -"
+            )
             lines.append(
                 f"  {stats.get('level'):>5}  {stats.get('edges', 0):>5}  "
                 f"{stats.get('messages', 0):>7}  "
                 f"{stats.get('wire_bytes', 0):>9}B  "
                 f"{stats.get('bytes_per_record', 0.0):>8.1f}  "
-                f"{stats.get('retransmissions', 0):>6}"
+                f"{stats.get('retransmissions', 0):>6}  "
+                f"{codec_cell:>10}  {hit_cell}"
             )
     return "\n".join(lines) + "\n"
 

@@ -304,6 +304,10 @@ class TransportChannel(Channel):
         is mapped onto a datagram-level
         :class:`~repro.transport.lossy.LossyTransport` wrapping
         ``transport``, and the ARQ layer heals every injected fault.
+    wire_codec / codec_config:
+        Wire codec for every edge (see
+        :func:`repro.core.serde.get_codec`); the default keeps the CDS1
+        byte accounting of previous releases.
     """
 
     name = "transport"
@@ -317,6 +321,8 @@ class TransportChannel(Channel):
         drain_limit: float = 600.0,
         seed: int = 0,
         faults: ChannelFaults | None = None,
+        wire_codec: str = "cds1",
+        codec_config=None,
     ) -> None:
         self._transport = transport
         self._clock = clock
@@ -325,6 +331,8 @@ class TransportChannel(Channel):
         self._drain_limit = drain_limit
         self._seed = seed
         self._faults = faults
+        self._wire_codec = wire_codec
+        self._codec_config = codec_config
         self._lossy = None
         self._sites: list[RemoteSite] = []
         self.endpoints = []
@@ -358,6 +366,8 @@ class TransportChannel(Channel):
             config=self._reliability,
             seed=self._seed,
             observer=observer,
+            wire_codec=self._wire_codec,
+            codec_config=self._codec_config,
         )
 
     def submit(self, site, record):

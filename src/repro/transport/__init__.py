@@ -56,9 +56,11 @@ from repro.transport.reliability import (
     ReliableSender,
     SenderStats,
 )
+from repro.transport.wire import CodecSender
 
 __all__ = [
     "Clock",
+    "CodecSender",
     "CoordinatorEndpoint",
     "DatagramTransport",
     "ENVELOPE_BYTES",

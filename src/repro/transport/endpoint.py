@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.coordinator import Coordinator
 from repro.core.protocol import DeletionMessage, Message
-from repro.core.serde import decode_message, encode_message
+from repro.core.serde import CodecConfig, get_codec
 from repro.obs.observer import Observer, ensure_observer
 from repro.transport.base import DatagramTransport
 from repro.transport.clock import Clock, ManualClock
@@ -32,6 +32,7 @@ from repro.transport.reliability import (
     ReliableReceiver,
     ReliableSender,
 )
+from repro.transport.wire import CodecSender
 
 __all__ = [
     "CoordinatorEndpoint",
@@ -87,6 +88,9 @@ class SiteEndpoint(TransportEndpoint):
         config: ReliabilityConfig | None = None,
         rng: np.random.Generator | None = None,
         observer: Observer | None = None,
+        *,
+        wire_codec: str = "cds1",
+        codec_config: CodecConfig | None = None,
     ) -> None:
         self.site_id = site_id
         self._transport = transport
@@ -99,6 +103,9 @@ class SiteEndpoint(TransportEndpoint):
             rng=rng,
             observer=self._obs,
         )
+        self.codec_sender = CodecSender(
+            self.sender, get_codec(wire_codec, codec_config)
+        )
         transport.bind_site(site_id, self.sender.handle_datagram)
 
     def send(self, message: Message) -> None:
@@ -107,18 +114,19 @@ class SiteEndpoint(TransportEndpoint):
                 f"endpoint of site {self.site_id} cannot send a message "
                 f"from site {message.site_id}"
             )
-        with self._obs.timer("profile.serde_encode"):
-            payload = encode_message(message)
         # Propagate the active span context (the chunk-test/EM span that
-        # produced this synopsis) inside the envelope header.
-        self.sender.send_payload(payload, trace=self._obs.span_context())
+        # produced this synopsis) inside the envelope header.  Encoding
+        # happens inside the codec sender, at transmission time.
+        with self._obs.timer("profile.serde_encode"):
+            self.codec_sender.send(message, trace=self._obs.span_context())
 
     def outstanding(self) -> int:
-        """Messages sent but not yet acknowledged."""
-        return self.sender.outstanding()
+        """Messages sent-but-unacked, plus any still queued for coalescing."""
+        return self.sender.outstanding() + self.codec_sender.queued
 
     def finish(self) -> None:
         """Announce end of stream (best-effort DONE)."""
+        self.codec_sender.flush()
         self.sender.send_done()
 
     def close(self) -> None:
@@ -153,17 +161,22 @@ class CoordinatorEndpoint:
         clock: Clock,
         config: ReliabilityConfig | None = None,
         observer: Observer | None = None,
+        *,
+        wire_codec: str = "cds1",
+        codec_config: CodecConfig | None = None,
     ) -> None:
         self.coordinator = coordinator
         self._transport = transport
         self._clock = clock
         self._obs = ensure_observer(observer)
+        self.codec = get_codec(wire_codec, codec_config)
         self.receiver = ReliableReceiver(
             deliver_traced=self._deliver,
             send_ack=transport.send_to_site,
             clock=clock,
             config=config,
             observer=self._obs,
+            accept_codecs={0, self.codec.wire_id},
         )
         transport.bind_coordinator(self.receiver.handle_datagram)
         #: Sites evicted by :meth:`evict_stale` (they may come back).
@@ -171,7 +184,7 @@ class CoordinatorEndpoint:
 
     def _deliver(self, site_id: int, payload: bytes, trace=None) -> None:
         with self._obs.timer("profile.serde_decode"):
-            message = decode_message(payload)
+            message = self.codec.decode(payload)
         # Adopt the propagated context so coordinator-side spans
         # (coord.update / coord.merge / coord.split) causally link back
         # to the originating site's chunk-test span.
@@ -241,17 +254,28 @@ def connect_system(
     config: ReliabilityConfig | None = None,
     seed: int = 0,
     observer: Observer | None = None,
+    *,
+    wire_codec: str = "cds1",
+    codec_config: CodecConfig | None = None,
 ) -> tuple[list[SiteEndpoint], CoordinatorEndpoint]:
     """Wire ``sites`` and ``coordinator`` over one transport.
 
     Installs a :class:`SiteEndpoint` as each site's ``emit`` hook and
     binds a :class:`CoordinatorEndpoint`; returns both so callers can
     inspect stats, drain outboxes and close everything down.  The
-    optional ``observer`` is shared by every endpoint.
+    optional ``observer`` is shared by every endpoint, and the optional
+    ``wire_codec``/``codec_config`` select the serialisation for every
+    edge (see :func:`repro.core.serde.get_codec`).
     """
     observer = ensure_observer(observer)
     coordinator_endpoint = CoordinatorEndpoint(
-        coordinator, transport, clock, config, observer=observer
+        coordinator,
+        transport,
+        clock,
+        config,
+        observer=observer,
+        wire_codec=wire_codec,
+        codec_config=codec_config,
     )
     endpoints: list[SiteEndpoint] = []
     for site in sites:
@@ -262,6 +286,8 @@ def connect_system(
             config,
             rng=np.random.default_rng(seed + 70_000 + site.site_id),
             observer=observer,
+            wire_codec=wire_codec,
+            codec_config=codec_config,
         )
         site._emit = endpoint.send
         endpoints.append(endpoint)

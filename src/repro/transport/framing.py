@@ -11,7 +11,8 @@ Layout (little endian)::
     magic    4  b"TPT1"
     kind     1  DATA / ACK / HEARTBEAT / DONE / TELEMETRY
     flags    1  bit 0 (FLAG_TRACE): a 16-byte span context follows the
-                header; remaining bits reserved (0)
+                header; bit 1 (FLAG_CODEC): a 1-byte wire-codec id
+                follows the trace context; remaining bits reserved (0)
     site_id  4  int32
     seq      8  uint64 -- DATA: message seq; ACK: cumulative ack;
                 HEARTBEAT/DONE/TELEMETRY: highest seq assigned so far
@@ -19,6 +20,14 @@ Layout (little endian)::
     [trace  16  optional span context (trace id + span id, uint64 LE
                 each) when FLAG_TRACE is set -- Dapper-style context
                 propagation; see :mod:`repro.obs.spans`]
+    [codec   1  optional wire-codec id when FLAG_CODEC is set -- the
+                :data:`repro.core.serde.WireCodec.wire_id` of the
+                payload's encoding.  Codec id 0 (CDS1) is the default
+                and never set explicitly, so v1 traffic stays
+                byte-identical to the pre-extension format, and a
+                pre-CDS2 peer rejects announced CDS2 traffic at this
+                layer ("unknown envelope flags") instead of feeding
+                garbage to its message decoder.]
 
 Control envelopes (ACK, HEARTBEAT, DONE) never carry a payload.
 TELEMETRY envelopes carry one (an encoded
@@ -48,6 +57,7 @@ from repro.obs.spans import (
 __all__ = [
     "ENVELOPE_BYTES",
     "Envelope",
+    "FLAG_CODEC",
     "FLAG_TRACE",
     "KIND_ACK",
     "KIND_DATA",
@@ -75,6 +85,10 @@ _PAYLOAD_KINDS = (KIND_DATA, KIND_TELEMETRY)
 #: Flags bit 0: a 16-byte span context follows the fixed header.
 FLAG_TRACE = 0x01
 
+#: Flags bit 1: a 1-byte wire-codec id follows the (optional) trace
+#: context -- the codec-negotiation announcement for non-CDS1 payloads.
+FLAG_CODEC = 0x02
+
 _ENVELOPE = struct.Struct("<4sBBiQI")
 ENVELOPE_BYTES = _ENVELOPE.size
 
@@ -98,10 +112,13 @@ class Envelope:
     seq: int
     payload: bytes = b""
     trace: SpanContext | None = None
+    codec: int = 0
 
     def wire_bytes(self) -> int:
         """Size of this envelope on the wire."""
         extra = SPAN_CONTEXT_BYTES if self.trace is not None else 0
+        if self.codec:
+            extra += 1
         return ENVELOPE_BYTES + extra + len(self.payload)
 
 
@@ -119,7 +136,13 @@ def encode_envelope(envelope: Envelope) -> bytes:
         raise ValueError("sequence numbers are non-negative")
     if not -(2**31) <= envelope.site_id < 2**31:
         raise ValueError("site_id does not fit the wire format")
+    if envelope.codec and envelope.kind != KIND_DATA:
+        raise ValueError("only DATA envelopes announce a wire codec")
+    if not 0 <= envelope.codec <= 0xFF:
+        raise ValueError("codec id does not fit the wire format")
     flags = FLAG_TRACE if envelope.trace is not None else 0
+    if envelope.codec:
+        flags |= FLAG_CODEC
     header = _ENVELOPE.pack(
         ENVELOPE_MAGIC,
         envelope.kind,
@@ -128,9 +151,13 @@ def encode_envelope(envelope: Envelope) -> bytes:
         envelope.seq,
         len(envelope.payload),
     )
+    parts = [header]
     if envelope.trace is not None:
-        return header + encode_span_context(envelope.trace) + envelope.payload
-    return header + envelope.payload
+        parts.append(encode_span_context(envelope.trace))
+    if envelope.codec:
+        parts.append(bytes([envelope.codec]))
+    parts.append(envelope.payload)
+    return b"".join(parts)
 
 
 def decode_envelope(data: bytes) -> Envelope:
@@ -142,7 +169,7 @@ def decode_envelope(data: bytes) -> Envelope:
         raise ValueError(f"bad magic {magic!r}; not a TPT1 envelope")
     if kind not in _KINDS:
         raise ValueError(f"unknown envelope kind {kind}")
-    if flags & ~FLAG_TRACE:
+    if flags & ~(FLAG_TRACE | FLAG_CODEC):
         raise ValueError(f"unknown envelope flags 0x{flags:02x}")
     offset = ENVELOPE_BYTES
     trace: SpanContext | None = None
@@ -151,13 +178,26 @@ def decode_envelope(data: bytes) -> Envelope:
             raise ValueError("datagram shorter than its declared trace context")
         trace = decode_span_context(data[offset : offset + SPAN_CONTEXT_BYTES])
         offset += SPAN_CONTEXT_BYTES
+    codec = 0
+    if flags & FLAG_CODEC:
+        if kind != KIND_DATA:
+            raise ValueError("only DATA envelopes announce a wire codec")
+        if len(data) < offset + 1:
+            raise ValueError("datagram shorter than its declared codec id")
+        codec = data[offset]
+        offset += 1
     if len(data) != offset + length:
         raise ValueError(
             f"datagram length {len(data)} does not match the declared "
             f"payload length {length}"
         )
     return Envelope(
-        kind=kind, site_id=site_id, seq=seq, payload=data[offset:], trace=trace
+        kind=kind,
+        site_id=site_id,
+        seq=seq,
+        payload=data[offset:],
+        trace=trace,
+        codec=codec,
     )
 
 
@@ -185,6 +225,8 @@ class StreamDecoder:
             if length > MAX_PAYLOAD_BYTES:
                 raise ValueError(f"declared payload of {length} bytes is absurd")
             extra = SPAN_CONTEXT_BYTES if flags & FLAG_TRACE else 0
+            if flags & FLAG_CODEC:
+                extra += 1
             total = ENVELOPE_BYTES + extra + length
             if len(self._buffer) < total:
                 break

@@ -24,10 +24,11 @@ in per-site send order**, provided the link is not partitioned forever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
+from repro.core.serde import CodecNegotiationError, codec_name_for_wire_id
 from repro.transport.clock import Clock, TimerHandle
 from repro.obs.observer import Observer, ensure_observer
 from repro.obs.spans import Span, SpanContext
@@ -184,12 +185,17 @@ class ReliableSender:
         observer: Observer | None = None,
         *,
         first_seq: int = 1,
+        on_ack: Callable[[int], None] | None = None,
     ) -> None:
         if first_seq < 1:
             raise ValueError("first_seq must be at least 1")
         self.site_id = site_id
         self._transmit = transmit
         self._clock = clock
+        #: Cumulative-ack listener: called with the acked sequence number
+        #: whenever an ACK envelope arrives (delta codecs key their
+        #: acknowledged baselines off this).
+        self.on_ack = on_ack
         self.config = config or ReliabilityConfig()
         self._obs = ensure_observer(observer)
         self._rng = rng if rng is not None else np.random.default_rng(site_id)
@@ -216,7 +222,13 @@ class ReliableSender:
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    def send_payload(self, payload: bytes, trace: SpanContext | None = None) -> int:
+    def send_payload(
+        self,
+        payload: bytes,
+        trace: SpanContext | None = None,
+        *,
+        codec: int = 0,
+    ) -> int:
         """Enqueue one application payload; returns its sequence number.
 
         ``trace`` is the span context of the operation that produced
@@ -224,6 +236,9 @@ class ReliableSender:
         in the envelope header so the receiving side can causally link
         its work back, and it parents the per-payload
         ``transport.delivery`` span tracking the ARQ lifetime.
+
+        ``codec`` is the wire-codec id announced in the envelope for
+        non-CDS1 payloads (0, the default, adds no bytes).
         """
         if self._closed:
             raise RuntimeError("sender is closed")
@@ -236,6 +251,7 @@ class ReliableSender:
                 seq=seq,
                 payload=payload,
                 trace=trace,
+                codec=codec,
             )
         )
         entry = _OutboxEntry(frame=frame)
@@ -322,6 +338,8 @@ class ReliableSender:
             if entry.span is not None:
                 self._obs.span_event_on(entry.span, "acked", ack_seq=envelope.seq)
                 self._obs.finish_span(entry.span, "ok")
+        if self.on_ack is not None:
+            self.on_ack(envelope.seq)
 
     # ------------------------------------------------------------------
     # Internals
@@ -493,6 +511,7 @@ class ReliableReceiver:
         *,
         deliver_traced: Callable[[int, bytes, SpanContext | None], None] | None = None,
         on_telemetry: Callable[[int, bytes], None] | None = None,
+        accept_codecs: Iterable[int] = (0,),
     ) -> None:
         if send_ack is None or clock is None:
             raise TypeError("send_ack and clock are required")
@@ -511,8 +530,13 @@ class ReliableReceiver:
         self.config = config or ReliabilityConfig()
         self._obs = ensure_observer(observer)
         self._on_telemetry = on_telemetry
+        self._accept_codecs = frozenset(accept_codecs)
         self._cursors: dict[int, _SiteCursor] = {}
         self.stats = ReceiverStats()
+
+    def accept_codec(self, wire_id: int) -> None:
+        """Negotiate one more wire codec id (a new edge attaching)."""
+        self._accept_codecs = self._accept_codecs | {int(wire_id)}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -615,6 +639,14 @@ class ReliableReceiver:
         # ACK envelopes never arrive on the uplink; ignore if they do.
 
     def _on_data(self, envelope: Envelope, cursor: _SiteCursor) -> None:
+        if envelope.codec not in self._accept_codecs:
+            name = codec_name_for_wire_id(envelope.codec)
+            raise CodecNegotiationError(
+                f"site {envelope.site_id} sent a payload in wire codec "
+                f"{name or envelope.codec!r} which this endpoint did not "
+                "negotiate; configure the same --wire-codec on both ends "
+                "of the edge"
+            )
         seq = envelope.seq
         obs = self._obs
         if seq < cursor.expected or seq in cursor.buffer:

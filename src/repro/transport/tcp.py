@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.coordinator import Coordinator
 from repro.core.remote import RemoteSite, RemoteSiteConfig
-from repro.core.serde import decode_message, encode_message
+from repro.core.serde import CodecConfig, get_codec
 from repro.obs.federation import FederationPublisher
 from repro.obs.observer import Observer, ensure_observer
 from repro.transport.clock import AsyncioClock
@@ -36,6 +36,7 @@ from repro.transport.reliability import (
     ReliableReceiver,
     ReliableSender,
 )
+from repro.transport.wire import CodecSender
 
 __all__ = ["CoordinatorServer", "SiteRunReport", "run_site_client"]
 
@@ -80,6 +81,9 @@ class CoordinatorServer:
         observer: Observer | None = None,
         on_telemetry=None,
         on_progress=None,
+        *,
+        wire_codec: str = "cds1",
+        codec_config: CodecConfig | None = None,
     ) -> None:
         self.coordinator = coordinator
         self.expected_sites = expected_sites
@@ -87,6 +91,7 @@ class CoordinatorServer:
         self.on_telemetry = on_telemetry
         self.on_progress = on_progress
         self._obs = ensure_observer(observer)
+        self.codec = get_codec(wire_codec, codec_config)
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._server: asyncio.base_events.Server | None = None
         self._done = asyncio.Event()
@@ -104,6 +109,7 @@ class CoordinatorServer:
             config=self.config,
             observer=self._obs,
             on_telemetry=self.on_telemetry,
+            accept_codecs={0, self.codec.wire_id},
         )
         self._server = await asyncio.start_server(self._handle, host, port)
 
@@ -166,7 +172,7 @@ class CoordinatorServer:
             self._done.set()
 
     def _deliver(self, site_id: int, payload: bytes, trace=None) -> None:
-        message = decode_message(payload)
+        message = self.codec.decode(payload)
         with self._obs.remote_parent(trace):
             self.coordinator.handle_message(message)
 
@@ -245,6 +251,8 @@ async def run_site_client(
     site: RemoteSite | None = None,
     federation: FederationPublisher | None = None,
     telemetry_interval: float = 2.0,
+    wire_codec: str = "cds1",
+    codec_config: CodecConfig | None = None,
 ) -> tuple[RemoteSite, SiteRunReport]:
     """Run one remote site against a TCP coordinator.
 
@@ -277,16 +285,21 @@ async def run_site_client(
         rng=np.random.default_rng(seed + 70_000 + site_id),
         observer=observer,
     )
+    codec_sender = CodecSender(sender, get_codec(wire_codec, codec_config))
     if federation is not None:
-        federation.bind_uplink(lambda: sender.stats)
+        federation.bind_uplink(
+            lambda: sender.stats, codec_stats=lambda: codec_sender.stats
+        )
+        federation.uplink_codec = wire_codec
+    emit = lambda message: codec_sender.send(  # noqa: E731
+        message, trace=observer.span_context()
+    )
     if site is None:
         site = RemoteSite(
             site_id,
             site_config,
             rng=np.random.default_rng(seed + site_id),
-            emit=lambda message: sender.send_payload(
-                encode_message(message), trace=observer.span_context()
-            ),
+            emit=emit,
             observer=observer,
         )
     else:
@@ -294,9 +307,7 @@ async def run_site_client(
             raise ValueError(
                 f"restored site has id {site.site_id}, expected {site_id}"
             )
-        site._emit = lambda message: sender.send_payload(
-            encode_message(message), trace=observer.span_context()
-        )
+        site._emit = emit
 
     async def pump_acks() -> None:
         decoder = StreamDecoder()
@@ -321,6 +332,7 @@ async def run_site_client(
                     next_flush = loop.time() + telemetry_interval
                 await writer.drain()
                 await asyncio.sleep(0)
+        codec_sender.flush()
         deadline = loop.time() + drain_timeout
         while sender.outstanding() > 0:
             if loop.time() > deadline:

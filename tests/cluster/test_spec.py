@@ -164,3 +164,67 @@ class TestSerialisation:
         }
         # Original spec untouched.
         assert all(a.port == 0 for a in spec.aggregators)
+
+
+class TestWireCodecs:
+    def test_defaults_keep_the_v1_wire_format(self):
+        spec = build_spec(4, 2)
+        assert spec.wire_codec == "cds1"
+        assert spec.quantize == "f64"
+        assert spec.delta_encoding is False
+        assert spec.node_wire_codec(spec.site_nodes[0]) == "cds1"
+
+    def test_spec_wide_codec_flows_to_every_node(self):
+        spec = build_spec(
+            4, 2, wire_codec="cds2", quantize="f32", delta_encoding=True
+        )
+        for node in spec.nodes:
+            assert spec.node_wire_codec(node) == "cds2"
+            config = spec.node_codec_config(node)
+            assert config.quantize == "f32"
+            assert config.delta is True
+
+    def test_per_node_override(self):
+        spec = build_spec(4, 2, quantize="f64")
+        site = spec.site_nodes[0]
+        custom = NodeSpec(
+            node_id=99, role="site", parent_id=site.parent_id,
+            level=site.level, wire_codec="cds2", quantize="f16",
+        )
+        assert spec.node_wire_codec(custom) == "cds2"
+        assert spec.node_codec_config(custom).quantize == "f16"
+
+    def test_delta_needs_cds2(self):
+        # delta_encoding on a cds1 edge silently stays off: the v1
+        # codec cannot express deltas and the spec must stay loadable.
+        spec = build_spec(4, 2, delta_encoding=True)
+        assert spec.codec_config().delta is False
+        assert spec.node_codec_config(spec.site_nodes[0]).delta is False
+
+    def test_invalid_codec_rejected_at_build_time(self):
+        with pytest.raises(ValueError, match="unknown wire codec"):
+            build_spec(4, 2, wire_codec="zstd")
+        with pytest.raises(ValueError, match="cds2"):
+            build_spec(4, 2, quantize="f16")  # quantizing needs cds2
+
+    def test_codec_fields_round_trip(self):
+        spec = build_spec(
+            4, 2, wire_codec="cds2", quantize="f32", delta_encoding=True
+        )
+        assert ClusterSpec.from_dict(spec.to_dict()) == spec
+        payload = spec.to_dict()
+        assert payload["wire_codec"] == "cds2"
+        assert payload["quantize"] == "f32"
+        assert payload["delta_encoding"] is True
+
+    def test_codec_fields_default_when_absent(self):
+        # Specs written before the codec fields existed must still load.
+        payload = build_spec(4, 2).to_dict()
+        for key in ("wire_codec", "quantize", "delta_encoding"):
+            payload.pop(key, None)
+        for node in payload["nodes"]:
+            node.pop("wire_codec", None)
+            node.pop("quantize", None)
+        spec = ClusterSpec.from_dict(payload)
+        assert spec.wire_codec == "cds1"
+        assert spec.delta_encoding is False

@@ -214,3 +214,117 @@ class TestUploadThreshold:
         feed_leaf(tree, 10, 0.0, 250, 3)
         assert gateway.messages_up >= 1
         tree.close()
+
+
+class TestWireCodecs:
+    def codec_tree(self, wire_codec="cds1", codec_config=None, faults=None):
+        from repro.core.serde import CodecConfig  # noqa: F401 (builder arg)
+
+        tree = TransportTree(
+            site_config=RemoteSiteConfig(
+                dim=2,
+                epsilon=0.3,
+                delta=0.05,
+                em=EMConfig(n_components=2, n_init=1, max_iter=25, tol=1e-3),
+                chunk_override=250,
+            ),
+            coordinator_config=CoordinatorConfig(
+                max_components=4, merge_method="moment"
+            ),
+            seed=0,
+            faults=faults,
+            wire_codec=wire_codec,
+            codec_config=codec_config,
+        )
+        tree.add_internal(0)
+        tree.add_internal(1, parent_id=0)
+        tree.add_leaf(10, parent_id=1)
+        tree.add_leaf(11, parent_id=1)
+        return tree
+
+    def run(self, tree):
+        feed_leaf(tree, 10, 0.0, 250, 1)
+        feed_leaf(tree, 11, 40.0, 250, 2)
+        mixture = tree.global_mixture()
+        stats = tree.level_stats()
+        tree.close()
+        return mixture, stats
+
+    def test_cds2_f64_tree_matches_cds1_exactly(self):
+        from repro.core.serde import CodecConfig
+
+        reference, _ = self.run(self.codec_tree())
+        observed, _ = self.run(
+            self.codec_tree(
+                wire_codec="cds2", codec_config=CodecConfig(delta=True)
+            )
+        )
+        assert np.array_equal(reference.weights, observed.weights)
+        for ref, obs in zip(reference.components, observed.components):
+            assert np.array_equal(ref.mean, obs.mean)
+            assert np.array_equal(ref.covariance, obs.covariance)
+
+    def test_level_stats_name_the_codecs(self):
+        from repro.core.serde import CodecConfig
+
+        _, stats = self.run(
+            self.codec_tree(
+                wire_codec="cds2", codec_config=CodecConfig(quantize="f32")
+            )
+        )
+        for level in stats:
+            assert level.codecs == ("cds2",)
+            entry = level.as_dict()
+            assert entry["codecs"] == ["cds2"]
+            assert "delta_hit_rate" in entry
+            assert "bytes_saved" in entry
+
+    def test_quantized_tree_ships_fewer_bytes(self):
+        from repro.core.serde import CodecConfig
+
+        _, plain = self.run(self.codec_tree())
+        _, packed = self.run(
+            self.codec_tree(
+                wire_codec="cds2",
+                codec_config=CodecConfig(quantize="f32", delta=True),
+            )
+        )
+        assert sum(s.payload_bytes for s in packed) < sum(
+            s.payload_bytes for s in plain
+        )
+        assert sum(s.bytes_saved for s in packed) > 0
+
+    def test_mixed_codec_edges_interoperate(self):
+        from repro.core.serde import CodecConfig
+
+        tree = self.codec_tree()  # tree-wide default: cds1
+        tree.add_leaf(
+            12,
+            parent_id=1,
+            wire_codec="cds2",
+            codec_config=CodecConfig(quantize="f32"),
+        )
+        feed_leaf(tree, 10, 0.0, 250, 1)
+        feed_leaf(tree, 12, 40.0, 250, 2)
+        mixture = tree.global_mixture()
+        assert mixture.n_components >= 2
+        leaf_level = tree.level_stats()[-1]
+        assert leaf_level.codecs == ("cds1", "cds2")
+        tree.close()
+
+    def test_quantized_lossy_tree_still_converges(self):
+        from repro.core.serde import CodecConfig
+
+        config = CodecConfig(quantize="f32", delta=True)
+        clean, _ = self.run(
+            self.codec_tree(wire_codec="cds2", codec_config=config)
+        )
+        faulty, _ = self.run(
+            self.codec_tree(
+                wire_codec="cds2", codec_config=config, faults=LOSSY
+            )
+        )
+        assert clean.n_components == faulty.n_components
+        np.testing.assert_allclose(
+            np.sort(clean.weights), np.sort(faulty.weights), atol=1e-9
+        )

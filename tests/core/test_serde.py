@@ -1,6 +1,8 @@
-"""Tests for the binary wire format."""
+"""Tests for the binary wire formats and the codec registry."""
 
 from __future__ import annotations
+
+import struct
 
 import numpy as np
 import pytest
@@ -13,7 +15,18 @@ from repro.core.protocol import (
     ModelUpdateMessage,
     WeightUpdateMessage,
 )
-from repro.core.serde import decode_message, encode_message
+from repro.core.serde import (
+    CodecConfig,
+    CodecError,
+    CodecNegotiationError,
+    WireCodec,
+    available_codecs,
+    codec_name_for_wire_id,
+    decode_message,
+    encode_message,
+    get_codec,
+    register_codec,
+)
 
 
 def full_mixture() -> GaussianMixture:
@@ -52,35 +65,52 @@ def model_update(mixture: GaussianMixture) -> ModelUpdateMessage:
     )
 
 
+def drifted(mixture: GaussianMixture, index: int = 0) -> GaussianMixture:
+    """A copy of ``mixture`` where only component ``index`` moved."""
+    components = list(mixture.components)
+    moved = components[index]
+    components[index] = Gaussian(
+        moved.mean + 0.25,
+        np.array(moved.covariance),
+        diagonal=moved.diagonal,
+    )
+    return GaussianMixture(np.array(mixture.weights), tuple(components))
+
+
 class TestRoundTrip:
     def test_model_update_full_covariance(self):
+        codec = get_codec("cds1")
         message = model_update(full_mixture())
-        decoded = decode_message(encode_message(message))
+        decoded = codec.decode(codec.encode(message))
         assert decoded == message
 
     def test_model_update_diagonal_covariance(self):
+        codec = get_codec("cds1")
         message = model_update(diagonal_mixture())
-        decoded = decode_message(encode_message(message))
+        decoded = codec.decode(codec.encode(message))
         assert decoded == message
         assert all(c.diagonal for c in decoded.mixture.components)
 
     def test_weight_update(self):
+        codec = get_codec("cds1")
         message = WeightUpdateMessage(
             site_id=1, model_id=2, time=99, count_delta=500
         )
-        assert decode_message(encode_message(message)) == message
+        assert codec.decode(codec.encode(message)) == message
 
     def test_deletion(self):
+        codec = get_codec("cds1")
         message = DeletionMessage(
             site_id=1, model_id=2, time=99, count_delta=250
         )
-        assert decode_message(encode_message(message)) == message
+        assert codec.decode(codec.encode(message)) == message
 
     def test_negative_count_delta_survives(self):
+        codec = get_codec("cds1")
         message = WeightUpdateMessage(
             site_id=0, model_id=0, time=0, count_delta=-321
         )
-        assert decode_message(encode_message(message)).count_delta == -321
+        assert codec.decode(codec.encode(message)).count_delta == -321
 
 
 class TestSizeAccounting:
@@ -95,13 +125,13 @@ class TestSizeAccounting:
         ids=["model-full", "model-diag", "weight", "deletion"],
     )
     def test_encoded_size_equals_payload_bytes(self, message):
-        assert len(encode_message(message)) == message.payload_bytes()
+        assert len(get_codec("cds1").encode(message)) == message.payload_bytes()
 
 
 class TestValidation:
     def test_unknown_type_rejected(self):
         with pytest.raises(TypeError, match="cannot encode"):
-            encode_message(Message(site_id=0, model_id=0, time=0))
+            get_codec("cds1").encode(Message(site_id=0, model_id=0, time=0))
 
     def test_mixed_covariance_modes_rejected(self):
         mixed = GaussianMixture(
@@ -112,28 +142,31 @@ class TestValidation:
             ),
         )
         with pytest.raises(ValueError, match="mixed"):
-            encode_message(model_update(mixed))
+            get_codec("cds1").encode(model_update(mixed))
 
     def test_bad_magic_rejected(self):
-        payload = encode_message(
+        codec = get_codec("cds1")
+        payload = codec.encode(
             WeightUpdateMessage(site_id=0, model_id=0, time=0, count_delta=1)
         )
         corrupted = b"XXXX" + payload[4:]
         with pytest.raises(ValueError, match="bad magic"):
-            decode_message(corrupted)
+            codec.decode(corrupted)
 
     def test_truncated_payload_rejected(self):
         with pytest.raises(ValueError, match="shorter"):
-            decode_message(b"CDS1")
+            get_codec("cds1").decode(b"CDS1")
 
     def test_trailing_garbage_rejected(self):
-        payload = encode_message(model_update(full_mixture()))
+        codec = get_codec("cds1")
+        payload = codec.encode(model_update(full_mixture()))
         with pytest.raises(ValueError, match="trailing"):
-            decode_message(payload + b"\x00" * 8)
+            codec.decode(payload + b"\x00" * 8)
 
     def test_unknown_tag_rejected(self):
+        codec = get_codec("cds1")
         payload = bytearray(
-            encode_message(
+            codec.encode(
                 WeightUpdateMessage(
                     site_id=0, model_id=0, time=0, count_delta=1
                 )
@@ -141,4 +174,330 @@ class TestValidation:
         )
         payload[4] = 200  # overwrite the tag byte
         with pytest.raises(ValueError, match="unknown message tag"):
-            decode_message(bytes(payload))
+            codec.decode(bytes(payload))
+
+
+class TestRegistry:
+    def test_builtin_codecs_registered(self):
+        assert set(available_codecs()) >= {"cds1", "cds2"}
+
+    def test_default_codec_is_cds1(self):
+        assert get_codec().name == "cds1"
+        assert get_codec().wire_id == 0
+
+    def test_unknown_codec_rejected_with_available_list(self):
+        with pytest.raises(ValueError, match="unknown wire codec.*cds1"):
+            get_codec("zstd")
+
+    def test_instances_are_fresh_per_edge(self):
+        # Codec instances carry per-edge delta state and stats; the
+        # registry must never hand the same instance to two edges.
+        assert get_codec("cds2") is not get_codec("cds2")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec("cds1", lambda config: get_codec("cds1"))
+
+    def test_codecs_satisfy_the_protocol(self):
+        for name in ("cds1", "cds2"):
+            assert isinstance(get_codec(name), WireCodec)
+
+    def test_wire_id_names(self):
+        assert codec_name_for_wire_id(0) == "cds1"
+        assert codec_name_for_wire_id(2) == "cds2"
+        assert codec_name_for_wire_id(99) is None
+
+    def test_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            CodecConfig("f32")  # noqa: the 1.2.0 API is keyword-only
+
+    def test_config_validates_quantize(self):
+        with pytest.raises(ValueError, match="f16"):
+            CodecConfig(quantize="f24")
+
+    def test_cds1_rejects_quantization(self):
+        with pytest.raises(ValueError, match="cds2"):
+            get_codec("cds1", CodecConfig(quantize="f32"))
+
+    def test_cds1_rejects_delta(self):
+        with pytest.raises(ValueError, match="cds2"):
+            get_codec("cds1", CodecConfig(delta=True))
+
+
+class TestDeprecatedShims:
+    def test_encode_message_warns_and_matches_cds1(self):
+        message = model_update(full_mixture())
+        with pytest.deprecated_call(match="get_codec"):
+            legacy = encode_message(message)
+        assert legacy == get_codec("cds1").encode(message)
+
+    def test_decode_message_warns_and_round_trips(self):
+        message = model_update(diagonal_mixture())
+        payload = get_codec("cds1").encode(message)
+        with pytest.deprecated_call(match="get_codec"):
+            assert decode_message(payload) == message
+
+
+class TestCDS2RoundTrip:
+    @pytest.mark.parametrize(
+        "mixture", [full_mixture(), diagonal_mixture()], ids=["full", "diag"]
+    )
+    def test_exact_f64_round_trip(self, mixture):
+        codec = get_codec("cds2")
+        message = model_update(mixture)
+        decoded = codec.decode(codec.encode(message))
+        assert decoded == message
+
+    def test_counter_messages_round_trip(self):
+        codec = get_codec("cds2")
+        for cls in (WeightUpdateMessage, DeletionMessage):
+            message = cls(site_id=9, model_id=4, time=7, count_delta=-55)
+            assert codec.decode(codec.encode(message)) == message
+
+    def test_cds2_decodes_cds1_exactly(self):
+        # Cross-version safety: a CDS2 endpoint always understands v1.
+        message = model_update(full_mixture())
+        payload = get_codec("cds1").encode(message)
+        assert get_codec("cds2").decode(payload) == message
+
+    def test_cds1_rejects_cds2_with_negotiation_error(self):
+        codec = get_codec("cds2")
+        payload = codec.encode(model_update(full_mixture()))
+        with pytest.raises(CodecNegotiationError, match="--wire-codec cds2"):
+            get_codec("cds1").decode(payload)
+
+
+class TestCDS2Limits:
+    def test_cds1_caps_k_at_255(self):
+        big = GaussianMixture(
+            np.full(300, 1.0 / 300),
+            tuple(
+                Gaussian.spherical(np.array([float(i), 0.0]), 1.0)
+                for i in range(300)
+            ),
+        )
+        with pytest.raises(ValueError, match="use the cds2 codec"):
+            get_codec("cds1").encode(model_update(big))
+
+    def test_cds2_lifts_the_k_limit(self):
+        big = GaussianMixture(
+            np.full(300, 1.0 / 300),
+            tuple(
+                Gaussian.spherical(np.array([float(i), 0.0]), 1.0)
+                for i in range(300)
+            ),
+        )
+        codec = get_codec("cds2")
+        message = model_update(big)
+        decoded = codec.decode(codec.encode(message))
+        assert decoded.mixture.n_components == 300
+        assert decoded == message
+
+    def test_cds2_lifts_the_dim_limit(self):
+        wide = GaussianMixture(
+            np.array([1.0]),
+            (
+                Gaussian(
+                    np.zeros(300), np.diag(np.ones(300)), diagonal=True
+                ),
+            ),
+        )
+        codec = get_codec("cds2")
+        message = model_update(wide)
+        decoded = codec.decode(codec.encode(message))
+        assert decoded.mixture.dim == 300
+        assert decoded == message
+
+
+class TestQuantization:
+    @pytest.mark.parametrize(
+        "quantize,unit",
+        [("f32", 2.0**-24), ("f16", 2.0**-11)],
+        ids=["f32", "f16"],
+    )
+    def test_covariance_error_within_documented_bound(self, quantize, unit):
+        """DESIGN section 15: quantizing the Cholesky factor L to a
+        float with unit roundoff u reconstructs a covariance within
+        ``u(2+u)*tr(cov)`` in Frobenius norm."""
+        rng = np.random.default_rng(7)
+        raw = rng.standard_normal((6, 6))
+        cov = raw @ raw.T + 2.0 * np.eye(6)
+        message = model_update(
+            GaussianMixture(
+                np.array([1.0]), (Gaussian(rng.standard_normal(6), cov),)
+            )
+        )
+        codec = get_codec("cds2", CodecConfig(quantize=quantize))
+        decoded = codec.decode(codec.encode(message))
+        error = np.linalg.norm(
+            decoded.mixture.components[0].covariance - cov
+        )
+        assert error <= unit * (2.0 + unit) * np.trace(cov)
+
+    def test_means_and_weights_stay_exact(self):
+        message = model_update(full_mixture())
+        codec = get_codec("cds2", CodecConfig(quantize="f16"))
+        decoded = codec.decode(codec.encode(message))
+        for got, want in zip(
+            decoded.mixture.components, message.mixture.components
+        ):
+            np.testing.assert_array_equal(got.mean, want.mean)
+        np.testing.assert_allclose(
+            decoded.mixture.weights, message.mixture.weights, rtol=1e-15
+        )
+
+    def test_quantized_payload_is_smaller(self):
+        message = model_update(full_mixture())
+        full = len(get_codec("cds2").encode(message))
+        f32 = len(
+            get_codec("cds2", CodecConfig(quantize="f32")).encode(message)
+        )
+        f16 = len(
+            get_codec("cds2", CodecConfig(quantize="f16")).encode(message)
+        )
+        assert f16 < f32 < full
+
+
+def _delta_flag(payload: bytes) -> bool:
+    return bool(payload[5] & 0x02)
+
+
+class TestCDS2Delta:
+    """Sender/receiver delta state, driven without a transport.
+
+    ``note_sent``/``note_acked`` are called by hand, standing in for
+    the ARQ hooks :class:`repro.transport.wire.CodecSender` wires up.
+    """
+
+    def make_pair(self, **config):
+        return (
+            get_codec("cds2", CodecConfig(delta=True, **config)),
+            get_codec("cds2"),
+        )
+
+    def test_first_update_is_a_snapshot(self):
+        sender, _ = self.make_pair()
+        payload = sender.encode(model_update(full_mixture()))
+        assert not _delta_flag(payload)
+        assert sender.stats.snapshot_updates == 1
+
+    def test_acked_baseline_enables_delta(self):
+        sender, receiver = self.make_pair()
+        base = full_mixture()
+        first = sender.encode(model_update(base))
+        sender.note_sent(1)
+        sender.note_acked(1)
+        assert receiver.decode(first).mixture == base
+
+        moved = drifted(base)
+        second = sender.encode(model_update(moved))
+        assert _delta_flag(second)
+        assert len(second) < len(first)
+        assert sender.stats.delta_updates == 1
+        # Only the moved component shipped (1 of 2).
+        assert sender.stats.components_shipped == 3
+        decoded = receiver.decode(second)
+        assert decoded.mixture == moved
+
+    def test_unacked_baseline_is_never_referenced(self):
+        sender, _ = self.make_pair()
+        base = full_mixture()
+        sender.encode(model_update(base))
+        sender.note_sent(1)  # sent but never acknowledged
+        second = sender.encode(model_update(drifted(base)))
+        assert not _delta_flag(second)
+        assert sender.stats.snapshot_updates == 2
+
+    def test_stale_baseline_falls_back_to_snapshot(self):
+        sender, receiver = self.make_pair(baseline_depth=2)
+        base = full_mixture()
+        payload = sender.encode(model_update(base))
+        sender.note_sent(1)
+        sender.note_acked(1)
+        receiver.decode(payload)
+        mixture = base
+        # Updates 1 and 2 may delta against update 0; update 3 is
+        # beyond baseline_depth=2 and must ship a full snapshot.
+        for step in range(1, 4):
+            mixture = drifted(mixture, 0)
+            payload = sender.encode(model_update(mixture))
+            assert _delta_flag(payload) == (step <= 2)
+            assert receiver.decode(payload).mixture == mixture
+            sender.note_sent(step + 1)  # never acked: baseline stays at 0
+
+    def test_cumulative_ack_promotes_the_newest_update(self):
+        sender, receiver = self.make_pair()
+        base = full_mixture()
+        mixtures = [base, drifted(base, 0), drifted(drifted(base, 0), 1)]
+        for seq, mixture in enumerate(mixtures, start=1):
+            receiver.decode(sender.encode(model_update(mixture)))
+            sender.note_sent(seq)
+        sender.note_acked(3)  # cumulative: covers seqs 1..3
+        final = drifted(mixtures[-1], 0)
+        payload = sender.encode(model_update(final))
+        assert _delta_flag(payload)
+        assert receiver.decode(payload).mixture == final
+
+    def test_identical_refit_ships_zero_components(self):
+        sender, receiver = self.make_pair()
+        base = full_mixture()
+        receiver.decode(sender.encode(model_update(base)))
+        sender.note_sent(1)
+        sender.note_acked(1)
+        payload = sender.encode(model_update(base))
+        assert _delta_flag(payload)
+        assert receiver.decode(payload).mixture == base
+        assert sender.stats.components_shipped == 2  # only the snapshot's
+
+    def test_receiver_without_baseline_rejects_the_delta(self):
+        sender, _ = self.make_pair()
+        base = full_mixture()
+        sender.encode(model_update(base))
+        sender.note_sent(1)
+        sender.note_acked(1)
+        second = sender.encode(model_update(drifted(base)))
+        assert _delta_flag(second)
+        # A decoder that never saw the baseline update cannot apply it.
+        fresh = get_codec("cds2")
+        with pytest.raises(CodecError, match="baseline"):
+            fresh.decode(second)
+
+    def test_delta_state_is_per_site(self):
+        sender, receiver = self.make_pair()
+        base = full_mixture()
+        for seq, site in enumerate((1, 2), start=1):
+            update = ModelUpdateMessage(
+                site_id=site,
+                model_id=seq,
+                time=seq,
+                mixture=base,
+                count=100,
+                reference_likelihood=-4.0,
+            )
+            receiver.decode(sender.encode(update))
+            sender.note_sent(seq)
+        sender.note_acked(2)
+        # Site 2's next update deltas against *its own* baseline even
+        # though site 1 sent in between.
+        moved = drifted(base)
+        payload = sender.encode(
+            ModelUpdateMessage(
+                site_id=2,
+                model_id=3,
+                time=3,
+                mixture=moved,
+                count=200,
+                reference_likelihood=-4.0,
+            )
+        )
+        assert _delta_flag(payload)
+        assert receiver.decode(payload).mixture == moved
+
+    def test_counter_messages_pass_through_cds2(self):
+        sender, receiver = self.make_pair()
+        message = WeightUpdateMessage(
+            site_id=1, model_id=2, time=3, count_delta=44
+        )
+        payload = sender.encode(message)
+        assert struct.unpack_from("<q", payload, 34)[0] == 44
+        assert receiver.decode(payload) == message

@@ -1,4 +1,11 @@
-"""Property-based tests for the wire format and missing-data marginals."""
+"""Property-based tests for the wire formats and missing-data marginals.
+
+The serde matrix covers every codec cell: CDS1 and CDS2, full and
+diagonal covariance modes (the mixture strategy draws both), exact and
+quantized factors, delta and full snapshots -- plus the cross-version
+guarantees (a CDS2 endpoint decodes CDS1 exactly; quantized CDS2 keeps
+means/weights exact and covariances within the documented bound).
+"""
 
 from __future__ import annotations
 
@@ -19,7 +26,7 @@ from repro.core.protocol import (
     ModelUpdateMessage,
     WeightUpdateMessage,
 )
-from repro.core.serde import decode_message, encode_message
+from repro.core.serde import CodecConfig, get_codec
 
 finite_floats = st.floats(
     min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
@@ -86,29 +93,115 @@ def model_updates(draw):
     )
 
 
+#: Unit roundoff of each quantization tier (DESIGN section 15).
+_ROUNDOFF = {"f64": 0.0, "f32": 2.0**-24, "f16": 2.0**-11}
+
+
+def assert_decodes_to(decoded, message, quantize="f64"):
+    """Decoded equals sent: exactly at f64, within the bound otherwise.
+
+    Weights are renormalised on mixture construction, which can shift
+    the last bit when the stored sum is not exactly 1.0; means and
+    metadata round-trip exactly at every tier, covariances only at f64.
+    """
+    assert decoded.site_id == message.site_id
+    assert decoded.model_id == message.model_id
+    assert decoded.time == message.time
+    assert decoded.count == message.count
+    assert decoded.reference_likelihood == message.reference_likelihood
+    assert np.allclose(
+        decoded.mixture.weights, message.mixture.weights, rtol=1e-15
+    )
+    if quantize == "f64":
+        assert decoded.mixture.components == message.mixture.components
+        return
+    unit = _ROUNDOFF[quantize]
+    for got, want in zip(
+        decoded.mixture.components, message.mixture.components
+    ):
+        np.testing.assert_array_equal(got.mean, want.mean)
+        assert got.diagonal == want.diagonal
+        error = np.linalg.norm(got.covariance - want.covariance)
+        assert error <= unit * (2.0 + unit) * np.trace(want.covariance)
+
+
+def drift_one(mixture, index=0):
+    """A copy of ``mixture`` where only component ``index`` moved."""
+    from repro.core.gaussian import Gaussian as _Gaussian
+
+    components = list(mixture.components)
+    moved = components[index]
+    components[index] = _Gaussian(
+        moved.mean + 0.5,
+        np.array(moved.covariance),
+        diagonal=moved.diagonal,
+    )
+    return GaussianMixture(np.array(mixture.weights), tuple(components))
+
+
 class TestSerdeProperties:
+    @pytest.mark.parametrize("codec_name", ["cds1", "cds2"])
     @given(model_updates())
     @settings(max_examples=60, deadline=None)
-    def test_model_update_round_trip(self, message):
-        decoded = decode_message(encode_message(message))
-        # Weights are renormalised on mixture construction, which can
-        # shift the last bit when the stored sum is not exactly 1.0;
-        # everything else round-trips exactly.
-        assert decoded.site_id == message.site_id
-        assert decoded.model_id == message.model_id
-        assert decoded.time == message.time
-        assert decoded.count == message.count
-        assert decoded.reference_likelihood == message.reference_likelihood
-        assert decoded.mixture.components == message.mixture.components
-        assert np.allclose(
-            decoded.mixture.weights, message.mixture.weights, rtol=1e-15
+    def test_model_update_round_trip(self, codec_name, message):
+        codec = get_codec(codec_name)
+        assert_decodes_to(codec.decode(codec.encode(message)), message)
+
+    @pytest.mark.parametrize("quantize", ["f32", "f16"])
+    @given(model_updates())
+    @settings(max_examples=40, deadline=None)
+    def test_quantized_round_trip_within_bound(self, quantize, message):
+        codec = get_codec("cds2", CodecConfig(quantize=quantize))
+        decoded = codec.decode(codec.encode(message))
+        assert_decodes_to(decoded, message, quantize=quantize)
+
+    @pytest.mark.parametrize("quantize", ["f64", "f32", "f16"])
+    @given(model_updates())
+    @settings(max_examples=40, deadline=None)
+    def test_delta_round_trip_matches_snapshot_decode(
+        self, quantize, message
+    ):
+        """After an acknowledged baseline, the delta-encoded successor
+        decodes to exactly what a snapshot of it would decode to."""
+        config = CodecConfig(quantize=quantize, delta=True)
+        sender = get_codec("cds2", config)
+        receiver = get_codec("cds2")
+        receiver.decode(sender.encode(message))
+        sender.note_sent(1)
+        sender.note_acked(1)
+
+        successor = ModelUpdateMessage(
+            site_id=message.site_id,
+            model_id=message.model_id + 1,
+            time=message.time,
+            mixture=drift_one(message.mixture),
+            count=message.count,
+            reference_likelihood=message.reference_likelihood,
         )
+        via_delta = receiver.decode(sender.encode(successor))
+
+        snapshot_codec = get_codec("cds2", CodecConfig(quantize=quantize))
+        via_snapshot = snapshot_codec.decode(
+            snapshot_codec.encode(successor)
+        )
+        assert via_delta.mixture.components == via_snapshot.mixture.components
+        assert np.array_equal(
+            via_delta.mixture.weights, via_snapshot.mixture.weights
+        )
+        assert_decodes_to(via_delta, successor, quantize=quantize)
+
+    @given(model_updates())
+    @settings(max_examples=40, deadline=None)
+    def test_cds2_decodes_cds1_payloads_exactly(self, message):
+        payload = get_codec("cds1").encode(message)
+        assert_decodes_to(get_codec("cds2").decode(payload), message)
 
     @given(model_updates())
     @settings(max_examples=60, deadline=None)
     def test_encoded_size_is_exactly_accounted(self, message):
-        assert len(encode_message(message)) == message.payload_bytes()
+        assert len(get_codec("cds1").encode(message)) == message.payload_bytes()
 
+    @pytest.mark.parametrize("codec_name", ["cds1", "cds2"])
     @given(
         st.integers(min_value=0, max_value=10_000),
         st.integers(min_value=0, max_value=10_000),
@@ -116,13 +209,14 @@ class TestSerdeProperties:
         st.booleans(),
     )
     def test_counter_messages_round_trip(
-        self, site_id, model_id, delta, is_deletion
+        self, codec_name, site_id, model_id, delta, is_deletion
     ):
         cls = DeletionMessage if is_deletion else WeightUpdateMessage
         message = cls(
             site_id=site_id, model_id=model_id, time=0, count_delta=delta
         )
-        assert decode_message(encode_message(message)) == message
+        codec = get_codec(codec_name)
+        assert codec.decode(codec.encode(message)) == message
 
 
 class TestMarginalProperties:

@@ -587,3 +587,52 @@ class TestCheckpointResume:
         # Only the second half is processed after the resume.
         assert "processed 1200 records" in out
         assert self.summary_lines(out) == uninterrupted
+
+
+class TestWireCodecFlags:
+    @pytest.mark.parametrize("command", ["serve", "site", "cluster"])
+    def test_defaults_to_cds1(self, command):
+        base = {"serve": [], "site": ["--port", "9999"], "cluster": []}
+        args = build_parser().parse_args([command] + base[command])
+        assert args.wire_codec == "cds1"
+        assert args.quantize == "f64"
+        assert args.delta_encoding is False
+
+    def test_cds2_flags_parse(self):
+        args = build_parser().parse_args(
+            ["cluster", "--wire-codec", "cds2", "--quantize", "f32",
+             "--delta-encoding"]
+        )
+        assert args.wire_codec == "cds2"
+        assert args.quantize == "f32"
+        assert args.delta_encoding is True
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--wire-codec", "zstd"])
+
+    def test_unknown_quantize_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--quantize", "f8"])
+
+
+class TestBenchComm:
+    def test_list_mentions_the_comm_suite(self, capsys):
+        status = main(["bench", "--list"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "comm:" in out
+        assert "comm_cds2_f32_delta" in out
+
+    def test_comm_suite_runs_and_gates(self, tmp_path, capsys):
+        report = str(tmp_path / "comm.json")
+        status = main(["bench", "--suite", "comm", "--json", report])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "bytes/rec" in out
+        # Self-comparison against the report just written must pass.
+        status = main(
+            ["bench", "--suite", "comm", "--baseline", report]
+        )
+        assert status == 0
+        assert "PASS" in capsys.readouterr().out

@@ -23,7 +23,23 @@ class TestTopLevelSurface:
             assert getattr(repro, name) is not None
 
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
+
+    def test_codec_api_is_exported(self):
+        # The 1.2 additions: the wire-codec registry and its types.
+        for name in (
+            "WireCodec",
+            "CodecConfig",
+            "CodecStats",
+            "CodecError",
+            "CodecNegotiationError",
+            "get_codec",
+            "register_codec",
+            "available_codecs",
+        ):
+            assert name in repro.__all__
+        assert set(repro.available_codecs()) >= {"cds1", "cds2"}
+        assert isinstance(repro.get_codec("cds2"), repro.WireCodec)
 
     def test_runtime_layer_is_exported(self):
         assert repro.Runtime.__module__.startswith("repro.runtime")

@@ -5,10 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.protocol import WeightUpdateMessage
-from repro.core.serde import encode_message
+from repro.core.serde import get_codec
 from repro.obs.spans import SPAN_CONTEXT_BYTES, SpanContext
 from repro.transport.framing import (
     ENVELOPE_BYTES,
+    FLAG_CODEC,
     FLAG_TRACE,
     KIND_ACK,
     KIND_DATA,
@@ -22,7 +23,7 @@ from repro.transport.framing import (
 
 
 def data_envelope(seq: int = 1, site_id: int = 3) -> Envelope:
-    payload = encode_message(
+    payload = get_codec("cds1").encode(
         WeightUpdateMessage(site_id=site_id, model_id=0, time=7, count_delta=5)
     )
     return Envelope(kind=KIND_DATA, site_id=site_id, seq=seq, payload=payload)
@@ -190,3 +191,76 @@ class TestStreamDecoder:
         decoder = StreamDecoder()
         with pytest.raises(ValueError, match="magic"):
             decoder.feed(b"garbage-garbage-garbage-garbage")
+
+
+class TestCodecNegotiation:
+    def make(self, codec=2, trace=None):
+        plain = data_envelope()
+        return Envelope(
+            kind=plain.kind,
+            site_id=plain.site_id,
+            seq=plain.seq,
+            payload=plain.payload,
+            trace=trace,
+            codec=codec,
+        )
+
+    def test_codec_round_trip(self):
+        envelope = self.make()
+        decoded = decode_envelope(encode_envelope(envelope))
+        assert decoded == envelope
+        assert decoded.codec == 2
+
+    def test_codec_costs_exactly_one_byte(self):
+        plain = data_envelope()
+        tagged = self.make()
+        assert tagged.wire_bytes() == plain.wire_bytes() + 1
+        assert len(encode_envelope(tagged)) == tagged.wire_bytes()
+
+    def test_flag_codec_is_set_on_the_wire(self):
+        assert encode_envelope(self.make())[5] & FLAG_CODEC
+
+    def test_codec_zero_leaves_the_v1_format_untouched(self):
+        # The CDS1 default must stay byte-identical to the pre-CDS2
+        # envelope: flags clear, no codec byte.
+        frame = encode_envelope(self.make(codec=0))
+        assert frame[5] == 0
+        assert len(frame) == ENVELOPE_BYTES + len(data_envelope().payload)
+
+    def test_codec_combines_with_trace(self):
+        envelope = self.make(trace=SpanContext(trace_id=4, span_id=5))
+        decoded = decode_envelope(encode_envelope(envelope))
+        assert decoded == envelope
+        assert decoded.trace == SpanContext(trace_id=4, span_id=5)
+        assert decoded.codec == 2
+        assert (
+            envelope.wire_bytes()
+            == data_envelope().wire_bytes() + SPAN_CONTEXT_BYTES + 1
+        )
+
+    def test_control_envelopes_reject_codec(self):
+        with pytest.raises(ValueError, match="DATA"):
+            encode_envelope(Envelope(kind=KIND_ACK, site_id=0, seq=1, codec=2))
+
+    def test_oversized_codec_id_rejected(self):
+        with pytest.raises(ValueError, match="codec"):
+            encode_envelope(self.make(codec=300))
+
+    def test_truncated_codec_byte_rejected(self):
+        frame = encode_envelope(self.make())
+        with pytest.raises(ValueError, match="codec"):
+            decode_envelope(frame[: ENVELOPE_BYTES])
+
+    def test_stream_decoder_reframes_codec_envelopes(self):
+        envelopes = [
+            data_envelope(seq=1),
+            self.make(),
+            Envelope(kind=KIND_ACK, site_id=3, seq=2),
+        ]
+        stream = b"".join(encode_envelope(e) for e in envelopes)
+        decoder = StreamDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == envelopes
+        assert out[1].codec == 2

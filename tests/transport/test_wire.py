@@ -1,0 +1,225 @@
+"""Tests for the message-level send path: CodecSender over ARQ.
+
+The harness here keeps the datagram service by hand: frames sit in
+in-memory queues until a test explicitly delivers them, so acks (and
+therefore delta-baseline promotions and coalescing-window openings)
+happen exactly when a test says they do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import Gaussian
+from repro.core.mixture import GaussianMixture
+from repro.core.protocol import ModelUpdateMessage, WeightUpdateMessage
+from repro.core.serde import CodecConfig, CodecNegotiationError, get_codec
+from repro.transport.clock import ManualClock
+from repro.transport.reliability import ReliableReceiver, ReliableSender
+from repro.transport.wire import CodecSender
+
+
+def mixture(shift: float = 0.0) -> GaussianMixture:
+    return GaussianMixture(
+        np.array([0.4, 0.6]),
+        (
+            Gaussian.spherical(np.array([0.0 + shift, 0.0]), 1.0),
+            Gaussian.spherical(np.array([5.0, 5.0]), 2.0),
+        ),
+    )
+
+
+def update(model_id: int, shift: float = 0.0, site_id: int = 1):
+    return ModelUpdateMessage(
+        site_id=site_id,
+        model_id=model_id,
+        time=model_id,
+        mixture=mixture(shift),
+        count=100 * model_id,
+        reference_likelihood=-3.5,
+    )
+
+
+class Harness:
+    """One edge with hand-cranked datagram delivery."""
+
+    def __init__(self, codec="cds1", config=None, accept=(0, 2)):
+        self.clock = ManualClock()
+        self.uplink: list[bytes] = []
+        self.downlink: list[bytes] = []
+        self.delivered = []
+        decoder = get_codec("cds2")
+        self.receiver = ReliableReceiver(
+            deliver=lambda site, payload: self.delivered.append(
+                decoder.decode(payload)
+            ),
+            send_ack=lambda site, data: self.downlink.append(data),
+            clock=self.clock,
+            accept_codecs=accept,
+        )
+        self.sender = ReliableSender(
+            site_id=1,
+            transmit=self.uplink.append,
+            clock=self.clock,
+        )
+        self.codec_sender = CodecSender(
+            self.sender, get_codec(codec, config)
+        )
+
+    def deliver_data(self) -> None:
+        """Hand every queued uplink frame to the receiver."""
+        frames = list(self.uplink)
+        self.uplink.clear()  # the sender holds a reference to this list
+        for frame in frames:
+            self.receiver.handle_datagram(frame)
+
+    def deliver_acks(self) -> None:
+        frames = list(self.downlink)
+        self.downlink.clear()
+        for frame in frames:
+            self.sender.handle_datagram(frame)
+
+    def roundtrip(self) -> None:
+        self.deliver_data()
+        self.deliver_acks()
+
+
+class TestCoalescing:
+    def make(self, window=1):
+        return Harness(
+            codec="cds1", config=CodecConfig(coalesce_window=window)
+        )
+
+    def test_newest_model_update_wins_before_first_transmission(self):
+        edge = self.make(window=1)
+        edge.codec_sender.send(update(1))
+        assert len(edge.uplink) == 1  # window open: transmitted
+        edge.codec_sender.send(update(2))
+        edge.codec_sender.send(update(3))
+        assert edge.codec_sender.queued == 1  # 3 replaced 2 in the queue
+        assert edge.codec_sender.stats.coalesced == 1
+        edge.roundtrip()  # ack 1 drains the queue
+        edge.roundtrip()
+        assert [m.model_id for m in edge.delivered] == [1, 3]
+
+    def test_coalescing_is_per_site(self):
+        edge = self.make(window=1)
+        edge.codec_sender.send(update(1, site_id=1))
+        edge.codec_sender.send(update(2, site_id=1))
+        edge.codec_sender.send(update(3, site_id=2))
+        edge.codec_sender.send(update(4, site_id=1))
+        # Site 1's queued update is superseded by its newer one; site
+        # 2's update in between is untouched (newest-wins is per site).
+        assert edge.codec_sender.queued == 2
+        assert edge.codec_sender.stats.coalesced == 1
+        while edge.uplink or edge.downlink or edge.codec_sender.queued:
+            edge.roundtrip()
+        assert sorted(m.model_id for m in edge.delivered) == [1, 3, 4]
+        assert [m.model_id for m in edge.delivered if m.site_id == 1] == [1, 4]
+
+    def test_counter_messages_are_never_coalesced(self):
+        edge = self.make(window=1)
+        edge.codec_sender.send(update(1))
+        edge.codec_sender.send(
+            WeightUpdateMessage(site_id=1, model_id=1, time=2, count_delta=5)
+        )
+        edge.codec_sender.send(update(2))
+        assert edge.codec_sender.queued == 2
+        assert edge.codec_sender.stats.coalesced == 0
+
+    def test_flush_transmits_the_queue_ignoring_the_window(self):
+        edge = self.make(window=1)
+        for i in range(1, 4):
+            edge.codec_sender.send(update(i))
+        assert len(edge.uplink) == 1
+        assert edge.codec_sender.queued == 1  # 3 already replaced 2
+        edge.codec_sender.flush()
+        assert edge.codec_sender.queued == 0
+        assert len(edge.uplink) == 2
+        edge.roundtrip()
+        assert [m.model_id for m in edge.delivered] == [1, 3]
+
+    def test_no_window_means_direct_transmission(self):
+        edge = Harness(codec="cds1")
+        for i in range(1, 5):
+            edge.codec_sender.send(update(i))
+        assert edge.codec_sender.queued == 0
+        assert len(edge.uplink) == 4
+
+
+def delta_flag(frame_payload: bytes) -> bool:
+    return bool(frame_payload[5] & 0x02)
+
+
+class TestDeltaOverArq:
+    def make(self):
+        return Harness(
+            codec="cds2", config=CodecConfig(delta=True, baseline_depth=4)
+        )
+
+    def test_ack_promotes_the_baseline(self):
+        edge = self.make()
+        edge.codec_sender.send(update(1))
+        edge.roundtrip()
+        edge.codec_sender.send(update(2, shift=0.5))
+        assert edge.codec_sender.stats.delta_updates == 1
+        edge.roundtrip()
+        assert [m.model_id for m in edge.delivered] == [1, 2]
+        assert edge.delivered[-1].mixture == mixture(0.5)
+
+    def test_unacked_updates_stay_snapshots(self):
+        edge = self.make()
+        edge.codec_sender.send(update(1))
+        edge.codec_sender.send(update(2, shift=0.5))  # no ack yet
+        assert edge.codec_sender.stats.snapshot_updates == 2
+        assert edge.codec_sender.stats.delta_updates == 0
+        edge.deliver_data()
+        assert edge.delivered[-1].mixture == mixture(0.5)
+
+    def test_retransmission_resends_identical_bytes(self):
+        # A delta payload bound to its seq must survive retransmission
+        # verbatim -- the receiver's baseline cache makes it decodable
+        # whenever it finally arrives.
+        edge = self.make()
+        edge.codec_sender.send(update(1))
+        edge.roundtrip()
+        edge.codec_sender.send(update(2, shift=0.5))
+        (first,) = edge.uplink
+        edge.uplink.clear()  # drop the frame: simulated loss
+        edge.clock.advance(30.0)  # past the retransmit timeout
+        assert edge.uplink, "retransmission timer did not fire"
+        assert edge.uplink[0] == first
+        edge.roundtrip()
+        assert edge.delivered[-1].mixture == mixture(0.5)
+
+    def test_stats_account_bytes_saved(self):
+        edge = self.make()
+        edge.codec_sender.send(update(1))
+        edge.roundtrip()
+        edge.codec_sender.send(update(2, shift=0.5))
+        stats = edge.codec_sender.stats
+        assert stats.bytes_saved > 0
+        assert stats.bytes_encoded < stats.bytes_snapshot
+        assert 0.0 < stats.delta_hit_rate <= 1.0
+
+
+class TestNegotiation:
+    def test_unnegotiated_codec_is_rejected_with_a_clear_error(self):
+        edge = Harness(codec="cds2", accept=(0,))
+        edge.codec_sender.send(update(1))
+        with pytest.raises(CodecNegotiationError, match="--wire-codec"):
+            edge.deliver_data()
+
+    def test_accept_codec_negotiates_a_new_edge(self):
+        edge = Harness(codec="cds2", accept=(0,))
+        edge.receiver.accept_codec(2)
+        edge.codec_sender.send(update(1))
+        edge.roundtrip()
+        assert [m.model_id for m in edge.delivered] == [1]
+
+    def test_cds1_payloads_carry_codec_zero(self):
+        edge = Harness(codec="cds1", accept=(0,))
+        edge.codec_sender.send(update(1))
+        edge.roundtrip()
+        assert [m.model_id for m in edge.delivered] == [1]
