@@ -137,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
         "skipped",
     )
     _add_telemetry_flags(run)
+    _add_history_flags(run)
 
     comm = sub.add_parser(
         "compare-comm",
@@ -196,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_codec_flags(serve)
     _add_telemetry_flags(serve)
+    _add_history_flags(serve)
 
     site = sub.add_parser(
         "site",
@@ -336,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_codec_flags(cluster)
     _add_telemetry_flags(cluster)
+    # Bool only: cluster histories keep the library defaults (alpha=2,
+    # l=2); pin different knobs through a JSON spec if needed.
+    _add_history_flags(cluster, knobs=False)
 
     stats = sub.add_parser(
         "stats",
@@ -352,6 +357,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="shorthand for --format json",
+    )
+    stats.add_argument(
+        "--window", nargs=2, type=int, default=None, metavar=("T0", "T1"),
+        help="instead of the run summary, report drift analytics over "
+        "[T0, T1] folded from the trace's history.snapshot events -- "
+        "the same computation the live /history/drift endpoint serves "
+        "(requires a trace recorded with --history)",
+    )
+    stats.add_argument(
+        "--scope", default=None, metavar="SCOPE",
+        help="with --window: which history to fold when the trace "
+        "carries several (e.g. 'coordinator', 'site:0'; default: "
+        "the coordinator's, else the first recorded)",
     )
 
     monitor = sub.add_parser(
@@ -499,6 +517,50 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_history_flags(
+    parser: argparse.ArgumentParser, knobs: bool = True
+) -> None:
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="record pyramidal model history for time-travel queries: "
+        "/history endpoints on the telemetry server, drift analytics "
+        "('cludistream stats --window T0 T1' on a trace), and retained "
+        "snapshots that ride checkpoints across --resume",
+    )
+    if not knobs:
+        return
+    parser.add_argument(
+        "--history-alpha", type=int, default=2, metavar="ALPHA",
+        help="pyramid base: snapshot order i holds ticks divisible by "
+        "ALPHA^i (default: 2)",
+    )
+    parser.add_argument(
+        "--history-capacity", type=int, default=2, metavar="L",
+        help="snapshots retained per order: ALPHA^L + 1 (default: 2)",
+    )
+    parser.add_argument(
+        "--history-bytes", type=int, default=None, metavar="BYTES",
+        help="hard memory budget for retained snapshot payloads; the "
+        "globally oldest are evicted first (default: unbounded)",
+    )
+
+
+def _make_history(args: argparse.Namespace, scope: str, gauge_source=None):
+    """A :class:`ModelHistory` from the ``--history`` flags, or ``None``."""
+    if not getattr(args, "history", False):
+        return None
+    from repro.obs import ModelHistory
+
+    return ModelHistory(
+        alpha=args.history_alpha,
+        capacity=args.history_capacity,
+        max_bytes=args.history_bytes,
+        scope=scope,
+        gauge_source=gauge_source,
+    )
+
+
 def _build_observer(args: argparse.Namespace, extra_sinks: Sequence = ()):
     """Observer from the global flags, or ``None`` when tracing is off.
 
@@ -638,6 +700,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
         )
         resumed_at = 0
+    if args.history:
+        # A resumed node restores its retained history from the
+        # checkpoint; attach fresh stores only where none rode along.
+        try:
+            if coordinator.history is None:
+                coordinator.history = _make_history(args, "coordinator")
+            for site in sites:
+                if site.history is None:
+                    site.history = _make_history(
+                        args, f"site:{site.site_id}"
+                    )
+                    site.history.observer = site._obs
+        except ValueError as error:
+            print(f"invalid --history settings: {error}", file=sys.stderr)
+            return 2
+    if coordinator.history is not None:
+        coordinator.history.observer = coordinator._obs
+        if health is not None:
+            coordinator.history.gauge_source = health.history_gauges
     server = None
     if health is not None:
         from repro.obs import TelemetryServer, system_snapshot
@@ -655,6 +736,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     sites, coordinator, runtime.accounting()
                 ),
                 port=args.serve_telemetry,
+                history=coordinator.history,
             ).start()
         except OSError as error:
             print(
@@ -921,6 +1003,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 CoordinatorConfig(max_components=args.clusters),
                 observer=observer,
             )
+        if args.history and coordinator.history is None:
+            # A resumed coordinator restores its retained history from
+            # the checkpoint; only attach fresh when none rode along.
+            try:
+                coordinator.history = _make_history(args, "coordinator")
+            except ValueError as error:
+                print(
+                    f"invalid --history settings: {error}", file=sys.stderr
+                )
+                return 2
+        if coordinator.history is not None:
+            coordinator.history.observer = coordinator._obs
+            if health is not None:
+                coordinator.history.gauge_source = health.history_gauges
         telemetry = None
         if health is not None:
             from repro.obs import TelemetryServer, system_snapshot
@@ -933,6 +1029,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     spans=span_collector,
                     snapshot=lambda: system_snapshot([], coordinator),
                     port=args.serve_telemetry,
+                    history=coordinator.history,
                 ).start()
             except OSError as error:
                 print(
@@ -1195,6 +1292,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
         spec = replace(spec, telemetry_interval=args.telemetry_interval)
 
+    if args.history and not spec.history:
+        from dataclasses import replace
+
+        spec = replace(spec, history=True)
+
     if args.write_spec:
         path = save_spec(spec, args.write_spec)
         print(f"spec written to {path}")
@@ -1321,6 +1423,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import format_summary, summarize_trace
 
     output = args.format or ("json" if args.json else "text")
+    if args.window is not None:
+        from repro.obs import drift_from_trace, format_drift
+
+        t0, t1 = args.window
+        try:
+            report = drift_from_trace(args.trace, t0, t1, scope=args.scope)
+        except FileNotFoundError:
+            print(f"no such trace file: {args.trace}", file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+            return 1
+        if output == "json":
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_drift(report), end="")
+        return 0
     try:
         summary = summarize_trace(args.trace)
     except FileNotFoundError:

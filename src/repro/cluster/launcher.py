@@ -103,7 +103,11 @@ def _site_worker(
 
     spec = ClusterSpec.from_dict(spec_payload)
     node = spec.node(node_id)
-    observer = publisher = None
+    observer = publisher = history = None
+    if spec.history:
+        from repro.obs import ModelHistory
+
+        history = ModelHistory(scope=f"site:{node_id}")
     if federate:
         import os
 
@@ -126,6 +130,9 @@ def _site_worker(
             health=health,
             spans=spans,
             pid=os.getpid(),
+            history=(
+                history.federated_summary if history is not None else None
+            ),
         )
     try:
         asyncio.run(
@@ -141,6 +148,7 @@ def _site_worker(
                 telemetry_interval=spec.telemetry_interval,
                 wire_codec=spec.node_wire_codec(node),
                 codec_config=spec.node_codec_config(node),
+                history=history,
             )
         )
     except (ConnectionRefusedError, OSError) as exc:
@@ -261,6 +269,19 @@ async def _aggregator_main(
             parent_id=node_spec.parent_id,
             upload_threshold=spec.node_upload_threshold(node_spec),
         )
+    if spec.history and node.coordinator.history is None:
+        # A resumed coordinator restores its retained history from the
+        # checkpoint; only attach a fresh store when none rode along.
+        from repro.obs import ModelHistory
+
+        node.coordinator.history = ModelHistory(
+            scope="coordinator", gauge_source=None
+        )
+    history = node.coordinator.history
+    if history is not None:
+        history.observer = obs
+        if health is not None:
+            history.gauge_source = health.history_gauges
 
     children = spec.children(node_id)
     # Downlink decode: accept CDS2 iff some child's uplink edge speaks
@@ -325,6 +346,7 @@ async def _aggregator_main(
                 port=telemetry_port,
                 publish=(_publish, publish_process_resources),
                 federation=collector,
+                history=history,
             ).start()
         except OSError as exc:
             await server.close()
@@ -391,6 +413,9 @@ async def _aggregator_main(
             },
             endpoints=endpoints,
             pid=os.getpid(),
+            history=(
+                history.federated_summary if history is not None else None
+            ),
         )
 
         def _flush_telemetry() -> None:

@@ -139,6 +139,12 @@ class ClusterSpec:
     wire_codec: str = "cds1"
     quantize: str = "f64"
     delta_encoding: bool = False
+    #: Attach a pyramidal :class:`~repro.obs.history.ModelHistory` to
+    #: every aggregator's coordinator: enables ``/history`` queries on
+    #: telemetry-serving nodes, history summaries on federated
+    #: telemetry reports (``/cluster/history`` at the root) and
+    #: time-travel state that rides checkpoints across ``--resume``.
+    history: bool = False
 
     def __post_init__(self) -> None:
         if self.telemetry_interval <= 0:
@@ -318,7 +324,7 @@ class ClusterSpec:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format": SPEC_FORMAT,
             "kind": "cluster_spec",
             "host": self.host,
@@ -355,6 +361,11 @@ class ClusterSpec:
                 for n in self.nodes
             ],
         }
+        # Emitted only when enabled so specs written by a pre-history
+        # build and by this one compare byte-identical when it is off.
+        if self.history:
+            payload["history"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ClusterSpec":
@@ -399,6 +410,7 @@ class ClusterSpec:
             wire_codec=payload.get("wire_codec", "cds1"),
             quantize=payload.get("quantize", "f64"),
             delta_encoding=payload.get("delta_encoding", False),
+            history=payload.get("history", False),
         )
 
 

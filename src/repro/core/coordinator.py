@@ -200,6 +200,13 @@ class Coordinator:
         ``coord.*`` trace events (message handling, Algorithm 2
         merge/split decisions with their ``M_merge`` scores) and the
         ``profile.merge_fit`` simplex timer.
+    history:
+        Optional :class:`~repro.obs.history.ModelHistory` recording a
+        pyramidally-retained snapshot of the global model after every
+        handled message (tick = ``message.time``, the originating
+        site's stream position; interleaved site clocks are safe
+        because out-of-order ticks are ignored).  ``None`` (default)
+        records nothing and keeps state byte-identical.
     """
 
     def __init__(
@@ -207,6 +214,7 @@ class Coordinator:
         config: CoordinatorConfig | None = None,
         rng: np.random.Generator | None = None,
         observer: Observer | None = None,
+        history=None,
     ) -> None:
         self.config = config or CoordinatorConfig()
         self._rng = rng if rng is not None else np.random.default_rng(7)
@@ -216,6 +224,12 @@ class Coordinator:
         self._clusters: dict[int, GlobalCluster] = {}
         self._cluster_ids = itertools.count()
         self.stats = CoordinatorStats()
+        self.history = history
+        if history is not None:
+            if history.scope is None:
+                history.scope = "coordinator"
+            if history.observer is None:
+                history.observer = self._obs
 
     # ------------------------------------------------------------------
     # Introspection
@@ -314,6 +328,12 @@ class Coordinator:
                 raise TypeError(
                     f"unsupported message type {type(message).__name__}"
                 )
+        if self.history is not None:
+            from repro.obs.history import coordinator_history_payload
+
+            self.history.observe(
+                message.time, coordinator_history_payload(self)
+            )
 
     def _on_model_update(self, message: ModelUpdateMessage) -> None:
         """Register a new site model and insert its component leaves."""

@@ -68,10 +68,27 @@ class EventTable:
     non-overlapping: each appended event must start exactly where the
     previous one ended.  That property is what makes window queries
     exact up to chunk granularity.
+
+    Parameters
+    ----------
+    max_events:
+        Optional retention bound: beyond it the *oldest* entries are
+        discarded (``evictions`` counts them).  The surviving records
+        still tile ``[retained_start, horizon)``; queries before
+        ``retained_start`` answer ``None`` / empty, exactly as they do
+        past the horizon.  ``None`` (the default) keeps every entry --
+        the pre-retention behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(
+                f"max_events must be at least 1, got {max_events}"
+            )
         self._records: list[EventRecord] = []
+        self.max_events = max_events
+        #: Entries discarded by the retention bound.
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -92,8 +109,17 @@ class EventTable:
         """Index one past the last recorded record (0 when empty)."""
         return self._records[-1].end if self._records else 0
 
+    @property
+    def retained_start(self) -> int:
+        """First record index still covered (> 0 after evictions)."""
+        return self._records[0].start if self._records else 0
+
     def append(self, start: int, end: int, model_id: int) -> EventRecord:
         """Close off a model's span and store it.
+
+        An empty table accepts any valid starting index (a site resumed
+        from a retention-trimmed checkpoint starts mid-stream); once
+        non-empty, events must tile the stream.
 
         Raises
         ------
@@ -102,11 +128,15 @@ class EventTable:
             horizon (events must tile the stream).
         """
         record = EventRecord(start=start, end=end, model_id=model_id)
-        if record.start != self.horizon:
+        if self._records and record.start != self.horizon:
             raise ValueError(
                 f"event must start at horizon {self.horizon}, got {record.start}"
             )
         self._records.append(record)
+        if self.max_events is not None and len(self._records) > self.max_events:
+            excess = len(self._records) - self.max_events
+            del self._records[:excess]
+            self.evictions += excess
         return record
 
     def model_at(self, time: int) -> int | None:
@@ -120,6 +150,9 @@ class EventTable:
             return None
         starts = [record.start for record in self._records]
         index = bisect_right(starts, time) - 1
+        if index < 0:
+            # Before the retained range (older entries were evicted).
+            return None
         record = self._records[index]
         return record.model_id if record.start <= time < record.end else None
 
@@ -141,11 +174,38 @@ class EventTable:
             paper returns to reflect the evolution inside the window.
         """
         if length <= 0:
-            raise ValueError("window length must be positive")
+            raise ValueError(
+                f"window length must be positive, got {length}"
+            )
         if start < 0:
-            raise ValueError("window start must be non-negative")
+            raise ValueError(
+                f"window start must be non-negative, got {start}"
+            )
         end = start + length
         return [record for record in self._records if record.overlaps(start, end)]
+
+    def between(self, t0: int, t1: int) -> list[EventRecord]:
+        """The events intersecting the half-open range ``[t0, t1)``.
+
+        The range form of :meth:`window`; the endpoints are validated
+        the same way -- a reversed or negative range raises instead of
+        silently answering with an empty view.
+
+        Raises
+        ------
+        ValueError
+            If ``t0`` is negative or the range is reversed
+            (``t1 < t0``); the message names the offending values.
+        """
+        if t0 < 0:
+            raise ValueError(
+                f"window start must be non-negative, got {t0}"
+            )
+        if t1 < t0:
+            raise ValueError(
+                f"reversed window [{t0}, {t1}): end precedes start"
+            )
+        return [record for record in self._records if record.overlaps(t0, t1)]
 
     def change_points(self) -> list[int]:
         """Record indices at which the underlying distribution changed.

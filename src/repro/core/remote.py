@@ -111,6 +111,19 @@ class RemoteSiteConfig:
         candidate costs a full ``J_fit`` evaluation, so deep archives
         under churny drift turn the multi-test into its own spike;
         ``None`` (default) keeps the paper's ``c_max``-only bound.
+    archive_limit:
+        Retention bound on the archived-model list.  The archive is
+        kept in recency-of-use order (reactivating a model moves it to
+        the tail), so the bound evicts least-recently-used models
+        first and the reactivate ladder -- which scans the most recent
+        ``c_max - 1`` entries -- keeps seeing exactly the models it
+        would have tested anyway.  Evictions are counted in
+        ``SiteStatistics.archive_evictions``.  ``None`` (default)
+        keeps every archived model, the paper's unbounded model list.
+    event_limit:
+        Retention bound on the event table (see
+        :class:`~repro.core.events.EventTable`); ``None`` (default)
+        keeps every entry.
     chunk_override:
         Explicit chunk size ``M``; when ``None`` Theorem 1's formula is
         used.
@@ -134,6 +147,8 @@ class RemoteSiteConfig:
     auto_k: tuple[int, int] | None = None
     reference_holdout: float = 0.25
     reactivate_limit: int | None = None
+    archive_limit: int | None = None
+    event_limit: int | None = None
     chunk_override: int | None = None
 
     def __post_init__(self) -> None:
@@ -143,6 +158,14 @@ class RemoteSiteConfig:
             raise ValueError("c_max must be at least 1")
         if self.reactivate_limit is not None and self.reactivate_limit < 0:
             raise ValueError("reactivate_limit must be non-negative")
+        if self.archive_limit is not None and self.archive_limit < 1:
+            raise ValueError(
+                f"archive_limit must be at least 1, got {self.archive_limit}"
+            )
+        if self.event_limit is not None and self.event_limit < 1:
+            raise ValueError(
+                f"event_limit must be at least 1, got {self.event_limit}"
+            )
         if self.chunk_override is not None and self.chunk_override < 1:
             raise ValueError("chunk_override must be at least 1")
         if not 0.0 <= self.reference_holdout < 1.0:
@@ -219,6 +242,9 @@ class SiteStatistics:
     (``n_absorbed`` one-pass absorptions of passing chunks,
     ``n_warm_refits`` / ``n_cold_refits`` ladder outcomes); they stay
     zero -- and out of checkpoints -- on the classic path.
+    ``archive_evictions`` counts models dropped by the
+    ``archive_limit`` retention bound and likewise stays zero (and out
+    of checkpoints) while the bound is off.
     """
 
     records_seen: int = 0
@@ -233,6 +259,7 @@ class SiteStatistics:
     n_absorbed: int = 0
     n_warm_refits: int = 0
     n_cold_refits: int = 0
+    archive_evictions: int = 0
 
     def register_message(self, message: Message) -> None:
         self.messages_sent += 1
@@ -263,6 +290,11 @@ class RemoteSite:
         ``site.reactivate``, ``site.archive``, ``site.expire``) and
         metrics.  Defaults to the disabled observer, which keeps
         behaviour byte-identical.
+    history:
+        Optional :class:`~repro.obs.history.ModelHistory` recording a
+        pyramidally-retained snapshot of the site's state at every
+        chunk boundary (tick = stream position in records).  ``None``
+        (default) records nothing and keeps state byte-identical.
     """
 
     def __init__(
@@ -272,6 +304,7 @@ class RemoteSite:
         rng: np.random.Generator | None = None,
         emit: Callable[[Message], None] | None = None,
         observer: Observer | None = None,
+        history=None,
     ) -> None:
         self.site_id = site_id
         self.config = config or RemoteSiteConfig()
@@ -288,8 +321,14 @@ class RemoteSite:
         self._current_started_at = 0
         #: Iterations of the most recent EM fit (refit-span telemetry).
         self._last_fit_iterations = 0
-        self.events = EventTable()
+        self.events = EventTable(max_events=self.config.event_limit)
         self.stats = SiteStatistics()
+        self.history = history
+        if history is not None:
+            if history.scope is None:
+                history.scope = f"site:{site_id}"
+            if history.observer is None:
+                history.observer = self._obs
 
     # ------------------------------------------------------------------
     # Introspection
@@ -453,7 +492,12 @@ class RemoteSite:
         with self._obs.span(
             "site.chunk_test", site=self.site_id, records=int(chunk.shape[0])
         ):
-            return self._run_algorithm(chunk)
+            messages = self._run_algorithm(chunk)
+        if self.history is not None:
+            from repro.obs.history import site_history_payload
+
+            self.history.observe(self._position, site_history_payload(self))
+        return messages
 
     def _run_algorithm(self, chunk: np.ndarray) -> list[Message]:
         if self._current is None:
@@ -796,8 +840,11 @@ class RemoteSite:
             if not result.fits:
                 continue
             # The archived model explains the chunk: swap it back in.
-            self._retire_current(chunk.shape[0])
+            # Remove the entry *before* retiring the current model --
+            # otherwise a full archive's retention bound could evict
+            # the very model being reactivated and count it as lost.
             self._archive = [e for e in self._archive if e is not entry]
+            self._retire_current(chunk.shape[0])
             entry.count += chunk.shape[0]
             self._current = entry
             self._current_started_at = self._position - chunk.shape[0]
@@ -846,6 +893,21 @@ class RemoteSite:
                 end=end,
                 span_recorded=span_recorded,
             )
+        limit = self.config.archive_limit
+        if limit is not None and len(self._archive) > limit:
+            # LRU-by-reactivation: reactivation re-appends a model at
+            # the tail, so the head is the least recently *used* model
+            # and the recent entries the ladder scans survive.
+            evicted = self._archive.pop(0)
+            self.stats.archive_evictions += 1
+            if self._obs.enabled:
+                self._obs.inc("site.archive_evictions", site=self.site_id)
+                self._obs.event(
+                    "site.archive_evict",
+                    site=self.site_id,
+                    model=evicted.model_id,
+                    archive_size=len(self._archive),
+                )
         self._current = None
 
     def _fit_test(self, entry: ModelEntry, chunk: np.ndarray, target: str):

@@ -16,13 +16,17 @@ classic pyramidal time frame of Aggarwal et al.:
 Stored payloads are opaque to the store; the comparison benchmark
 stores the site's current model id at each chunk boundary and answers
 "which model was active at time t?" from the closest retained snapshot,
-scoring it against the event table's exact answer.
+scoring it against the event table's exact answer.  The
+:class:`~repro.obs.history.ModelHistory` time-travel layer builds on
+the same store, which is why eviction accounting, targeted eviction
+(:meth:`PyramidalSnapshotStore.pop_oldest`) and checkpoint round-trips
+(:meth:`PyramidalSnapshotStore.to_dict`) live here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping
 
 __all__ = ["PyramidalSnapshotStore", "Snapshot"]
 
@@ -60,6 +64,8 @@ class PyramidalSnapshotStore:
         self._orders: dict[int, list[Snapshot]] = {}
         self.offered = 0
         self.stored_total = 0
+        #: Snapshots discarded by the per-order retention cap.
+        self.evicted = 0
 
     def order_of(self, tick: int) -> int:
         """Highest ``i`` with ``alpha**i`` dividing ``tick`` (0 otherwise)."""
@@ -89,7 +95,31 @@ class PyramidalSnapshotStore:
         self.stored_total += 1
         if len(bucket) > self._per_order_limit:
             bucket.pop(0)
+            self.evicted += 1
         return True
+
+    def pop_oldest(self) -> Snapshot | None:
+        """Discard and return the globally oldest retained snapshot.
+
+        Targeted eviction for callers enforcing a bound the per-order
+        caps cannot express (e.g. a byte budget); ``None`` when empty.
+        """
+        oldest_order: int | None = None
+        for order, bucket in self._orders.items():
+            if not bucket:
+                continue
+            if (
+                oldest_order is None
+                or bucket[0].tick < self._orders[oldest_order][0].tick
+            ):
+                oldest_order = order
+        if oldest_order is None:
+            return None
+        snapshot = self._orders[oldest_order].pop(0)
+        if not self._orders[oldest_order]:
+            del self._orders[oldest_order]
+        self.evicted += 1
+        return snapshot
 
     def snapshots(self) -> list[Snapshot]:
         """All retained snapshots, sorted by tick."""
@@ -119,3 +149,58 @@ class PyramidalSnapshotStore:
         if not retained:
             raise ValueError("no snapshots retained")
         return min(retained, key=lambda snapshot: abs(snapshot.tick - tick))
+
+    def at_or_before(self, tick: int) -> Snapshot | None:
+        """The newest retained snapshot with ``snapshot.tick <= tick``.
+
+        Time-travel queries prefer this over :meth:`closest`: a later
+        snapshot reflects state the queried moment had not reached yet.
+        Returns ``None`` when every retained snapshot is newer.
+        """
+        best: Snapshot | None = None
+        for bucket in self._orders.values():
+            for snapshot in bucket:
+                if snapshot.tick <= tick and (
+                    best is None or snapshot.tick > best.tick
+                ):
+                    best = snapshot
+        return best
+
+    def ticks(self) -> list[int]:
+        """Retained ticks, ascending."""
+        return [snapshot.tick for snapshot in self.snapshots()]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe state; payloads must themselves be JSON-safe."""
+        return {
+            "alpha": self.alpha,
+            "capacity": self.capacity,
+            "offered": self.offered,
+            "stored_total": self.stored_total,
+            "evicted": self.evicted,
+            "snapshots": [
+                [snapshot.tick, snapshot.payload]
+                for snapshot in self.snapshots()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PyramidalSnapshotStore":
+        """Inverse of :meth:`to_dict`: the exact retained set, counters
+        included, is reinstated without re-running retention."""
+        store = cls(
+            alpha=int(payload["alpha"]), capacity=int(payload["capacity"])
+        )
+        for tick, item in payload["snapshots"]:
+            tick = int(tick)
+            order = store.order_of(tick)
+            store._orders.setdefault(order, []).append(
+                Snapshot(tick=tick, order=order, payload=item)
+            )
+        store.offered = int(payload.get("offered", 0))
+        store.stored_total = int(payload.get("stored_total", 0))
+        store.evicted = int(payload.get("evicted", 0))
+        return store

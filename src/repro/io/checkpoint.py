@@ -30,6 +30,7 @@ from repro.core.gaussian import Gaussian
 from repro.core.remote import ModelEntry, RemoteSite, RemoteSiteConfig
 from repro.core.suffstats import SufficientStats
 from repro.core.testing import LikelihoodVariant
+from repro.obs.history import ModelHistory
 from repro.obs.observer import Observer
 
 __all__ = [
@@ -142,6 +143,11 @@ def _model_entry_from_dict(payload: Mapping) -> ModelEntry:
 #: ``_EM_INCREMENTAL_DEFAULTS`` for the rationale).
 _LADDER_STAT_KEYS = ("n_absorbed", "n_warm_refits", "n_cold_refits")
 
+#: Retention counters, likewise serialized only when non-zero:
+#: checkpoints with the retention bounds off stay byte-identical to
+#: the pre-retention format.
+_RETENTION_STAT_KEYS = ("archive_evictions",)
+
 
 def snapshot_site(site: RemoteSite) -> dict:
     """Serialise a site's full state to a JSON-compatible dict."""
@@ -161,11 +167,15 @@ def snapshot_site(site: RemoteSite) -> dict:
     }
     if config.reactivate_limit is not None:
         config_payload["reactivate_limit"] = config.reactivate_limit
+    if config.archive_limit is not None:
+        config_payload["archive_limit"] = config.archive_limit
+    if config.event_limit is not None:
+        config_payload["event_limit"] = config.event_limit
     stats = vars(site.stats).copy()
-    for key in _LADDER_STAT_KEYS:
+    for key in _LADDER_STAT_KEYS + _RETENTION_STAT_KEYS:
         if not stats.get(key):
             stats.pop(key, None)
-    return {
+    payload = {
         "format": FORMAT_VERSION,
         "kind": "remote_site",
         "site_id": site.site_id,
@@ -187,6 +197,11 @@ def snapshot_site(site: RemoteSite) -> dict:
         "stats": stats,
         "rng": _rng_state(site._rng),
     }
+    if site.events.evictions:
+        payload["event_evictions"] = site.events.evictions
+    if site.history is not None:
+        payload["history"] = site.history.to_dict()
+    return payload
 
 
 def restore_site(
@@ -223,8 +238,12 @@ def restore_site(
     site._current_started_at = payload["current_started_at"]
     for start, end, model_id in payload["events"]:
         site.events.append(start, end, model_id)
+    site.events.evictions = payload.get("event_evictions", 0)
     for key, value in payload["stats"].items():
         setattr(site.stats, key, value)
+    if payload.get("history") is not None:
+        site.history = ModelHistory.from_dict(payload["history"])
+        site.history.observer = site._obs
     return site
 
 
@@ -269,7 +288,7 @@ def snapshot_coordinator(coordinator: Coordinator) -> dict:
                 ],
             }
         )
-    return {
+    payload = {
         "format": FORMAT_VERSION,
         "kind": "coordinator",
         "config": {
@@ -295,6 +314,9 @@ def snapshot_coordinator(coordinator: Coordinator) -> dict:
         "stats": vars(coordinator.stats).copy(),
         "rng": _rng_state(coordinator._rng),
     }
+    if coordinator.history is not None:
+        payload["history"] = coordinator.history.to_dict()
+    return payload
 
 
 def restore_coordinator(
@@ -343,6 +365,9 @@ def restore_coordinator(
     coordinator._cluster_ids = itertools.count(max_cluster_id + 1)
     for key, value in payload["stats"].items():
         setattr(coordinator.stats, key, value)
+    if payload.get("history") is not None:
+        coordinator.history = ModelHistory.from_dict(payload["history"])
+        coordinator.history.observer = coordinator._obs
     return coordinator
 
 

@@ -22,6 +22,9 @@ events observable without changing any of them:
 * :mod:`repro.obs.health` -- live paper-grounded gauges (AvgPr margin,
   component count, merge/split churn, bytes-per-record) folded from the
   trace stream;
+* :mod:`repro.obs.history` -- the pyramidal :class:`ModelHistory` store
+  behind time-travel queries: ``model_at(t)``, drift analytics and
+  gauge series with bounded-memory retention;
 * :mod:`repro.obs.server` -- a stdlib HTTP telemetry server exposing
   ``/metrics``, ``/health``, ``/snapshot`` and ``/spans`` for a live
   run;
@@ -55,6 +58,14 @@ from repro.obs.health import (
     publish_cluster_levels,
     system_snapshot,
 )
+from repro.obs.history import (
+    ModelHistory,
+    coordinator_history_payload,
+    drift_report,
+    history_from_events,
+    site_history_payload,
+    weight_transport,
+)
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -81,6 +92,8 @@ from repro.obs.spans import (
 from repro.obs.stats import (
     RunSummary,
     SiteSummary,
+    drift_from_trace,
+    format_drift,
     format_summary,
     summarize_events,
     summarize_trace,
@@ -108,6 +121,7 @@ __all__ = [
     "JsonlTraceSink",
     "LoggingTraceSink",
     "MetricsRegistry",
+    "ModelHistory",
     "MultiSink",
     "NULL_OBSERVER",
     "NULL_REGISTRY",
@@ -130,9 +144,16 @@ __all__ = [
     "TraceEvent",
     "TraceSink",
     "TruncatedTraceWarning",
+    "coordinator_history_payload",
+    "drift_from_trace",
+    "drift_report",
     "ensure_observer",
+    "format_drift",
     "format_summary",
+    "history_from_events",
     "json_snapshot",
+    "site_history_payload",
+    "weight_transport",
     "parse_prometheus",
     "read_trace",
     "render_cluster_dashboard",

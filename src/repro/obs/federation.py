@@ -133,6 +133,11 @@ class NodeTelemetry:
     gauges: dict = field(default_factory=dict)
     endpoints: dict = field(default_factory=dict)
     spans: tuple = ()
+    #: Compact model-history rollup
+    #: (:meth:`~repro.obs.history.ModelHistory.federated_summary`);
+    #: ``None`` when the node runs without history, and then absent
+    #: from the wire payload so pre-history peers decode unchanged.
+    history: dict | None = None
 
     def to_payload(self) -> bytes:
         """Encode for a TELEMETRY envelope (compact JSON)."""
@@ -152,6 +157,8 @@ class NodeTelemetry:
             "endpoints": self.endpoints,
             "spans": list(self.spans),
         }
+        if self.history is not None:
+            payload["history"] = self.history
         return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -180,6 +187,7 @@ class NodeTelemetry:
             gauges=dict(payload.get("gauges") or {}),
             endpoints=dict(payload.get("endpoints") or {}),
             spans=tuple(payload.get("spans") or ()),
+            history=payload.get("history"),
         )
 
 
@@ -227,6 +235,10 @@ class FederationPublisher:
         monitor's record count.
     endpoints:
         Static endpoint dict for ``/cluster/nodes`` (TCP + telemetry).
+    history:
+        Probe returning the node's compact history rollup (typically
+        ``history.federated_summary``), or ``None``; rides every flush
+        so the root's ``/cluster/history`` stays current.
     """
 
     def __init__(
@@ -243,6 +255,7 @@ class FederationPublisher:
         pid: int | None = None,
         codec_stats: Callable[[], object | None] | None = None,
         uplink_codec: str = "cds1",
+        history: Callable[[], dict | None] | None = None,
     ) -> None:
         self.node_id = node_id
         self.role = role
@@ -255,6 +268,7 @@ class FederationPublisher:
         self.uplink_codec = uplink_codec
         self._gauges = gauges
         self._records = records
+        self._history = history
         self.endpoints = dict(endpoints or {})
         self._pid = pid if pid is not None else os.getpid()
         self._span_cursor = 0
@@ -315,6 +329,7 @@ class FederationPublisher:
             if page:
                 self._span_cursor = page[-1][0]
                 span_fields = [dict(event.fields) for _, event in page]
+        history = self._history() if self._history is not None else None
         return NodeTelemetry(
             node_id=self.node_id,
             role=self.role,
@@ -328,6 +343,7 @@ class FederationPublisher:
             gauges=dict(self._gauges()) if self._gauges is not None else {},
             endpoints=self.endpoints,
             spans=tuple(span_fields),
+            history=dict(history) if history is not None else None,
         )
 
 
@@ -660,6 +676,45 @@ class FederationCollector:
                 )
             levels.append(entry)
         return levels
+
+    def history_rollup(self) -> dict:
+        """The ``/cluster/history`` payload: per-node history rollups.
+
+        Folds the compact :attr:`NodeTelemetry.history` summaries from
+        the latest report of every node that ships one -- retained
+        ticks, eviction accounting and the recent component-count
+        series -- plus cluster totals.  Nodes running without history
+        simply do not appear; a cluster with history disabled
+        everywhere answers with an empty node list.
+        """
+        per_node = []
+        retained = 0
+        evictions = 0
+        horizon = 0
+        for node_id in self.expected_nodes():
+            report = self._reports.get(node_id)
+            if report is None or report.history is None:
+                continue
+            history = report.history
+            entry = {
+                "node": node_id,
+                "role": report.role,
+                "level": report.level,
+                "live": self.is_live(node_id),
+                "history": history,
+            }
+            per_node.append(entry)
+            retained += int(history.get("retained", 0))
+            ev = history.get("evictions") or {}
+            evictions += int(ev.get("pyramid", 0)) + int(ev.get("memory", 0))
+            horizon = max(horizon, int(history.get("horizon", 0)))
+        return {
+            "nodes": len(per_node),
+            "retained": retained,
+            "evictions": evictions,
+            "horizon": horizon,
+            "per_node": per_node,
+        }
 
     def nodes_view(self) -> dict:
         """The ``/cluster/nodes`` payload: topology + endpoints/status."""

@@ -292,6 +292,30 @@ class HealthMonitor(TraceSink):
         seconds = sum(site.refit_seconds for site in self._sites.values())
         return seconds / refits
 
+    def history_gauges(self) -> dict:
+        """Compact gauge dict for a model-history snapshot.
+
+        Designed as a :class:`~repro.obs.history.ModelHistory`
+        ``gauge_source`` probe: attaching
+        ``history.gauge_source = health.history_gauges`` makes every
+        retained snapshot carry the AvgPr margin, pass rate and churn
+        at that moment, so ``gauge_series("avg_pr_margin", ...)`` can
+        replay how close the system sat to its drift threshold over
+        time.  ``None`` values are dropped by the history store.
+        """
+        margins = [
+            site.margin
+            for site in self._sites.values()
+            if site.margin is not None
+        ]
+        tests = sum(site.tests for site in self._sites.values())
+        passed = sum(site.tests_passed for site in self._sites.values())
+        return {
+            "avg_pr_margin": min(margins) if margins else None,
+            "pass_rate": passed / tests if tests else None,
+            "churn_rate": self.churn_rate,
+        }
+
     def bytes_per_record(self) -> float | None:
         """Section 6 communication cost: payload bytes per record."""
         if self._accounting is None or not self._global.records:
@@ -415,26 +439,31 @@ def system_snapshot(
                 {"start": r.start, "end": r.end, "model": r.model_id}
                 for r in records[-event_tail:]
             ]
-        out["sites"].append(
-            {
-                "site": getattr(site, "site_id", None),
-                "position": getattr(site, "position", None),
-                "current_model": (
-                    current.model_id if current is not None else None
-                ),
-                "models": [
-                    entry.model_id
-                    for entry in getattr(site, "all_models", ())
-                ],
-                "event_table_tail": tail,
-                "event_count": len(events) if events is not None else 0,
-            }
-        )
+        entry = {
+            "site": getattr(site, "site_id", None),
+            "position": getattr(site, "position", None),
+            "current_model": (
+                current.model_id if current is not None else None
+            ),
+            "models": [
+                entry.model_id
+                for entry in getattr(site, "all_models", ())
+            ],
+            "event_table_tail": tail,
+            "event_count": len(events) if events is not None else 0,
+        }
+        history = getattr(site, "history", None)
+        if history is not None:
+            entry["history"] = history.summary()
+        out["sites"].append(entry)
     out["coordinator"] = {
         "components": getattr(coordinator, "n_components", None),
         "clusters": len(getattr(coordinator, "clusters", ())),
         "site_models": len(getattr(coordinator, "site_models", {})),
     }
+    coordinator_history = getattr(coordinator, "history", None)
+    if coordinator_history is not None:
+        out["coordinator"]["history"] = coordinator_history.summary()
     if accounting is not None:
         as_dict = getattr(accounting, "as_dict", None)
         if callable(as_dict):

@@ -1,0 +1,486 @@
+"""Time-travel observability: the pyramidal model-history store.
+
+The event table answers "which model governed the stream at time t?"
+exactly -- but it grows without bound, and it says nothing about *how*
+the model changed.  :class:`ModelHistory` keeps the CluStream pyramidal
+time frame of :class:`~repro.core.snapshots.PyramidalSnapshotStore`
+loaded with real state: full mixture summaries, event-table positions
+and key health gauges, retained at geometrically-spaced granularities
+so any horizon stays reconstructible within O(α·l·log t) snapshots.
+
+On top of the store sit the analytical queries served by the
+coordinator API, the telemetry server (``/history``, ``/history/drift``,
+``/history/series``) and the federated root (``/cluster/history``):
+
+* :meth:`ModelHistory.model_at` -- the recorded state at the newest
+  retained snapshot at or before ``t`` (within one snapshot granularity
+  of the exact event-table answer);
+* :meth:`ModelHistory.drift_between` -- component-count delta,
+  weight-transport distance and merge/split churn between two moments;
+* :meth:`ModelHistory.gauge_series` -- a sampled time series of any
+  recorded gauge (component count, AvgPr margin, pass rate).
+
+Memory is bounded twice over: the pyramid's per-order ``α^l + 1`` caps,
+plus an optional hard byte budget that evicts the globally oldest
+snapshots first.  Both eviction streams are metered and visible in
+``/metrics`` via :meth:`ModelHistory.publish`.
+
+Every stored snapshot is also emitted as a ``history.snapshot`` trace
+event (when an observer is attached), so an offline trace replays into
+the *same* retained set: ``history_from_events`` backs
+``repro stats --window t0 t1``, and a live endpoint and a trace of the
+same run answer drift queries identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterable, Mapping
+
+from repro.core.snapshots import PyramidalSnapshotStore, Snapshot
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "ModelHistory",
+    "coordinator_history_payload",
+    "drift_report",
+    "history_from_events",
+    "site_history_payload",
+    "weight_transport",
+]
+
+
+def weight_transport(
+    weights0: Iterable[float] | None, weights1: Iterable[float] | None
+) -> float | None:
+    """Transport distance between two mixture weight vectors.
+
+    Components carry no identity across snapshots (merges and splits
+    renumber them), so the vectors are matched by sorted rank: both are
+    sorted descending, zero-padded to a common length, and the distance
+    is half the L1 gap -- 0 for identical weight profiles, 1 for fully
+    disjoint mass.  ``None`` when either side recorded no weights.
+    """
+    if weights0 is None or weights1 is None:
+        return None
+    a = sorted((float(w) for w in weights0), reverse=True)
+    b = sorted((float(w) for w in weights1), reverse=True)
+    size = max(len(a), len(b))
+    if size == 0:
+        return None
+    a += [0.0] * (size - len(a))
+    b += [0.0] * (size - len(b))
+    return 0.5 * sum(abs(x - y) for x, y in zip(a, b))
+
+
+def drift_report(
+    t0: int, t1: int, snapshot0: Snapshot, snapshot1: Snapshot
+) -> dict:
+    """Drift analytics between two retained snapshots.
+
+    The single implementation behind the live ``/history/drift``
+    endpoint and the offline ``repro stats --window`` fold -- both paths
+    must agree by construction, not by parallel maintenance.
+    """
+    payload0: Mapping = snapshot0.payload or {}
+    payload1: Mapping = snapshot1.payload or {}
+    components0 = int(payload0.get("components", 0))
+    components1 = int(payload1.get("components", 0))
+    counters0: Mapping = payload0.get("counters") or {}
+    counters1: Mapping = payload1.get("counters") or {}
+    churn: dict[str, int] = {}
+    for name in sorted(set(counters0) | set(counters1)):
+        delta = int(counters1.get(name, 0)) - int(counters0.get(name, 0))
+        churn[name] = max(delta, 0)
+    return {
+        "t0": int(t0),
+        "t1": int(t1),
+        "tick0": snapshot0.tick,
+        "tick1": snapshot1.tick,
+        "components": {
+            "from": components0,
+            "to": components1,
+            "delta": components1 - components0,
+        },
+        "weight_transport": weight_transport(
+            payload0.get("weights"), payload1.get("weights")
+        ),
+        "churn": churn,
+        "churn_total": sum(churn.values()),
+    }
+
+
+def site_history_payload(site) -> dict:
+    """The snapshot a :class:`~repro.core.remote.RemoteSite` records.
+
+    ``model`` is the id of the model currently explaining the stream --
+    the value :meth:`ModelHistory.model_at` answers with, agreeing with
+    the (eventually closed) event-table entry covering the snapshot
+    tick.  Cumulative counters feed the drift churn deltas.
+    """
+    current = site.current_model
+    mixture = current.mixture if current is not None else None
+    stats = site.stats
+    tests = stats.n_tests
+    return {
+        "model": current.model_id if current is not None else None,
+        "components": mixture.n_components if mixture is not None else 0,
+        "weights": (
+            [float(w) for w in mixture.weights] if mixture is not None else []
+        ),
+        "events_horizon": site.events.horizon,
+        "counters": {
+            "archives": stats.n_archived,
+            "reactivations": stats.n_reactivations,
+            "evictions": stats.archive_evictions + site.events.evictions,
+        },
+        "gauges": {
+            "components": mixture.n_components if mixture is not None else 0,
+            "pass_rate": stats.n_tests_passed / tests if tests else None,
+        },
+    }
+
+
+def coordinator_history_payload(coordinator) -> dict:
+    """The snapshot a :class:`~repro.core.coordinator.Coordinator` records."""
+    try:
+        mixture = coordinator.global_mixture()
+        weights = [float(w) for w in mixture.weights]
+    except ValueError:
+        weights = []
+    stats = coordinator.stats
+    return {
+        "components": coordinator.n_components,
+        "weights": weights,
+        "counters": {
+            "merges": stats.merges,
+            "splits": stats.splits,
+            "model_updates": stats.model_updates,
+            "deletions": stats.deletions,
+        },
+        "gauges": {"components": coordinator.n_components},
+    }
+
+
+class ModelHistory:
+    """Bounded time-travel store for one site or coordinator.
+
+    Parameters
+    ----------
+    alpha / capacity:
+        Pyramid base and retention exponent ``l`` (per-order cap is
+        ``alpha**capacity + 1`` snapshots); see
+        :class:`~repro.core.snapshots.PyramidalSnapshotStore`.
+    max_bytes:
+        Optional hard budget on retained payload bytes (JSON size).
+        When the pyramid alone exceeds it, the globally oldest
+        snapshots are evicted until the store fits, counted separately
+        from pyramid evictions.
+    scope:
+        Label on emitted ``history.snapshot`` trace events (e.g.
+        ``"coordinator"``, ``"site:3"``); lets one trace carry several
+        histories apart.  Attach points fill it in when left ``None``.
+    gauge_source:
+        Optional zero-argument callable polled at :meth:`observe` time;
+        its dict is merged into the snapshot's ``gauges`` (e.g. the
+        health monitor's AvgPr margin).  Process state -- never
+        checkpointed, reattach after restore.
+    """
+
+    def __init__(
+        self,
+        alpha: int = 2,
+        capacity: int = 2,
+        max_bytes: int | None = None,
+        scope: str | None = None,
+        gauge_source: Callable[[], Mapping] | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.store = PyramidalSnapshotStore(alpha=alpha, capacity=capacity)
+        self.max_bytes = max_bytes
+        self.scope = scope
+        self.gauge_source = gauge_source
+        #: Optional observer; stored snapshots are mirrored to it as
+        #: ``history.snapshot`` trace events (process state, reattach
+        #: after restore).
+        self.observer = None
+        self.evicted_memory = 0
+        self._last_tick = 0
+        self._sizes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @property
+    def last_tick(self) -> int:
+        """Newest tick ever observed (0 before the first)."""
+        return self._last_tick
+
+    @property
+    def bytes(self) -> int:
+        """Estimated retained payload bytes (compact-JSON size)."""
+        return sum(self._sizes.values())
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def observe(self, tick: int, payload: Mapping) -> bool:
+        """Record the state at ``tick``; returns ``True`` when stored.
+
+        Ticks must be positive and strictly increasing (out-of-order
+        offers are ignored, so interleaved multi-site clocks at a
+        coordinator are safe).  ``payload`` must be JSON-safe.
+        """
+        tick = int(tick)
+        if tick <= self._last_tick:
+            return False
+        self._last_tick = tick
+        payload = dict(payload)
+        if self.gauge_source is not None:
+            gauges = dict(payload.get("gauges") or {})
+            for name, value in dict(self.gauge_source()).items():
+                if value is not None:
+                    gauges[name] = value
+            payload["gauges"] = gauges
+        size = len(json.dumps(payload, separators=(",", ":"), default=float))
+        if not self.store.offer(tick, payload):
+            return False
+        self._sizes[tick] = size
+        self._reconcile_sizes()
+        while (
+            self.max_bytes is not None
+            and self.bytes > self.max_bytes
+            and len(self.store) > 1
+        ):
+            evicted = self.store.pop_oldest()
+            if evicted is None:
+                break
+            self._sizes.pop(evicted.tick, None)
+            self.evicted_memory += 1
+        observer = self.observer
+        if observer is not None and observer.enabled:
+            observer.event(
+                "history.snapshot",
+                scope=self.scope,
+                tick=tick,
+                alpha=self.store.alpha,
+                capacity=self.store.capacity,
+                payload=payload,
+            )
+        return True
+
+    def _reconcile_sizes(self) -> None:
+        retained = set(self.store.ticks())
+        for tick in [t for t in self._sizes if t not in retained]:
+            del self._sizes[tick]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _lookup(self, t: int) -> Snapshot:
+        if t < 0:
+            raise ValueError(f"query time must be non-negative, got {t}")
+        snapshot = self.store.at_or_before(t)
+        if snapshot is None:
+            # Everything retained is newer: answer with the oldest
+            # landmark rather than refusing (documented degradation).
+            retained = self.store.snapshots()
+            if not retained:
+                raise ValueError("history is empty")
+            snapshot = retained[0]
+        return snapshot
+
+    def model_at(self, t: int) -> dict:
+        """The recorded state at the newest retained tick ≤ ``t``.
+
+        The answer carries the snapshot ``tick`` it came from; it agrees
+        with the exact event table at that tick, which is within one
+        snapshot granularity of ``t`` (the Aggarwal retention bound).
+        """
+        snapshot = self._lookup(t)
+        return {
+            "t": int(t),
+            "tick": snapshot.tick,
+            "order": snapshot.order,
+            "model": snapshot.payload,
+        }
+
+    def drift_between(self, t0: int, t1: int) -> dict:
+        """Drift analytics over ``[t0, t1]`` (see :func:`drift_report`).
+
+        Raises
+        ------
+        ValueError
+            On a negative or reversed range; the message names the
+            offending values (matching the event-table validation).
+        """
+        if t0 < 0:
+            raise ValueError(f"window start must be non-negative, got {t0}")
+        if t1 < t0:
+            raise ValueError(
+                f"reversed window [{t0}, {t1}): end precedes start"
+            )
+        return drift_report(t0, t1, self._lookup(t0), self._lookup(t1))
+
+    def gauge_series(
+        self, name: str, t0: int | None = None, t1: int | None = None
+    ) -> list[list]:
+        """``[tick, value]`` points of gauge ``name`` in ``[t0, t1]``.
+
+        Endpoints default to the full retained range; a reversed range
+        raises like :meth:`drift_between`.
+        """
+        if t0 is not None and t1 is not None and t1 < t0:
+            raise ValueError(
+                f"reversed window [{t0}, {t1}): end precedes start"
+            )
+        points: list[list] = []
+        for snapshot in self.store.snapshots():
+            if t0 is not None and snapshot.tick < t0:
+                continue
+            if t1 is not None and snapshot.tick > t1:
+                continue
+            gauges = (snapshot.payload or {}).get("gauges") or {}
+            if name in gauges and gauges[name] is not None:
+                points.append([snapshot.tick, gauges[name]])
+        return points
+
+    def gauge_names(self) -> list[str]:
+        """Every gauge name appearing in a retained snapshot."""
+        names: set[str] = set()
+        for snapshot in self.store.snapshots():
+            names.update(((snapshot.payload or {}).get("gauges") or {}))
+        return sorted(names)
+
+    def summary(self) -> dict:
+        """The ``/history`` index payload: bounds, accounting, ticks."""
+        return {
+            "retained": len(self.store),
+            "offered": self.store.offered,
+            "stored_total": self.store.stored_total,
+            "evictions": {
+                "pyramid": self.store.evicted - self.evicted_memory,
+                "memory": self.evicted_memory,
+            },
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "alpha": self.store.alpha,
+            "capacity": self.store.capacity,
+            "scope": self.scope,
+            "horizon": self._last_tick,
+            "ticks": self.store.ticks(),
+            "gauges": self.gauge_names(),
+        }
+
+    def federated_summary(self, series_points: int = 32) -> dict:
+        """Compact per-node rollup shipped in telemetry reports.
+
+        Bounded by construction (the retained set is O(α·l·log t) and
+        the component series is capped at ``series_points``), so it can
+        ride every TELEMETRY flush without bloating the envelope.
+        """
+        series = self.gauge_series("components")
+        return {
+            "retained": len(self.store),
+            "evictions": {
+                "pyramid": self.store.evicted - self.evicted_memory,
+                "memory": self.evicted_memory,
+            },
+            "bytes": self.bytes,
+            "horizon": self._last_tick,
+            "ticks": self.store.ticks(),
+            "components": series[-series_points:],
+        }
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def publish(self, registry, **labels: object) -> None:
+        """Push ``history.*`` gauges (retention and eviction accounting)."""
+        if self.scope is not None and "scope" not in labels:
+            labels["scope"] = self.scope
+        registry.gauge("history.retained", **labels).set(len(self.store))
+        registry.gauge("history.bytes", **labels).set(self.bytes)
+        registry.gauge("history.offered", **labels).set(self.store.offered)
+        registry.gauge(
+            "history.evictions", kind="pyramid", **labels
+        ).set(self.store.evicted - self.evicted_memory)
+        registry.gauge(
+            "history.evictions", kind="memory", **labels
+        ).set(self.evicted_memory)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe state (observer and gauge source excluded)."""
+        return {
+            "max_bytes": self.max_bytes,
+            "scope": self.scope,
+            "last_tick": self._last_tick,
+            "evicted_memory": self.evicted_memory,
+            "store": self.store.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ModelHistory":
+        """Inverse of :meth:`to_dict`; reattach ``observer`` and
+        ``gauge_source`` afterwards (they are process state)."""
+        store = PyramidalSnapshotStore.from_dict(payload["store"])
+        history = cls(
+            alpha=store.alpha,
+            capacity=store.capacity,
+            max_bytes=payload.get("max_bytes"),
+            scope=payload.get("scope"),
+        )
+        history.store = store
+        history._last_tick = int(payload.get("last_tick", 0))
+        history.evicted_memory = int(payload.get("evicted_memory", 0))
+        history._sizes = {
+            snapshot.tick: len(
+                json.dumps(
+                    snapshot.payload, separators=(",", ":"), default=float
+                )
+            )
+            for snapshot in store.snapshots()
+        }
+        return history
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelHistory(scope={self.scope!r}, retained={len(self.store)}, "
+            f"horizon={self._last_tick})"
+        )
+
+
+def history_from_events(
+    events: Iterable[TraceEvent], scope: str | None = None
+) -> ModelHistory | None:
+    """Replay ``history.snapshot`` trace events into a fresh store.
+
+    The offline half of the live/offline agreement contract: the same
+    snapshots pass through the same retention, so drift queries on the
+    result match the live endpoint's answers for any window inside the
+    trace.  ``scope`` selects one history when a trace carries several
+    (``None`` accepts the first scope seen).  Returns ``None`` when the
+    trace has no matching snapshots.
+    """
+    history: ModelHistory | None = None
+    for event in events:
+        if event.type != "history.snapshot":
+            continue
+        fields = event.fields
+        event_scope = fields.get("scope")
+        if scope is not None and event_scope != scope:
+            continue
+        if history is None:
+            history = ModelHistory(
+                alpha=int(fields.get("alpha", 2)),
+                capacity=int(fields.get("capacity", 2)),
+                scope=event_scope if scope is None else scope,
+            )
+        elif scope is None and event_scope != history.scope:
+            continue
+        history.observe(int(fields["tick"]), dict(fields.get("payload") or {}))
+    return history

@@ -27,6 +27,7 @@ from typing import IO, Sequence
 
 from repro.obs.export import parse_prometheus
 from repro.obs.health import HealthMonitor
+from repro.obs.history import history_from_events
 from repro.obs.metrics import Histogram
 from repro.obs.trace import read_trace
 
@@ -35,7 +36,43 @@ __all__ = [
     "render_cluster_dashboard",
     "render_dashboard",
     "run_monitor",
+    "sparkline",
 ]
+
+#: Eight-level block characters for the history sparklines.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Render a numeric series as a fixed-width unicode sparkline.
+
+    The series is resampled to ``width`` points (taking the last value
+    of each segment -- the monitor cares about recent state, not
+    averages) and scaled to the eight block characters.  A flat series
+    renders as a run of the lowest block; an empty one as spaces.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    points = [float(v) for v in values]
+    if not points:
+        return " " * width
+    if len(points) > width:
+        step = len(points) / width
+        points = [
+            points[min(len(points) - 1, int((i + 1) * step) - 1)]
+            for i in range(width)
+        ]
+    low = min(points)
+    high = max(points)
+    span = high - low
+    chars = []
+    for value in points:
+        if span <= 0.0:
+            chars.append(_SPARK_CHARS[0])
+        else:
+            index = int((value - low) / span * (len(_SPARK_CHARS) - 1))
+            chars.append(_SPARK_CHARS[index])
+    return "".join(chars).ljust(width)
 
 #: ``profile.*`` histograms worth a latency tile, in display order.
 _LATENCY_TILES = (
@@ -115,10 +152,51 @@ def _format_seconds(value: float | None) -> str:
     return f"{value:6.3f}s "
 
 
+def _history_pane(history: dict) -> list[str]:
+    """Render the time-travel pane from collected history state.
+
+    ``history`` carries the ``/history`` summary under ``"summary"``
+    and named ``[tick, value]`` series under ``"series"``; both are
+    optional (a partially reachable server still gets a pane).
+    """
+    lines: list[str] = ["", "  history (pyramidal retention):"]
+    summary = history.get("summary") or {}
+    if summary:
+        evictions = summary.get("evictions") or {}
+        lines.append(
+            "    retained="
+            f"{summary.get('retained', 0)}"
+            f"/{summary.get('offered', 0)} snapshots  "
+            f"horizon={summary.get('horizon', 0)}  "
+            f"alpha={summary.get('alpha')}^l={summary.get('capacity')}  "
+            f"evicted={evictions.get('pyramid', 0)}p"
+            f"+{evictions.get('memory', 0)}m  "
+            f"{_format_bytes(summary.get('bytes', 0))}"
+        )
+    series = history.get("series") or {}
+    for name, label in (
+        ("components", "K"),
+        ("avg_pr_margin", "AvgPr margin"),
+    ):
+        points = series.get(name) or []
+        values = [value for _, value in points]
+        if not values:
+            continue
+        last = values[-1]
+        last_text = f"{last:+.4f}" if name == "avg_pr_margin" else f"{last:g}"
+        lines.append(
+            f"    {label:<13} {sparkline(values)}  now={last_text}"
+        )
+    if len(lines) == 2:
+        lines.append("    (no snapshots retained yet)")
+    return lines
+
+
 def render_dashboard(
     health: dict,
     samples: Sequence[tuple[str, dict[str, str], float]] | None = None,
     source: str = "",
+    history: dict | None = None,
 ) -> str:
     """Render the collected state as a fixed-width terminal dashboard."""
     lines: list[str] = []
@@ -190,6 +268,8 @@ def render_dashboard(
             lines.append("")
             lines.append("  latency (bucket-interpolated):")
             lines.extend(tiles)
+    if history is not None:
+        lines.extend(_history_pane(history))
     return "\n".join(lines) + "\n"
 
 
@@ -253,6 +333,7 @@ def render_cluster_dashboard(
     cluster: dict,
     nodes: dict | None = None,
     source: str = "",
+    history: dict | None = None,
 ) -> str:
     """Render a federated ``/cluster/health`` payload as a dashboard.
 
@@ -331,6 +412,26 @@ def render_cluster_dashboard(
                 f"{stats.get('retransmissions', 0):>6}  "
                 f"{codec_cell:>10}  {hit_cell}"
             )
+    if history is not None and history.get("per_node"):
+        lines.append("")
+        lines.append(
+            "  history: "
+            f"retained={history.get('retained', 0)}  "
+            f"evicted={history.get('evictions', 0)}  "
+            f"horizon={history.get('horizon', 0)}"
+        )
+        for entry in history["per_node"]:
+            node_history = entry.get("history") or {}
+            values = [
+                value
+                for _, value in (node_history.get("components") or [])
+            ]
+            spark = sparkline(values) if values else " " * 32
+            lines.append(
+                f"    node {entry.get('node'):>3} "
+                f"{entry.get('role') or '?':<10} "
+                f"K {spark}  retained={node_history.get('retained', 0)}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -341,31 +442,72 @@ def _fetch(url: str, timeout: float = 5.0) -> bytes:
 
 def _collect_from_server(
     url: str,
-) -> tuple[dict, list[tuple[str, dict[str, str], float]]]:
+) -> tuple[dict, list[tuple[str, dict[str, str], float]], dict | None]:
     base = url.rstrip("/")
     health = json.loads(_fetch(f"{base}/health"))
     try:
         samples = parse_prometheus(_fetch(f"{base}/metrics").decode("utf-8"))
     except (urllib.error.URLError, ValueError):
         samples = []
-    return health, samples
+    return health, samples, _collect_history(base)
 
 
-def _collect_from_trace(path: str) -> tuple[dict, list]:
+def _collect_history(base: str) -> dict | None:
+    """Poll the ``/history`` endpoints; ``None`` on a pre-history server.
+
+    A 404 (history disabled or an older server) simply drops the pane
+    -- the monitor must keep working against any telemetry server.
+    """
+    try:
+        summary = json.loads(_fetch(f"{base}/history"))
+    except (urllib.error.URLError, ValueError, OSError):
+        return None
+    series: dict = {}
+    for name in ("components", "avg_pr_margin"):
+        try:
+            payload = json.loads(
+                _fetch(f"{base}/history/series?name={name}")
+            )
+            series[name] = payload.get("points") or []
+        except (urllib.error.URLError, ValueError, OSError):
+            continue
+    return {"summary": summary, "series": series}
+
+
+def _collect_from_trace(path: str) -> tuple[dict, list, dict | None]:
     monitor = HealthMonitor()
-    for event in read_trace(path):
+    events = list(read_trace(path))
+    for event in events:
         monitor.write(event)
-    return monitor.report(), []
+    # Prefer the coordinator's history when the trace carries several
+    # scopes; fall back to whichever scope appears first.
+    history = history_from_events(events, scope="coordinator")
+    if history is None:
+        history = history_from_events(events)
+    pane = None
+    if history is not None:
+        pane = {
+            "summary": history.summary(),
+            "series": {
+                name: history.gauge_series(name)
+                for name in ("components", "avg_pr_margin")
+            },
+        }
+    return monitor.report(), [], pane
 
 
-def _collect_cluster(url: str) -> tuple[dict, dict | None]:
+def _collect_cluster(url: str) -> tuple[dict, dict | None, dict | None]:
     base = url.rstrip("/")
     cluster = json.loads(_fetch(f"{base}/cluster/health"))
     try:
         nodes = json.loads(_fetch(f"{base}/cluster/nodes"))
     except (urllib.error.URLError, ValueError, OSError):
         nodes = None
-    return cluster, nodes
+    try:
+        history = json.loads(_fetch(f"{base}/cluster/history"))
+    except (urllib.error.URLError, ValueError, OSError):
+        history = None
+    return cluster, nodes, history
 
 
 def run_monitor(
@@ -413,27 +555,34 @@ def run_monitor(
             if url is not None:
                 try:
                     if cluster:
-                        cluster_health, nodes = _collect_cluster(url)
+                        cluster_health, nodes, history = _collect_cluster(url)
                     else:
-                        health, samples = _collect_from_server(url)
+                        health, samples, history = _collect_from_server(url)
                     source = url
                 except (urllib.error.URLError, OSError, ValueError) as error:
                     stream.write(f"monitor: cannot reach {url}: {error}\n")
                     return 1
             else:
                 assert trace is not None
-                health, samples = _collect_from_trace(trace)
+                health, samples, history = _collect_from_trace(trace)
                 source = trace
             if clear:
                 stream.write("\x1b[2J\x1b[H")
             if cluster:
                 stream.write(
                     render_cluster_dashboard(
-                        cluster_health, nodes, source=source
+                        cluster_health,
+                        nodes,
+                        source=source,
+                        history=history,
                     )
                 )
             else:
-                stream.write(render_dashboard(health, samples, source=source))
+                stream.write(
+                    render_dashboard(
+                        health, samples, source=source, history=history
+                    )
+                )
             stream.flush()
             count += 1
             if iterations is None or count < iterations:

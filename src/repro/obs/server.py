@@ -24,6 +24,26 @@ thread, so a live run can be inspected while it streams:
     spans with collector id beyond ``since`` are returned, and the
     response carries ``lastId`` to resume from.
 
+With a :class:`~repro.obs.history.ModelHistory` attached (usually the
+coordinator's), three time-travel endpoints come alive:
+
+``/history``
+    Without parameters, the history summary (retention accounting,
+    retained ticks, known gauges).  With ``?t=<tick>``, the
+    :meth:`~repro.obs.history.ModelHistory.model_at` answer: the
+    recorded model state at the newest retained snapshot at or before
+    ``t``.
+``/history/drift``
+    ``?t0=<tick>&t1=<tick>`` drift analytics between two moments:
+    component-count delta, weight-transport distance, merge/split
+    churn.  Missing endpoints default to the full retained range.
+``/history/series``
+    ``?name=<gauge>&t0=&t1=`` sampled ``[tick, value]`` series of a
+    recorded gauge (``components`` by default).
+
+Bad ranges (reversed or negative) answer 400 with the offending
+values; each history query is traced as a ``history.query`` span.
+
 With a :class:`~repro.obs.federation.FederationCollector` attached
 (the root of a federated cluster deployment), three more endpoints
 serve the cluster-wide view:
@@ -38,6 +58,9 @@ serve the cluster-wide view:
     Cross-process traces reassembled at the root, exported as one
     Chrome/Perfetto file with real-pid tracks and cross-process flow
     arrows; supports the same ``?since=&limit=`` paging as ``/spans``.
+``/cluster/history``
+    Per-node history rollups (retained ticks, eviction accounting,
+    component-count series) folded from the latest telemetry reports.
 
 Everything is standard library; there is nothing to install on the
 scrape side either -- ``curl`` and a browser suffice.
@@ -86,6 +109,38 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/spans":
                 body = _json_bytes(telemetry.render_spans(since, limit))
                 content_type = "application/json"
+            elif path == "/history" and telemetry.history is not None:
+                body = _json_bytes(
+                    telemetry.render_history(_history_int(query, "t"))
+                )
+                content_type = "application/json"
+            elif (
+                path == "/history/drift" and telemetry.history is not None
+            ):
+                body = _json_bytes(
+                    telemetry.render_history_drift(
+                        _history_int(query, "t0"),
+                        _history_int(query, "t1"),
+                    )
+                )
+                content_type = "application/json"
+            elif (
+                path == "/history/series" and telemetry.history is not None
+            ):
+                body = _json_bytes(
+                    telemetry.render_history_series(
+                        _history_str(query, "name"),
+                        _history_int(query, "t0"),
+                        _history_int(query, "t1"),
+                    )
+                )
+                content_type = "application/json"
+            elif (
+                path == "/cluster/history"
+                and telemetry.federation is not None
+            ):
+                body = _json_bytes(telemetry.render_cluster_history())
+                content_type = "application/json"
             elif path == "/cluster/health" and telemetry.federation is not None:
                 body = _json_bytes(telemetry.render_cluster_health())
                 content_type = "application/json"
@@ -98,6 +153,11 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self.send_error(404, "unknown endpoint")
                 return
+        except ValueError as exc:
+            # Bad query ranges (reversed/negative windows) are the
+            # client's fault; the message names the offending values.
+            self.send_error(400, str(exc))
+            return
         except Exception as exc:  # surface handler bugs to the client
             self.send_error(500, f"{type(exc).__name__}: {exc}")
             return
@@ -132,6 +192,32 @@ def _paging(query: str) -> tuple[int, int | None]:
     return since, limit
 
 
+def _history_int(query: str, name: str) -> int | None:
+    """Parse one integer history parameter (``None`` when absent).
+
+    Unlike :func:`_paging` the value is *not* clamped: a negative
+    ``t0`` must reach the validation layer so the 400 answer names it.
+    """
+    params = urllib.parse.parse_qs(query)
+    try:
+        return int(params[name][0])
+    except (KeyError, IndexError):
+        return None
+    except ValueError:
+        raise ValueError(
+            f"parameter {name!r} must be an integer, "
+            f"got {params[name][0]!r}"
+        ) from None
+
+
+def _history_str(query: str, name: str) -> str | None:
+    params = urllib.parse.parse_qs(query)
+    try:
+        return params[name][0]
+    except (KeyError, IndexError):
+        return None
+
+
 class TelemetryServer:
     """Serve live metrics, health, snapshots and spans over HTTP.
 
@@ -161,6 +247,10 @@ class TelemetryServer:
         Optional :class:`~repro.obs.federation.FederationCollector`;
         when present the ``/cluster/*`` endpoints come alive (the root
         of a federated tree attaches its collector here).
+    history:
+        Optional :class:`~repro.obs.history.ModelHistory` (usually the
+        coordinator's); when present the ``/history*`` endpoints come
+        alive and its retention gauges are published into ``/metrics``.
     """
 
     def __init__(
@@ -173,6 +263,7 @@ class TelemetryServer:
         port: int = 0,
         publish: tuple[Callable, ...] = (),
         federation: FederationCollector | None = None,
+        history=None,
     ) -> None:
         self.observer = observer
         self.health = health
@@ -180,6 +271,7 @@ class TelemetryServer:
         self.snapshot = snapshot
         self.publish = tuple(publish)
         self.federation = federation
+        self.history = history
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.telemetry = self  # type: ignore[attr-defined]
@@ -229,6 +321,8 @@ class TelemetryServer:
     def render_metrics(self) -> str:
         if self.health is not None:
             self.health.publish(self.observer.registry)
+        if self.history is not None:
+            self.history.publish(self.observer.registry)
         for publisher in self.publish:
             publisher(self.observer.registry)
         return to_prometheus(self.observer.registry)
@@ -259,6 +353,51 @@ class TelemetryServer:
     def render_cluster_nodes(self) -> dict:
         assert self.federation is not None
         return self.federation.nodes_view()
+
+    def render_history(self, t: int | None = None) -> dict:
+        assert self.history is not None
+        with self.observer.span(
+            "history.query", endpoint="/history", t=t
+        ):
+            if t is None:
+                return self.history.summary()
+            return self.history.model_at(t)
+
+    def render_history_drift(
+        self, t0: int | None = None, t1: int | None = None
+    ) -> dict:
+        assert self.history is not None
+        ticks = self.history.store.ticks()
+        if t0 is None:
+            t0 = ticks[0] if ticks else 0
+        if t1 is None:
+            t1 = self.history.last_tick
+        with self.observer.span(
+            "history.query", endpoint="/history/drift", t0=t0, t1=t1
+        ):
+            return self.history.drift_between(t0, t1)
+
+    def render_history_series(
+        self,
+        name: str | None = None,
+        t0: int | None = None,
+        t1: int | None = None,
+    ) -> dict:
+        assert self.history is not None
+        name = name or "components"
+        with self.observer.span(
+            "history.query", endpoint="/history/series", gauge=name
+        ):
+            return {
+                "name": name,
+                "t0": t0,
+                "t1": t1,
+                "points": self.history.gauge_series(name, t0, t1),
+            }
+
+    def render_cluster_history(self) -> dict:
+        assert self.federation is not None
+        return self.federation.history_rollup()
 
     def render_cluster_spans(
         self, since: int = 0, limit: int | None = None

@@ -19,12 +19,15 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import IO, Iterable
 
+from repro.obs.history import history_from_events
 from repro.obs.metrics import Histogram
 from repro.obs.trace import TraceEvent, read_trace
 
 __all__ = [
     "RunSummary",
     "SiteSummary",
+    "drift_from_trace",
+    "format_drift",
     "format_summary",
     "summarize_events",
     "summarize_trace",
@@ -90,6 +93,8 @@ class RunSummary:
     runtime_records: int = 0
     runtime_checkpoints: int = 0
     runtime_resumes: int = 0
+    # Model history (time-travel observability)
+    history_snapshots: int = 0
     # Spans (causal tracing)
     span_count: int = 0
     #: Per-span-name duration histograms (seconds).
@@ -195,6 +200,8 @@ def summarize_events(events: Iterable[TraceEvent]) -> RunSummary:
             summary.runtime_checkpoints += 1
         elif type_ == "runtime.resume":
             summary.runtime_resumes += 1
+        elif type_ == "history.snapshot":
+            summary.history_snapshots += 1
         elif type_ == "span":
             summary.span_count += 1
             start = fields.get("start")
@@ -209,6 +216,74 @@ def summarize_events(events: Iterable[TraceEvent]) -> RunSummary:
 def summarize_trace(source: str | Path | IO[str]) -> RunSummary:
     """Read a JSONL trace file and summarise it."""
     return summarize_events(read_trace(source))
+
+
+def drift_from_trace(
+    source: str | Path | IO[str],
+    t0: int,
+    t1: int,
+    scope: str | None = None,
+) -> dict:
+    """Fold a trace's history snapshots through the live drift analytics.
+
+    Backs ``repro stats --window t0 t1``: the trace's
+    ``history.snapshot`` events replay through the same pyramidal
+    retention (:func:`~repro.obs.history.history_from_events`) and the
+    same :func:`~repro.obs.history.drift_report`, so an offline trace
+    and the live ``/history/drift`` endpoint answer identically for
+    any window the run served.  Prefers the coordinator's history when
+    ``scope`` is unset and the trace carries several.
+
+    Raises
+    ------
+    ValueError
+        When the trace carries no matching history snapshots, or the
+        window is negative/reversed (values named in the message).
+    """
+    events = list(read_trace(source))
+    history = None
+    if scope is None:
+        history = history_from_events(events, scope="coordinator")
+    if history is None:
+        history = history_from_events(events, scope=scope)
+    if history is None:
+        raise ValueError(
+            "trace carries no history.snapshot events"
+            + (f" for scope {scope!r}" if scope is not None else "")
+            + "; run with history enabled (--history) to record them"
+        )
+    report = history.drift_between(t0, t1)
+    report["scope"] = history.scope
+    report["snapshots"] = len(history)
+    return report
+
+
+def format_drift(report: dict) -> str:
+    """Human-readable rendering of a :func:`drift_from_trace` report."""
+    components = report.get("components", {})
+    transport = report.get("weight_transport")
+    lines = [
+        f"drift window [{report.get('t0')}, {report.get('t1')}]"
+        + (
+            f"  (scope={report['scope']})"
+            if report.get("scope") is not None
+            else ""
+        ),
+        f"  answered from snapshots at t={report.get('tick0')} "
+        f"and t={report.get('tick1')}",
+        "  components: "
+        f"{components.get('from')} -> {components.get('to')} "
+        f"(delta {components.get('delta', 0):+d})",
+        "  weight transport: "
+        + (f"{transport:.6f}" if transport is not None else "n/a"),
+    ]
+    churn = report.get("churn") or {}
+    if churn:
+        pairs = "  ".join(f"{k}={v}" for k, v in sorted(churn.items()))
+        lines.append(
+            f"  churn: {pairs}  (total {report.get('churn_total', 0)})"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def format_summary(summary: RunSummary) -> str:
@@ -279,6 +354,8 @@ def format_summary(summary: RunSummary) -> str:
             f"checkpoints={summary.runtime_checkpoints} "
             f"resumes={summary.runtime_resumes}"
         )
+    if summary.history_snapshots:
+        lines.append(f"history: snapshots={summary.history_snapshots}")
     if summary.span_durations:
         lines.append("")
         lines.append(f"spans: {summary.span_count}")

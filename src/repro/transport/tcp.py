@@ -253,6 +253,7 @@ async def run_site_client(
     telemetry_interval: float = 2.0,
     wire_codec: str = "cds1",
     codec_config: CodecConfig | None = None,
+    history=None,
 ) -> tuple[RemoteSite, SiteRunReport]:
     """Run one remote site against a TCP coordinator.
 
@@ -273,6 +274,10 @@ async def run_site_client(
     :func:`repro.io.checkpoint.load_site`) to continue an interrupted
     run; it is rewired onto this connection's sender and
     ``site_config`` / the site rng seed are ignored.
+
+    ``history`` (a :class:`~repro.obs.history.ModelHistory`) attaches a
+    pyramidal time-travel store to the site it builds; ignored when a
+    prebuilt ``site`` is passed (a restored site carries its own).
     """
     observer = ensure_observer(observer)
     loop = asyncio.get_running_loop()
@@ -301,6 +306,7 @@ async def run_site_client(
             rng=np.random.default_rng(seed + site_id),
             emit=emit,
             observer=observer,
+            history=history,
         )
     else:
         if site.site_id != site_id:

@@ -228,3 +228,25 @@ class TestWireCodecs:
         spec = ClusterSpec.from_dict(payload)
         assert spec.wire_codec == "cds1"
         assert spec.delta_encoding is False
+
+
+class TestHistoryFlag:
+    def test_history_defaults_off(self):
+        spec = build_spec(4, 8)
+        assert spec.history is False
+
+    def test_disabled_history_is_absent_from_the_wire(self):
+        # Byte-identity pin: a spec without history serialises exactly
+        # as it did before the flag existed.
+        spec = build_spec(4, 8)
+        assert "history" not in spec.to_dict()
+
+    def test_enabled_history_round_trips(self):
+        from dataclasses import replace
+
+        spec = replace(build_spec(4, 8), history=True)
+        payload = spec.to_dict()
+        assert payload["history"] is True
+        clone = ClusterSpec.from_dict(payload)
+        assert clone.history is True
+        assert ClusterSpec.from_dict(build_spec(4, 8).to_dict()).history is False

@@ -91,3 +91,72 @@ class TestEventTable:
         assert len(list(table)) == 3
         assert table[1].model_id == 1
         assert table.records[2].start == 250
+
+
+class TestBetweenQuery:
+    def make_table(self) -> EventTable:
+        table = EventTable()
+        table.append(0, 100, 0)
+        table.append(100, 250, 1)
+        table.append(250, 300, 0)
+        return table
+
+    def test_between_matches_the_window_form(self):
+        table = self.make_table()
+        assert table.between(50, 150) == table.window(50, 100)
+
+    def test_between_half_open_endpoints(self):
+        table = self.make_table()
+        # [100, 250) touches only the middle reign.
+        assert [e.model_id for e in table.between(100, 250)] == [1]
+        # An empty range intersects nothing.
+        assert table.between(100, 100) == []
+
+    def test_between_rejects_negative_start_naming_value(self):
+        with pytest.raises(ValueError, match="got -5"):
+            self.make_table().between(-5, 10)
+
+    def test_between_rejects_reversed_range_naming_values(self):
+        with pytest.raises(ValueError, match=r"\[120, 40\)"):
+            self.make_table().between(120, 40)
+
+
+class TestRetention:
+    def test_max_events_validated_naming_value(self):
+        with pytest.raises(ValueError, match="got 0"):
+            EventTable(max_events=0)
+
+    def test_oldest_entries_evicted_and_counted(self):
+        table = EventTable(max_events=2)
+        for index in range(4):
+            table.append(index * 100, (index + 1) * 100, index)
+        assert len(table) == 2
+        assert table.evictions == 2
+        assert table.retained_start == 200
+        assert table.horizon == 400
+        # The survivors still tile [retained_start, horizon).
+        assert [e.start for e in table] == [200, 300]
+
+    def test_queries_before_retained_range_answer_none_or_empty(self):
+        table = EventTable(max_events=1)
+        table.append(0, 100, 0)
+        table.append(100, 200, 1)
+        assert table.model_at(50) is None
+        assert table.model_at(150) == 1
+        assert table.between(0, 100) == []
+
+    def test_unbounded_table_never_evicts(self):
+        table = EventTable()
+        for index in range(10):
+            table.append(index * 10, (index + 1) * 10, index)
+        assert table.evictions == 0
+        assert table.retained_start == 0
+
+    def test_resumed_table_accepts_a_mid_stream_start(self):
+        # A site restored from a retention-trimmed checkpoint starts
+        # appending from its retained horizon, not from zero.
+        table = EventTable(max_events=4)
+        table.append(500, 600, 7)
+        assert table.retained_start == 500
+        with pytest.raises(ValueError, match="got 700"):
+            table.append(700, 800, 8)

@@ -244,3 +244,71 @@ class TestAccounting:
         site = RemoteSite(0, config, rng=np.random.default_rng(5))
         site.process_stream(stream_of(make_mixture(0.0), site.chunk * 3, 2))
         assert site.stats.chunks_processed == 3
+
+
+class TestArchiveRetention:
+    def bounded_site(self, limit: int) -> RemoteSite:
+        config = RemoteSiteConfig(
+            dim=2,
+            epsilon=0.3,
+            delta=0.05,
+            c_max=4,
+            em=EMConfig(n_components=2, n_init=1, max_iter=40, tol=1e-3),
+            chunk_override=300,
+            archive_limit=limit,
+        )
+        return RemoteSite(0, config, rng=np.random.default_rng(5))
+
+    def test_archive_limit_validated_naming_value(self):
+        with pytest.raises(ValueError, match="archive_limit.*got 0"):
+            RemoteSiteConfig(archive_limit=0)
+        with pytest.raises(ValueError, match="event_limit.*got 0"):
+            RemoteSiteConfig(event_limit=0)
+
+    def test_archive_stays_bounded_with_eviction_counter(self):
+        site = self.bounded_site(1)
+        for center, seed in [(0.0, 2), (50.0, 3), (100.0, 4), (150.0, 5)]:
+            site.process_stream(stream_of(make_mixture(center), site.chunk, seed))
+        assert len(site.model_list) <= 1
+        # Four distinct reigns, one current, one archived: two evicted.
+        assert site.stats.archive_evictions == 2
+        assert site.stats.n_clusterings == 4
+
+    def test_ladder_still_finds_recent_models_after_eviction(self):
+        # With a bound of 2, the oldest model (A) is evicted when the
+        # fourth distribution arrives -- but the *recent* B must still
+        # be reachable by the reactivation ladder.
+        site = self.bounded_site(2)
+        centers = [0.0, 50.0, 100.0, 150.0]  # A B C D
+        for seed, center in enumerate(centers, start=2):
+            site.process_stream(stream_of(make_mixture(center), site.chunk, seed))
+        assert site.stats.archive_evictions == 1  # A fell off the head
+        archived = {entry.model_id for entry in site.model_list}
+        assert len(archived) == 2
+        # Return to B: reactivated from the archive, not re-clustered.
+        site.process_stream(stream_of(make_mixture(50.0), site.chunk, 9))
+        assert site.stats.n_reactivations == 1
+        assert site.stats.n_clusterings == 4
+
+    def test_reactivation_refreshes_recency(self):
+        # A is used again before the bound bites, so eviction claims
+        # the stale B instead -- LRU by reactivation, not insertion.
+        site = self.bounded_site(2)
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))    # A
+        site.process_stream(stream_of(make_mixture(50.0), site.chunk, 3))   # B
+        site.process_stream(stream_of(make_mixture(100.0), site.chunk, 4))  # C
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 5))    # A again
+        assert site.stats.n_reactivations == 1
+        a_id = site.current_model.model_id
+        # D pushes the archive past the bound; the LRU head goes.
+        site.process_stream(stream_of(make_mixture(150.0), site.chunk, 6))  # D
+        assert site.stats.archive_evictions == 1
+        assert a_id in {entry.model_id for entry in site.model_list}
+        # A is still reachable a second time.
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 7))
+        assert site.stats.n_reactivations == 2
+
+    def test_unbounded_archive_reports_zero_evictions(self, site: RemoteSite):
+        site.process_stream(stream_of(make_mixture(0.0), site.chunk, 2))
+        site.process_stream(stream_of(make_mixture(50.0), site.chunk, 3))
+        assert site.stats.archive_evictions == 0

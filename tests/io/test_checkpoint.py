@@ -196,3 +196,57 @@ class TestCoordinatorCheckpoint:
             for leaf in cluster.leaves
         ]
         assert sorted(map(str, scores)) == sorted(map(str, originals))
+
+
+class TestHistoryCheckpoint:
+    def make_history_site(self) -> RemoteSite:
+        from repro.obs.history import ModelHistory
+
+        config = RemoteSiteConfig(
+            dim=2,
+            epsilon=0.3,
+            delta=0.05,
+            em=EMConfig(n_components=2, n_init=1, max_iter=30, tol=1e-3),
+            chunk_override=300,
+        )
+        return RemoteSite(
+            0,
+            config,
+            rng=np.random.default_rng(5),
+            history=ModelHistory(alpha=2, capacity=2),
+        )
+
+    def test_payload_has_no_history_key_when_disabled(self):
+        # Byte-identity pin: checkpoints of history-less sites and
+        # coordinators are exactly the pre-history format.
+        site = make_site()
+        feed(site, 0.0, 600, 1)
+        assert "history" not in snapshot_site(site)
+        coordinator = TestCoordinatorCheckpoint().make_coordinator()
+        assert "history" not in snapshot_coordinator(coordinator)
+
+    def test_site_history_survives_the_round_trip(self):
+        site = self.make_history_site()
+        feed(site, 0.0, 600, 1)
+        feed(site, 40.0, 600, 2)
+        clone = restore_site(snapshot_site(site))
+        assert clone.history is not None
+        assert clone.history.scope == site.history.scope
+        assert clone.history.summary() == site.history.summary()
+        tick = site.history.store.ticks()[-1]
+        assert clone.history.model_at(tick) == site.history.model_at(tick)
+        # The restored store keeps recording where the old one stopped.
+        feed(clone, 40.0, 300, 3)
+        assert clone.history.last_tick == clone.position
+
+    def test_history_survives_json_and_files(self, tmp_path):
+        import json
+
+        site = self.make_history_site()
+        feed(site, 0.0, 900, 1)
+        path = save_site(site, tmp_path / "site.json")
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["history"]["store"]["snapshots"]
+        clone = load_site(path)
+        assert clone.history.store.ticks() == site.history.store.ticks()

@@ -300,3 +300,80 @@ class TestClusterEndpoints:
             with pytest.raises(urllib.error.HTTPError) as err:
                 self.fetch(server, "/cluster/health")
             assert err.value.code == 404
+
+
+class TestHistoryFederation:
+    def sample_history(self) -> dict:
+        return {
+            "retained": 12,
+            "evictions": {"pyramid": 3, "memory": 0},
+            "bytes": 2048,
+            "horizon": 400,
+            "ticks": [128, 256, 320, 400],
+            "components": [[320, 3], [400, 4]],
+        }
+
+    def test_history_rides_the_wire_round_trip(self):
+        report = make_report(history=self.sample_history())
+        clone = NodeTelemetry.from_payload(report.to_payload())
+        assert clone == report
+        assert clone.history["retained"] == 12
+
+    def test_history_key_absent_when_none(self):
+        # Byte-compat pin: a node without history emits the exact
+        # pre-history payload, so older peers decode it unchanged.
+        report = make_report()
+        assert report.history is None
+        assert b'"history"' not in report.to_payload()
+        assert NodeTelemetry.from_payload(report.to_payload()).history is None
+
+    def test_history_rollup_folds_per_node_summaries(self):
+        collector = FederationCollector(
+            topology=[
+                {"node_id": 0, "role": "aggregator", "level": 0,
+                 "parent_id": None},
+                {"node_id": 1, "role": "site", "level": 1, "parent_id": 0},
+                {"node_id": 2, "role": "site", "level": 1, "parent_id": 0},
+            ]
+        )
+        collector.ingest_report(make_report(
+            node_id=0, role="aggregator", level=0,
+            history=self.sample_history(),
+        ))
+        collector.ingest_report(make_report(
+            node_id=1, level=1,
+            history={"retained": 5, "evictions": {"pyramid": 1, "memory": 2},
+                     "bytes": 100, "horizon": 900, "ticks": [900],
+                     "components": []},
+        ))
+        collector.ingest_report(make_report(node_id=2, level=1))  # no history
+        rollup = collector.history_rollup()
+        assert {entry["node"] for entry in rollup["per_node"]} == {0, 1}
+        assert rollup["retained"] == 17
+        assert rollup["horizon"] == 900
+
+    def test_cluster_history_endpoint(self):
+        collector = FederationCollector(
+            topology=[
+                {"node_id": 0, "role": "aggregator", "level": 0,
+                 "parent_id": None},
+            ]
+        )
+        collector.ingest_report(make_report(
+            node_id=0, role="aggregator", level=0,
+            history=self.sample_history(),
+        ))
+        with TelemetryServer(Observer(), federation=collector) as server:
+            with urllib.request.urlopen(
+                server.url + "/cluster/history", timeout=5
+            ) as resp:
+                rollup = json.loads(resp.read())
+        assert rollup["per_node"][0]["history"]["retained"] == 12
+
+    def test_cluster_history_404_without_federation(self):
+        with TelemetryServer(Observer()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    server.url + "/cluster/history", timeout=5
+                )
+            assert err.value.code == 404

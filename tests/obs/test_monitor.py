@@ -264,3 +264,71 @@ class TestRunMonitorCluster:
     def test_cluster_mode_requires_url(self):
         with pytest.raises(ValueError, match="cluster"):
             run_monitor(trace="x", cluster=True)
+
+
+class TestSparkline:
+    def test_fixed_width_resampling(self):
+        from repro.obs.monitor import sparkline
+
+        assert len(sparkline(list(range(100)), width=16)) == 16
+        assert len(sparkline([1.0], width=8)) == 8 or sparkline([1.0], width=8)
+
+    def test_empty_series_renders_spaces(self):
+        from repro.obs.monitor import sparkline
+
+        assert sparkline([], width=10) == " " * 10
+
+    def test_rising_series_uses_rising_blocks(self):
+        from repro.obs.monitor import sparkline
+
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert line[0] < line[-1]
+        assert line[-1] == "█"
+
+    def test_width_validated(self):
+        from repro.obs.monitor import sparkline
+
+        with pytest.raises(ValueError, match="got 0"):
+            sparkline([1.0], width=0)
+
+
+class TestHistoryPane:
+    def history_state(self) -> dict:
+        return {
+            "summary": {
+                "retained": 9, "offered": 40, "horizon": 40,
+                "alpha": 2, "capacity": 2,
+                "evictions": {"pyramid": 4, "memory": 1},
+                "bytes": 2048,
+            },
+            "series": {"components": [[10, 2], [20, 3], [40, 4]]},
+        }
+
+    def test_dashboard_gains_a_history_pane(self):
+        text = render_dashboard(sample_health(), history=self.history_state())
+        assert "history (pyramidal retention):" in text
+        assert "retained=9/40 snapshots" in text
+        assert "evicted=4p+1m" in text
+
+    def test_pane_absent_without_history(self):
+        assert "history" not in render_dashboard(sample_health())
+
+    def test_empty_history_says_so(self):
+        text = render_dashboard(sample_health(), history={})
+        assert "(no snapshots retained yet)" in text
+
+    def test_cluster_dashboard_renders_rollup_sparklines(self):
+        collector = sample_cluster()
+        rollup = {
+            "retained": 20, "evictions": 3, "horizon": 900,
+            "per_node": [
+                {"node": 0, "role": "aggregator",
+                 "history": {"retained": 12,
+                             "components": [[100, 2], [900, 4]]}},
+            ],
+        }
+        text = render_cluster_dashboard(
+            collector.rollup(), collector.nodes_view(), history=rollup
+        )
+        assert "history: retained=20" in text
+        assert "retained=12" in text

@@ -107,3 +107,97 @@ class TestLifecycle:
             assert spans == {"traceEvents": [], "lastId": 0, "count": 0}
             snapshot = json.loads(fetch(server, "/snapshot"))
             assert "detail" in snapshot
+
+
+class TestHistoryEndpoints:
+    @pytest.fixture()
+    def history_server(self):
+        from repro.obs.history import ModelHistory
+
+        history = ModelHistory(scope="coordinator")
+        for tick in range(1, 41):
+            components = 1 + tick // 10
+            history.observe(tick, {
+                "components": components,
+                "weights": [1.0 / components] * components,
+                "counters": {"merges": tick // 7},
+                "gauges": {"components": components},
+            })
+        server = TelemetryServer(Observer(), history=history).start()
+        yield server
+        server.close()
+
+    def fetch_json(self, server, path):
+        return json.loads(fetch(server, path))
+
+    def fetch_error(self, server, path) -> tuple[int, str]:
+        try:
+            fetch(server, path)
+        except urllib.error.HTTPError as err:
+            return err.code, err.read().decode()
+        raise AssertionError(f"{path} unexpectedly succeeded")
+
+    def test_history_summary(self, history_server):
+        summary = self.fetch_json(history_server, "/history")
+        assert summary["scope"] == "coordinator"
+        assert summary["horizon"] == 40
+        assert summary["retained"] == len(summary["ticks"])
+        assert "components" in summary["gauges"]
+
+    def test_history_model_at(self, history_server):
+        answer = self.fetch_json(history_server, "/history?t=25")
+        assert answer["t"] == 25
+        assert answer["tick"] <= 25
+        assert answer["model"]["components"] >= 1
+
+    def test_history_drift_with_window(self, history_server):
+        report = self.fetch_json(history_server, "/history/drift?t0=5&t1=35")
+        assert report["t0"] == 5 and report["t1"] == 35
+        assert set(report["components"]) == {"from", "to", "delta"}
+        assert "weight_transport" in report
+
+    def test_history_drift_defaults_to_the_retained_range(self, history_server):
+        report = self.fetch_json(history_server, "/history/drift")
+        assert report["t1"] == 40
+        assert report["t0"] <= report["t1"]
+
+    def test_history_series(self, history_server):
+        body = self.fetch_json(
+            history_server, "/history/series?name=components&t0=10&t1=30"
+        )
+        assert body["name"] == "components"
+        assert body["points"]
+        for tick, _ in body["points"]:
+            assert 10 <= tick <= 30
+
+    def test_negative_time_is_a_400_naming_the_value(self, history_server):
+        code, body = self.fetch_error(history_server, "/history?t=-3")
+        assert code == 400
+        assert "got -3" in body
+
+    def test_non_integer_parameter_is_a_400(self, history_server):
+        code, body = self.fetch_error(history_server, "/history?t=zzz")
+        assert code == 400
+        assert "must be an integer" in body
+
+    def test_reversed_drift_window_is_a_400_naming_both_values(
+        self, history_server
+    ):
+        code, body = self.fetch_error(
+            history_server, "/history/drift?t0=30&t1=5"
+        )
+        assert code == 400
+        assert "[30, 5)" in body
+
+    def test_history_endpoints_404_without_history(self):
+        with TelemetryServer(Observer()) as server:
+            for path in ("/history", "/history/drift", "/history/series"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    fetch(server, path)
+                assert err.value.code == 404
+
+    def test_metrics_include_retention_gauges(self, history_server):
+        samples = parse_prometheus(fetch(history_server, "/metrics").decode())
+        names = {name for name, _, _ in samples}
+        assert "history_retained" in names
+        assert "history_evictions" in names

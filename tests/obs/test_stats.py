@@ -115,3 +115,87 @@ class TestFormatSummary:
         text = format_summary(summarize_events([]))
         assert "faults:" not in text
         assert "sites:" not in text
+
+
+class TestDriftFromTrace:
+    def recorded_history(self, tmp_path, scope="coordinator"):
+        from repro.obs.history import ModelHistory
+        from repro.obs.observer import Observer
+
+        trace = tmp_path / "run.jsonl"
+        sink = JsonlTraceSink(trace)
+        history = ModelHistory(scope=scope)
+        history.observer = Observer(sink=sink)
+        for tick in range(1, 101):
+            components = 1 + tick // 25
+            history.observe(tick, {
+                "components": components,
+                "weights": [1.0 / components] * components,
+                "counters": {"merges": tick // 10},
+                "gauges": {"components": components},
+            })
+        sink.close()
+        return history, str(trace)
+
+    def test_history_snapshots_counted_and_rendered(self, tmp_path):
+        _, trace = self.recorded_history(tmp_path)
+        summary = summarize_trace(trace)
+        assert summary.history_snapshots == 100
+        assert "history: snapshots=100" in format_summary(summary)
+
+    def test_offline_fold_matches_the_live_endpoint(self, tmp_path):
+        # Satellite contract: `repro stats --window` folds the trace
+        # through the same retention and drift analytics as the live
+        # /history/drift endpoint, so the answers are identical.
+        from repro.obs.stats import drift_from_trace
+
+        history, trace = self.recorded_history(tmp_path)
+        live = history.drift_between(10, 90)
+        offline = drift_from_trace(trace, 10, 90)
+        assert offline.pop("scope") == "coordinator"
+        assert offline.pop("snapshots") == len(history)
+        assert offline == live
+
+    def test_prefers_the_coordinator_scope(self, tmp_path):
+        from repro.obs.history import ModelHistory
+        from repro.obs.observer import Observer
+        from repro.obs.stats import drift_from_trace
+
+        trace = tmp_path / "mixed.jsonl"
+        sink = JsonlTraceSink(trace)
+        observer = Observer(sink=sink)
+        site = ModelHistory(scope="site:0")
+        coord = ModelHistory(scope="coordinator")
+        site.observer = observer
+        coord.observer = observer
+        for tick in range(1, 51):
+            site.observe(tick, {"components": 2})
+            coord.observe(tick, {"components": 5})
+        sink.close()
+        report = drift_from_trace(str(trace), 5, 45)
+        assert report["scope"] == "coordinator"
+        assert report["components"]["to"] == 5
+        scoped = drift_from_trace(str(trace), 5, 45, scope="site:0")
+        assert scoped["components"]["to"] == 2
+
+    def test_trace_without_history_raises_with_guidance(self, tmp_path):
+        import pytest
+
+        trace = tmp_path / "plain.jsonl"
+        sink = JsonlTraceSink(trace)
+        for event in make_events():
+            sink.write(event)
+        sink.close()
+        from repro.obs.stats import drift_from_trace
+
+        with pytest.raises(ValueError, match="--history"):
+            drift_from_trace(str(trace), 0, 10)
+
+    def test_format_drift_renders_the_report(self, tmp_path):
+        from repro.obs.stats import drift_from_trace, format_drift
+
+        _, trace = self.recorded_history(tmp_path)
+        text = format_drift(drift_from_trace(trace, 10, 90))
+        assert "drift window [10, 90]" in text
+        assert "components:" in text
+        assert "weight transport:" in text
